@@ -1,0 +1,83 @@
+// Figure 2: effect of block size on the execution time of the sequential
+// building blocks — FloydWarshall, and MatProd combined with MatMin
+// ("MinPlus" in the figure).
+//
+// Two series are printed per kernel: the time measured on this host, and
+// the paper-calibrated cost model's prediction (0.762 Gops sequential FW
+// with an L3 knee around b = 1810). The paper's shape to reproduce: ~b^3
+// growth, fast below the cache knee, rapidly growing past it.
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "common/time_utils.h"
+#include "linalg/cost_model.h"
+#include "linalg/dense_block.h"
+#include "linalg/kernels.h"
+
+namespace {
+
+apspark::linalg::DenseBlock RandomBlock(std::int64_t b, std::uint64_t seed) {
+  apspark::Xoshiro256 rng(seed);
+  apspark::linalg::DenseBlock block(b, b, 0.0);
+  for (std::int64_t i = 0; i < block.size(); ++i) {
+    block.mutable_data()[i] = rng.NextDouble(1.0, 100.0);
+  }
+  return block;
+}
+
+}  // namespace
+
+int main() {
+  using namespace apspark;
+  bench::PrintHeader(
+      "Figure 2 — sequential kernel time vs block size b\n"
+      "(host-measured up to the feasible size; model curve to b = 10000)");
+
+  const linalg::CostModel model;  // paper-calibrated defaults
+
+  std::int64_t max_measured = 1024;
+  if (const char* env = std::getenv("APSPARK_FIG2_MAX_B")) {
+    max_measured = std::atoll(env);
+  }
+
+  std::printf("%8s %16s %16s %16s %16s\n", "b", "FW measured", "FW model",
+              "MinPlus measured", "MinPlus model");
+  const std::int64_t sizes[] = {128,  256,  384,  512,  768, 1024,
+                                1536, 2048, 3072, 4096, 6144, 8192, 10000};
+  for (std::int64_t b : sizes) {
+    const double fw_model = model.FloydWarshallSeconds(b);
+    const double mp_model =
+        model.MinPlusSeconds(b, b, b) +
+        model.ElementwiseSeconds(b * b);
+    std::string fw_meas = "-";
+    std::string mp_meas = "-";
+    if (b <= max_measured) {
+      linalg::DenseBlock fw = RandomBlock(b, 1);
+      WallTimer t1;
+      linalg::FloydWarshallInPlace(fw);
+      fw_meas = FormatSeconds(t1.ElapsedSeconds(), 3);
+
+      const linalg::DenseBlock lhs = RandomBlock(b, 2);
+      const linalg::DenseBlock rhs = RandomBlock(b, 3);
+      WallTimer t2;
+      linalg::DenseBlock prod = linalg::MinPlusProduct(lhs, rhs);
+      linalg::ElementMinInPlace(prod, lhs);
+      mp_meas = FormatSeconds(t2.ElapsedSeconds(), 3);
+    }
+    std::printf("%8lld %16s %16s %16s %16s\n",
+                static_cast<long long>(b), fw_meas.c_str(),
+                FormatSeconds(fw_model, 3).c_str(), mp_meas.c_str(),
+                FormatSeconds(mp_model, 3).c_str());
+  }
+
+  std::printf(
+      "\nPaper reference points: T1(n=256) = 0.022s (0.762 Gops); cache knee"
+      " near b = 1810;\nb = 10000 Floyd-Warshall runs into ~1.3e3 s (Fig. 2"
+      " top of scale ~1.4e3 s).\n");
+  std::printf("Model check: FW(256) = %s, FW(10000) = %s\n",
+              FormatSeconds(model.FloydWarshallSeconds(256), 3).c_str(),
+              FormatDuration(model.FloydWarshallSeconds(10000)).c_str());
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Figure 3: effect of block size, partitioner, and over-decomposition
+// factor B on the blocked solvers, n = 131072, p = 1024.
+//
+//   Top/middle panels: total execution time of Blocked In-Memory (IM) and
+//   Blocked Collect/Broadcast (CB) vs b, for the default Spark partitioner
+//   (PH) and the multi-diagonal partitioner (MD), B in {1, 2}.
+//   Bottom panel: the distribution of RDD partition sizes each partitioner
+//   induces (B = 2).
+//
+// Shapes to reproduce: U-shaped time-vs-b curves; IM infeasible for small b
+// (local storage exhausted by shuffle spill); CB < IM; MD <= PH with the gap
+// widening at large b; PH partition sizes skewed, MD flat.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "apsp/partitioners.h"
+#include "bench_util.h"
+#include "common/time_utils.h"
+
+int main() {
+  using namespace apspark;
+  using apsp::ApspOptions;
+  using apsp::PartitionerKind;
+  using apsp::SolverKind;
+
+  const std::int64_t n = 131072;
+  auto cluster = sparklet::ClusterConfig::Paper();
+  const std::vector<std::int64_t> block_sizes = {512,  768,  1024, 1280,
+                                                 1536, 1792, 2048};
+
+  bench::PrintHeader(
+      "Figure 3 (top/middle) — Blocked-IM and Blocked-CB time vs block size\n"
+      "n = 131072, p = 1024 (simulated, projected from one iteration)");
+
+  std::printf("%-10s %-4s %-3s", "b", "Part", "B");
+  std::printf(" %14s %14s\n", "IM total", "CB total");
+  for (PartitionerKind part : {PartitionerKind::kPortableHash,
+                               PartitionerKind::kMultiDiagonal}) {
+    for (int B : {1, 2}) {
+      for (std::int64_t b : block_sizes) {
+        std::string cells[2];
+        int idx = 0;
+        for (SolverKind kind : {SolverKind::kBlockedInMemory,
+                                SolverKind::kBlockedCollectBroadcast}) {
+          ApspOptions opts;
+          opts.block_size = b;
+          opts.partitioner = part;
+          opts.partitions_per_core = B;
+          opts.max_rounds = 1;
+          auto solver = apsp::MakeSolver(kind);
+          auto result = solver->SolveModel(n, opts, cluster);
+          if (!result.status.ok() || result.projected_storage_exceeded) {
+            cells[idx++] = "FAIL(storage)";
+          } else {
+            cells[idx++] = FormatDuration(result.projected_seconds);
+          }
+        }
+        std::printf("%-10lld %-4s %-3d %14s %14s\n",
+                    static_cast<long long>(b), bench::PartitionerLabel(part),
+                    B, cells[0].c_str(), cells[1].c_str());
+        std::fflush(stdout);
+      }
+    }
+  }
+
+  bench::PrintHeader(
+      "Figure 3 (bottom) — RDD partition-size distribution, B = 2");
+  std::printf("%-10s %12s %12s %12s %12s %12s %12s\n", "b", "PH min",
+              "PH max", "PH stdev", "MD min", "MD max", "MD stdev");
+  const int p = cluster.total_cores();
+  for (std::int64_t b : block_sizes) {
+    const apsp::BlockLayout layout(n, b);
+    double stats[2][3];  // [PH, MD] x [min, max, stdev]
+    int idx = 0;
+    for (PartitionerKind part : {PartitionerKind::kPortableHash,
+                                 PartitionerKind::kMultiDiagonal}) {
+      auto partitioner = apsp::MakeBlockPartitioner(part, layout, 2 * p);
+      auto histogram = apsp::PartitionSizeHistogram(layout, *partitioner);
+      const auto [mn, mx] =
+          std::minmax_element(histogram.begin(), histogram.end());
+      double mean = 0;
+      for (auto h : histogram) mean += static_cast<double>(h);
+      mean /= static_cast<double>(histogram.size());
+      double var = 0;
+      for (auto h : histogram) {
+        const double d = static_cast<double>(h) - mean;
+        var += d * d;
+      }
+      var /= static_cast<double>(histogram.size());
+      stats[idx][0] = static_cast<double>(*mn);
+      stats[idx][1] = static_cast<double>(*mx);
+      stats[idx][2] = var > 0 ? std::sqrt(var) : 0.0;
+      ++idx;
+    }
+    std::printf("%-10lld %12.0f %12.0f %12.2f %12.0f %12.0f %12.2f\n",
+                static_cast<long long>(b), stats[0][0], stats[0][1],
+                stats[0][2], stats[1][0], stats[1][1], stats[1][2]);
+  }
+  std::printf(
+      "\nPaper reference: IM fails for b < 1024 (storage); MD partition sizes"
+      " are flat\nwhile PH skews badly on upper-triangular keys (Fig. 3 "
+      "bottom).\n");
+  return 0;
+}

@@ -1,0 +1,150 @@
+// Micro-benchmarks (google-benchmark): kernels, partitioners, generators,
+// serialization, and small end-to-end solves. These are ablation probes for
+// the design choices DESIGN.md calls out rather than paper figures.
+#include <benchmark/benchmark.h>
+
+#include "apsp/partitioners.h"
+#include "apsp/solver.h"
+#include "common/rng.h"
+#include "common/serial.h"
+#include "graph/generators.h"
+#include "graph/shortest_paths.h"
+#include "linalg/kernels.h"
+#include "sparklet/virtual_cluster.h"
+
+namespace {
+
+using namespace apspark;
+
+linalg::DenseBlock RandomBlock(std::int64_t b, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  linalg::DenseBlock block(b, b, 0.0);
+  for (std::int64_t i = 0; i < block.size(); ++i) {
+    block.mutable_data()[i] = rng.NextDouble(1.0, 100.0);
+  }
+  return block;
+}
+
+void BM_MinPlusProduct(benchmark::State& state) {
+  const std::int64_t b = state.range(0);
+  const auto lhs = RandomBlock(b, 1);
+  const auto rhs = RandomBlock(b, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::MinPlusProduct(lhs, rhs));
+  }
+  state.SetItemsProcessed(state.iterations() * b * b * b);
+}
+BENCHMARK(BM_MinPlusProduct)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_FloydWarshallKernel(benchmark::State& state) {
+  const std::int64_t b = state.range(0);
+  const auto block = RandomBlock(b, 3);
+  for (auto _ : state) {
+    linalg::DenseBlock copy = block;
+    linalg::FloydWarshallInPlace(copy);
+    benchmark::DoNotOptimize(copy);
+  }
+  state.SetItemsProcessed(state.iterations() * b * b * b);
+}
+BENCHMARK(BM_FloydWarshallKernel)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_BlockedFloydWarshall(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  const auto block = RandomBlock(n, 4);
+  for (auto _ : state) {
+    linalg::DenseBlock copy = block;
+    linalg::BlockedFloydWarshall(copy, 64);
+    benchmark::DoNotOptimize(copy);
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_BlockedFloydWarshall)->Arg(128)->Arg(256);
+
+void BM_Transpose(benchmark::State& state) {
+  const auto block = RandomBlock(state.range(0), 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(block.Transposed());
+  }
+}
+BENCHMARK(BM_Transpose)->Arg(256)->Arg(1024);
+
+void BM_PortableHashPartitioner(benchmark::State& state) {
+  const apsp::BlockLayout layout(65536, 512);
+  auto part = apsp::MakeBlockPartitioner(apsp::PartitionerKind::kPortableHash,
+                                         layout, 2048);
+  const auto keys = layout.StoredKeys();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(part->PartitionOf(keys[i++ % keys.size()]));
+  }
+}
+BENCHMARK(BM_PortableHashPartitioner);
+
+void BM_MultiDiagonalPartitioner(benchmark::State& state) {
+  const apsp::BlockLayout layout(65536, 512);
+  auto part = apsp::MakeBlockPartitioner(
+      apsp::PartitionerKind::kMultiDiagonal, layout, 2048);
+  const auto keys = layout.StoredKeys();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(part->PartitionOf(keys[i++ % keys.size()]));
+  }
+}
+BENCHMARK(BM_MultiDiagonalPartitioner);
+
+void BM_ErdosRenyiGeneration(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::PaperErdosRenyi(n, ++seed));
+  }
+}
+BENCHMARK(BM_ErdosRenyiGeneration)->Arg(1024)->Arg(8192);
+
+void BM_BlockSerializeRoundtrip(benchmark::State& state) {
+  const auto block = RandomBlock(state.range(0), 6);
+  for (auto _ : state) {
+    BinaryWriter writer;
+    block.Serialize(writer);
+    BinaryReader reader(writer.buffer());
+    auto copy = linalg::DenseBlock::Deserialize(reader);
+    benchmark::DoNotOptimize(copy);
+  }
+}
+BENCHMARK(BM_BlockSerializeRoundtrip)->Arg(256)->Arg(512);
+
+void BM_ListScheduleMakespan(benchmark::State& state) {
+  Xoshiro256 rng(7);
+  std::vector<double> tasks(static_cast<std::size_t>(state.range(0)));
+  for (auto& t : tasks) t = rng.NextDouble(0.1, 2.0);
+  for (auto _ : state) {
+    auto copy = tasks;
+    benchmark::DoNotOptimize(sparklet::ListScheduleMakespan(copy, 1024));
+  }
+}
+BENCHMARK(BM_ListScheduleMakespan)->Arg(2048)->Arg(16384);
+
+void BM_EndToEndBlockedCB(benchmark::State& state) {
+  const auto g = graph::PaperErdosRenyi(128, 5);
+  for (auto _ : state) {
+    apsp::ApspOptions opts;
+    opts.block_size = 32;
+    auto solver = apsp::MakeSolver(apsp::SolverKind::kBlockedCollectBroadcast);
+    auto result =
+        solver->SolveGraph(g, opts, sparklet::ClusterConfig::TinyTest());
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_EndToEndBlockedCB);
+
+void BM_DijkstraAllPairs(benchmark::State& state) {
+  const auto g = graph::PaperErdosRenyi(state.range(0), 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::DijkstraAllPairs(g));
+  }
+}
+BENCHMARK(BM_DijkstraAllPairs)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,81 @@
+// Table 2: the effect of block size and partitioner on execution time of
+// all four solvers, n = 262144, p = 1024, B = 2.
+//
+// Methodology mirrors the paper: a small number of rounds is executed in
+// the calibrated simulation (phantom blocks, full engine control path) and
+// the total is projected from the per-round time ("Single" and "Projected"
+// columns). Shapes to reproduce:
+//   * Repeated Squaring / 2D Floyd-Warshall project into *days* (infeasible);
+//   * 2D-FW per-iteration time is nearly independent of b;
+//   * blocked methods land in hours with a sweet spot near b = 1024-2048;
+//   * MD beats PH at large b, the gap closes at small b.
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench_util.h"
+#include "common/time_utils.h"
+
+int main() {
+  using namespace apspark;
+  using apsp::ApspOptions;
+  using apsp::PartitionerKind;
+  using apsp::SolverKind;
+
+  const std::int64_t n = 262144;
+  auto cluster = sparklet::ClusterConfig::Paper();  // 1024 cores
+
+  bench::PrintHeader(
+      "Table 2 — effect of block size on execution time\n"
+      "n = 262144, p = 1024, B = 2 (simulated; projected from executed "
+      "rounds)");
+
+  // Rounds simulated per solver (enough for a stable per-round average
+  // while keeping the harness fast).
+  auto rounds_for = [](SolverKind kind, std::int64_t b) -> std::int64_t {
+    switch (kind) {
+      case SolverKind::kRepeatedSquaring:
+        return 1;  // one column sweep
+      case SolverKind::kFloydWarshall2d:
+        return b >= 1024 ? 4 : 2;  // k-steps (small q => cheap rounds)
+      default:
+        return 1;  // one diagonal iteration
+    }
+  };
+
+  std::printf("%-18s %-4s %6s %12s %12s %14s %10s\n", "Method", "Part.", "b",
+              "Iterations", "Single", "Projected", "Spill/node");
+  for (SolverKind kind : apsp::AllSolverKinds()) {
+    for (PartitionerKind part : {PartitionerKind::kMultiDiagonal,
+                                 PartitionerKind::kPortableHash}) {
+      for (std::int64_t b : {256LL, 512LL, 1024LL, 2048LL, 4096LL}) {
+        ApspOptions opts;
+        opts.block_size = b;
+        opts.partitioner = part;
+        opts.partitions_per_core = 2;
+        opts.max_rounds = rounds_for(kind, b);
+        auto solver = apsp::MakeSolver(kind);
+        auto result = solver->SolveModel(n, opts, cluster);
+        std::string projected = FormatDuration(result.projected_seconds);
+        if (!result.status.ok() || result.projected_storage_exceeded) {
+          projected += " (storage!)";
+        }
+        std::printf("%-18s %-4s %6lld %12lld %12s %14s %10s\n",
+                    solver->name().c_str(), bench::PartitionerLabel(part),
+                    static_cast<long long>(b),
+                    static_cast<long long>(result.rounds_total),
+                    FormatDuration(result.SecondsPerRound()).c_str(),
+                    projected.c_str(),
+                    FormatBytes(static_cast<std::uint64_t>(
+                                    result.projected_spill_bytes))
+                        .c_str());
+        std::fflush(stdout);
+      }
+    }
+  }
+
+  std::printf(
+      "\nPaper reference (MD): RS b=256 45s/iter -> 9d16h; 2D-FW ~17-21s/iter"
+      " -> 50-65d;\nBlocked-IM b=2048 3m44s -> 7h59m; Blocked-CB b=2048 3m18s"
+      " -> 7h4m.\n");
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Table 3 + Figure 5: weak scaling of the blocked methods against the MPI
+// reference solvers, n / p = 256.
+//
+// Shapes to reproduce:
+//   * Blocked-CB outperforms Blocked-IM; IM dies at p = 1024 (storage);
+//   * both saturate around p >= 256 at a large fraction of the sequential
+//     Gops/core (paper: CB reaches 78% at p = 1024);
+//   * naive FW-2D-GbE loses to CB at scale; optimized DC-GbE wins by ~2-3x.
+#include <cstdio>
+#include <map>
+
+#include "bench_util.h"
+#include "common/time_utils.h"
+#include "linalg/cost_model.h"
+#include "mpisim/mpi_solvers.h"
+
+int main() {
+  using namespace apspark;
+  using apsp::ApspOptions;
+  using apsp::PartitionerKind;
+  using apsp::SolverKind;
+
+  const linalg::CostModel model;
+  const double t1 = model.FloydWarshallSeconds(256);
+  bench::PrintHeader("Table 3 / Figure 5 — weak scaling, n/p = 256");
+  std::printf("T1 (sequential FW, n = 256): %s  -> %.3f Gops\n",
+              FormatSeconds(t1, 3).c_str(), bench::GopsPerCore(256, t1, 1));
+
+  // Block sizes per scale, following Table 3.
+  const std::map<int, std::int64_t> im_b = {
+      {64, 1024}, {128, 1024}, {256, 1536}, {512, 2048}, {1024, 2048}};
+  const std::map<int, std::int64_t> cb_b = {
+      {64, 1024}, {128, 1280}, {256, 1536}, {512, 2048}, {1024, 2560}};
+
+  std::printf("\n%-14s", "Method / p");
+  for (int p : {64, 128, 256, 512, 1024}) std::printf(" %15d", p);
+  std::printf("\n");
+
+  // --- Spark-style blocked solvers ---------------------------------------
+  for (SolverKind kind : {SolverKind::kBlockedInMemory,
+                          SolverKind::kBlockedCollectBroadcast}) {
+    auto solver = apsp::MakeSolver(kind);
+    std::printf("%-14s", solver->name().c_str());
+    std::string gops_row;
+    for (int p : {64, 128, 256, 512, 1024}) {
+      const std::int64_t n = 256LL * p;
+      ApspOptions opts;
+      opts.block_size = (kind == SolverKind::kBlockedInMemory ? im_b : cb_b)
+                            .at(p);
+      opts.partitioner = PartitionerKind::kMultiDiagonal;
+      opts.partitions_per_core = 2;
+      opts.max_rounds = 1;
+      auto cluster = sparklet::ClusterConfig::PaperWithCores(p);
+      auto result = solver->SolveModel(n, opts, cluster);
+      if (!result.status.ok() || result.projected_storage_exceeded) {
+        std::printf(" %15s", "- (storage)");
+        gops_row += "              -";
+      } else {
+        std::printf(" %15s",
+                    FormatDuration(result.projected_seconds).c_str());
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), " %14.3f",
+                      bench::GopsPerCore(n, result.projected_seconds, p));
+        gops_row += buf;
+      }
+      std::fflush(stdout);
+    }
+    std::printf("\n%-14s%s\n", "  Gops/core", gops_row.c_str());
+  }
+
+  // --- MPI reference solvers (square process grids only) ------------------
+  {
+    mpisim::Fw2dMpiSolver fw2d;
+    mpisim::DcMpiSolver dc;
+    std::printf("%-14s", "FW-2D-GbE");
+    for (int p : {64, 128, 256, 512, 1024}) {
+      if (!mpisim::IsSquareProcessCount(p)) {
+        std::printf(" %15s", "-");
+        continue;
+      }
+      auto r = fw2d.Model(256LL * p, p);
+      std::printf(" %15s", FormatDuration(r.seconds).c_str());
+    }
+    std::printf("\n%-14s", "DC-GbE");
+    for (int p : {64, 128, 256, 512, 1024}) {
+      if (!mpisim::IsSquareProcessCount(p)) {
+        std::printf(" %15s", "-");
+        continue;
+      }
+      auto r = dc.Model(256LL * p, p);
+      std::printf(" %15s", FormatDuration(r.seconds).c_str());
+    }
+    std::printf("\n%-14s", "  DC Gops/core");
+    for (int p : {64, 128, 256, 512, 1024}) {
+      if (!mpisim::IsSquareProcessCount(p)) {
+        std::printf(" %15s", "-");
+        continue;
+      }
+      auto r = dc.Model(256LL * p, p);
+      std::printf(" %15.3f", bench::GopsPerCore(256LL * p, r.seconds, p));
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "\nPaper reference: IM 4m2s/14m20s/35m33s/2h17m/- ; CB 2m50s/11m0s/"
+      "34m16s/2h11m/8h9m;\nFW-2D 2m3s/-/37m2s/-/11h51m; DC 1m15s/-/18m54s/-/"
+      "2h52m. CB ~0.59 Gops/core at p=1024\n(78%% of sequential); DC beats CB"
+      " by >2.8x at p = 1024.\n");
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Shared helpers for the table/figure reproduction harnesses.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "apsp/solver.h"
+#include "common/time_utils.h"
+
+namespace apspark::bench {
+
+/// n^3 / (seconds * cores) in Gops — the paper's weak-scaling metric
+/// (§5.4), normalized per core.
+inline double GopsPerCore(std::int64_t n, double seconds, int cores) {
+  if (seconds <= 0) return 0;
+  const double nd = static_cast<double>(n);
+  return nd * nd * nd / seconds / static_cast<double>(cores) / 1e9;
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("============================================================\n");
+}
+
+inline const char* PartitionerLabel(apsp::PartitionerKind kind) {
+  return kind == apsp::PartitionerKind::kMultiDiagonal ? "MD" : "PH";
+}
+
+}  // namespace apspark::bench

@@ -1,0 +1,96 @@
+// Block coordinates and record types for the 2-D decomposed adjacency matrix.
+//
+// The paper stores matrix A as key-value tuples ((I, J), A_IJ) in an RDD
+// (§4). Only the upper triangle is kept for undirected graphs; an executor
+// holding A_IJ serves A_JI by transposition.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "linalg/dense_block.h"
+#include "sparklet/partitioner.h"
+#include "sparklet/serde.h"
+
+namespace apspark::apsp {
+
+struct BlockKey {
+  std::int64_t I = 0;
+  std::int64_t J = 0;
+
+  friend bool operator==(const BlockKey&, const BlockKey&) = default;
+  friend auto operator<=>(const BlockKey&, const BlockKey&) = default;
+
+  /// pySpark would hash the Python tuple (I, J); this replicates it so the
+  /// PH partitioner exhibits the same collision pattern the paper analyses.
+  std::int64_t PortableHash() const noexcept {
+    return sparklet::PortableHashTuple2(I, J);
+  }
+
+  std::string ToString() const {
+    return "(" + std::to_string(I) + "," + std::to_string(J) + ")";
+  }
+};
+
+/// Plain matrix-block record: ((I,J), A_IJ).
+using BlockRecord = std::pair<BlockKey, linalg::BlockPtr>;
+
+/// Role of a block travelling through the Blocked In-Memory combine steps.
+enum class BlockRole : std::uint8_t {
+  kOriginal = 0,  // the resident A_IJ
+  kDiag = 1,      // a CopyDiag replica of the closed diagonal block
+  kRow = 2,       // a CopyCol replica providing the row-side factor A_Ui
+  kCol = 3,       // a CopyCol replica providing the column-side factor A_iV
+};
+
+struct TaggedBlock {
+  BlockRole role = BlockRole::kOriginal;
+  linalg::BlockPtr block;
+};
+
+using TaggedRecord = std::pair<BlockKey, TaggedBlock>;
+using TaggedList = std::vector<TaggedBlock>;
+using ListRecord = std::pair<BlockKey, TaggedList>;
+
+}  // namespace apspark::apsp
+
+namespace std {
+template <>
+struct hash<apspark::apsp::BlockKey> {
+  std::size_t operator()(const apspark::apsp::BlockKey& k) const noexcept {
+    // Engine-internal hash (shuffle tables); quality matters here, unlike
+    // the deliberately faithful PortableHash above.
+    std::uint64_t x = static_cast<std::uint64_t>(k.I) * 0x9e3779b97f4a7c15ULL;
+    x ^= static_cast<std::uint64_t>(k.J) + 0x9e3779b97f4a7c15ULL +
+         (x << 6) + (x >> 2);
+    return static_cast<std::size_t>(x);
+  }
+};
+}  // namespace std
+
+namespace apspark::sparklet {
+
+template <>
+struct Serde<apspark::linalg::BlockPtr> {
+  static std::uint64_t SizeOf(const apspark::linalg::BlockPtr& b) noexcept {
+    return b ? b->SerializedBytes() : 0;
+  }
+};
+
+template <>
+struct Serde<apspark::apsp::BlockKey> {
+  static std::uint64_t SizeOf(const apspark::apsp::BlockKey&) noexcept {
+    return 16;
+  }
+};
+
+template <>
+struct Serde<apspark::apsp::TaggedBlock> {
+  static std::uint64_t SizeOf(const apspark::apsp::TaggedBlock& t) noexcept {
+    return 1 + (t.block ? t.block->SerializedBytes() : 0);
+  }
+};
+
+}  // namespace apspark::sparklet

@@ -1,0 +1,241 @@
+#include "apsp/building_blocks.h"
+
+#include <stdexcept>
+
+#include "linalg/kernels.h"
+
+namespace apspark::apsp {
+
+using linalg::BlockPtr;
+using linalg::DenseBlock;
+
+bool InColumn(const BlockLayout& layout, const BlockKey& key, std::int64_t x) {
+  return layout.InColumnCross(key, x);
+}
+
+bool OnDiagonal(const BlockKey& key, std::int64_t x) {
+  return key.I == x && key.J == x;
+}
+
+BlockPtr MatProd(const BlockPtr& a, const BlockPtr& b,
+                 sparklet::TaskContext& tc) {
+  tc.ChargeCompute(
+      tc.cost_model().MinPlusSeconds(a->rows(), b->cols(), a->cols()));
+  return linalg::MakeBlock(linalg::MinPlusProduct(*a, *b));
+}
+
+BlockPtr MatMin(const BlockPtr& a, const BlockPtr& b,
+                sparklet::TaskContext& tc) {
+  tc.ChargeCompute(tc.cost_model().ElementwiseSeconds(a->size()));
+  return linalg::MakeBlock(linalg::ElementMin(*a, *b));
+}
+
+BlockPtr MinPlus(const BlockPtr& a, const BlockPtr& b,
+                 sparklet::TaskContext& tc) {
+  BlockPtr prod = MatProd(a, b, tc);
+  return MatMin(a, prod, tc);
+}
+
+BlockPtr FloydWarshall(const BlockPtr& a, sparklet::TaskContext& tc) {
+  tc.ChargeCompute(tc.cost_model().FloydWarshallSeconds(a->rows()));
+  DenseBlock closed = *a;
+  linalg::FloydWarshallInPlace(closed);
+  return linalg::MakeBlock(std::move(closed));
+}
+
+BlockPtr Transpose(const BlockPtr& a, sparklet::TaskContext& tc) {
+  tc.ChargeCompute(tc.cost_model().ElementwiseSeconds(a->size()));
+  return linalg::MakeBlock(a->Transposed());
+}
+
+std::pair<std::int64_t, BlockPtr> ExtractColSegment(
+    const BlockLayout& layout, const BlockRecord& record, std::int64_t k,
+    sparklet::TaskContext& tc) {
+  const std::int64_t big_k = k / layout.block_size();
+  const std::int64_t k_loc = k % layout.block_size();
+  const auto& [key, block] = record;
+  tc.ChargeCompute(tc.cost_model().ElementwiseSeconds(
+      std::max(block->rows(), block->cols())));
+  if (key.J == big_k) {
+    // Stored block provides rows of column k for row-block I.
+    return {key.I, linalg::MakeBlock(block->Column(k_loc))};
+  }
+  if (key.I != big_k) {
+    throw std::invalid_argument("ExtractColSegment: block not in column " +
+                                std::to_string(big_k));
+  }
+  // Transposed view: row k_loc of A_(K,J) is column k of row-block J.
+  return {key.J,
+          linalg::MakeBlock(block->RowBlock(k_loc).Transposed())};
+}
+
+std::pair<std::int64_t, BlockPtr> ExtractRowSegment(
+    const BlockLayout& layout, const BlockRecord& record, std::int64_t k,
+    sparklet::TaskContext& tc) {
+  const std::int64_t big_k = k / layout.block_size();
+  const std::int64_t k_loc = k % layout.block_size();
+  const auto& [key, block] = record;
+  if (key.I != big_k) {
+    throw std::invalid_argument("ExtractRowSegment: block not in row " +
+                                std::to_string(big_k));
+  }
+  tc.ChargeCompute(tc.cost_model().ElementwiseSeconds(block->cols()));
+  return {key.J, linalg::MakeBlock(block->RowBlock(k_loc).Transposed())};
+}
+
+BlockRecord FloydWarshallUpdate(
+    const BlockLayout& layout, const BlockRecord& record,
+    const std::vector<linalg::BlockPtr>& column_segments,
+    const std::vector<linalg::BlockPtr>& row_segments,
+    sparklet::TaskContext& tc) {
+  (void)layout;
+  const auto& [key, block] = record;
+  const BlockPtr& u = column_segments[static_cast<std::size_t>(key.I)];
+  const BlockPtr& v = row_segments[static_cast<std::size_t>(key.J)];
+  tc.ChargeCompute(tc.cost_model().ElementwiseSeconds(block->size()));
+  DenseBlock updated = *block;
+  linalg::OuterSumMinUpdate(updated, *u, *v);
+  return {key, linalg::MakeBlock(std::move(updated))};
+}
+
+BlockRecord FloydWarshallUpdate(
+    const BlockLayout& layout, const BlockRecord& record,
+    const std::vector<linalg::BlockPtr>& column_segments,
+    sparklet::TaskContext& tc) {
+  return FloydWarshallUpdate(layout, record, column_segments, column_segments,
+                             tc);
+}
+
+void CopyDiag(const BlockLayout& layout, std::int64_t i,
+              const linalg::BlockPtr& diag, std::vector<TaggedRecord>& out) {
+  // One copy per cross key, *including* (i, i) itself: the Phase-2 update
+  // min(A_ii, A_ii (min,+) D) equals D exactly (the diagonal of A_ii is 0),
+  // which is how the closed diagonal block re-enters A.
+  for (std::int64_t k = 0; k < layout.q(); ++k) {
+    out.push_back({layout.Canonical(k, i), {BlockRole::kDiag, diag}});
+    if (layout.directed() && k != i) {
+      out.push_back({BlockKey{i, k}, {BlockRole::kDiag, diag}});
+    }
+  }
+}
+
+namespace {
+
+/// Finds the unique list entry with the given role, or nullptr.
+const linalg::BlockPtr* FindRole(const TaggedList& list, BlockRole role) {
+  const linalg::BlockPtr* found = nullptr;
+  for (const TaggedBlock& t : list) {
+    if (t.role == role) {
+      if (found != nullptr) {
+        throw std::logic_error("duplicate role in combine list");
+      }
+      found = &t.block;
+    }
+  }
+  return found;
+}
+
+}  // namespace
+
+BlockRecord Phase2Unpack(const BlockLayout& layout, std::int64_t i,
+                         const ListRecord& record, sparklet::TaskContext& tc) {
+  (void)layout;
+  const auto& [key, list] = record;
+  const linalg::BlockPtr* original = FindRole(list, BlockRole::kOriginal);
+  const linalg::BlockPtr* diag = FindRole(list, BlockRole::kDiag);
+  if (original == nullptr || diag == nullptr) {
+    throw std::logic_error("Phase2Unpack: expected original + diagonal copy");
+  }
+  if (OnDiagonal(key, i)) {
+    // min(A_ii, A_ii (min,+) D) equals D exactly in the semiring (the
+    // diagonal of A_ii is 0); returning D directly avoids floating-point
+    // re-rounding of path sums that would break exact symmetry.
+    return {key, *diag};
+  }
+  // Orientation matters in the (min,+) semiring: stored (X, i) holds the
+  // column-side factor A_Xi and is updated as min(A_Xi, A_Xi (min,+) D);
+  // stored (i, X) holds the row-side A_iX, updated as min(A_iX, D (min,+) A_iX).
+  BlockPtr prod = key.J == i ? MatProd(*original, *diag, tc)
+                             : MatProd(*diag, *original, tc);
+  return {key, MatMin(*original, prod, tc)};
+}
+
+void CopyCol(const BlockLayout& layout, std::int64_t i,
+             const BlockRecord& record, std::vector<TaggedRecord>& out,
+             sparklet::TaskContext& tc) {
+  const auto& [key, block] = record;
+  // X = the non-i index of this cross block.
+  const std::int64_t x = key.I == i ? key.J : key.I;
+  if (x == i) {
+    // The diagonal block: Phase 3 never multiplies through it, so it only
+    // re-enters A as itself.
+    out.push_back({key, {BlockRole::kOriginal, block}});
+    return;
+  }
+  if (layout.directed()) {
+    // Full storage: column block (X, i) provides the left factor A_Xi for
+    // every target in row X; row block (i, X) provides the right factor
+    // A_iX for every target in column X.
+    out.push_back({key, {BlockRole::kOriginal, block}});
+    for (std::int64_t v = 0; v < layout.q(); ++v) {
+      if (v == i) continue;
+      if (key.J == i) {
+        out.push_back({BlockKey{x, v}, {BlockRole::kRow, block}});
+      } else {
+        out.push_back({BlockKey{v, x}, {BlockRole::kCol, block}});
+      }
+    }
+    return;
+  }
+  // Oriented factors. Stored payload is A_key.I,key.J; derive A_Xi / A_iX.
+  const BlockPtr col_side =  // A_Xi
+      key.J == i ? block : Transpose(block, tc);
+  const BlockPtr row_side =  // A_iX
+      key.I == i ? block : Transpose(block, tc);
+
+  // The updated cross block itself stays in A.
+  out.push_back({key, {BlockRole::kOriginal, block}});
+
+  for (std::int64_t v = 0; v < layout.q(); ++v) {
+    if (v == i) continue;  // own key already emitted above
+    const BlockKey target = layout.Canonical(x, v);
+    if (OnDiagonal(target, x)) {
+      // Diagonal target needs both factors, both provided by this block.
+      out.push_back({target, {BlockRole::kRow, col_side}});
+      out.push_back({target, {BlockRole::kCol, row_side}});
+      continue;
+    }
+    if (target.I == x) {
+      out.push_back({target, {BlockRole::kRow, col_side}});  // A_Xi
+    } else {
+      out.push_back({target, {BlockRole::kCol, row_side}});  // A_iX
+    }
+  }
+}
+
+BlockRecord Phase3Unpack(const BlockLayout& layout, std::int64_t i,
+                         const ListRecord& record, sparklet::TaskContext& tc) {
+  (void)layout;
+  (void)i;
+  const auto& [key, list] = record;
+  const linalg::BlockPtr* original = FindRole(list, BlockRole::kOriginal);
+  if (original == nullptr) {
+    throw std::logic_error("Phase3Unpack: missing original block at " +
+                           key.ToString());
+  }
+  const linalg::BlockPtr* row = FindRole(list, BlockRole::kRow);
+  const linalg::BlockPtr* col = FindRole(list, BlockRole::kCol);
+  if (row == nullptr && col == nullptr) {
+    // Cross blocks were fully updated in Phase 2 and travel alone.
+    return {key, *original};
+  }
+  if (row == nullptr || col == nullptr) {
+    throw std::logic_error("Phase3Unpack: expected both factors at " +
+                           key.ToString());
+  }
+  // A_UV = min(A_UV, A_Ui (min,+) A_iV).
+  BlockPtr prod = MatProd(*row, *col, tc);
+  return {key, MatMin(*original, prod, tc)};
+}
+
+}  // namespace apspark::apsp

@@ -1,0 +1,109 @@
+// The paper's functional building blocks (Table 1).
+//
+// Each function acts on matrix-block records and charges the calibrated cost
+// model through the TaskContext — mirroring how the pySpark implementation
+// dispatches the numeric work to bare metal (NumPy/SciPy/Numba) while Spark
+// handles distribution. Kernels execute for materialized blocks and
+// short-circuit for phantom ones; the charged time is identical.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "apsp/block_key.h"
+#include "apsp/block_layout.h"
+#include "sparklet/task_context.h"
+
+namespace apspark::apsp {
+
+// --- predicates --------------------------------------------------------
+
+/// InColumn[((I,J), A_IJ), x] on symmetric storage: the stored block carries
+/// data of column-block x (or row-block x, served by transposition).
+bool InColumn(const BlockLayout& layout, const BlockKey& key, std::int64_t x);
+
+/// OnDiagonal[((I,J), A_IJ), x].
+bool OnDiagonal(const BlockKey& key, std::int64_t x);
+
+// --- kernel wrappers (charge cost model, propagate phantoms) ------------
+
+/// MatProd: min-plus product A (min,+) B.
+linalg::BlockPtr MatProd(const linalg::BlockPtr& a, const linalg::BlockPtr& b,
+                         sparklet::TaskContext& tc);
+
+/// MatMin: element-wise minimum.
+linalg::BlockPtr MatMin(const linalg::BlockPtr& a, const linalg::BlockPtr& b,
+                        sparklet::TaskContext& tc);
+
+/// MinPlus: min(A (min,+) B, A) — product followed by element-wise min with
+/// the resident block (Table 1's fused form).
+linalg::BlockPtr MinPlus(const linalg::BlockPtr& a, const linalg::BlockPtr& b,
+                         sparklet::TaskContext& tc);
+
+/// FloydWarshall: closes a diagonal block with the sequential solver.
+linalg::BlockPtr FloydWarshall(const linalg::BlockPtr& a,
+                               sparklet::TaskContext& tc);
+
+/// Transposition of a stored payload (the on-demand A_JI from A_IJ).
+linalg::BlockPtr Transpose(const linalg::BlockPtr& a,
+                           sparklet::TaskContext& tc);
+
+// --- 2D Floyd-Warshall helpers ------------------------------------------
+
+/// ExtractCol: from a stored block in the column-cross of K = k / b, extract
+/// the segment of global column k belonging to the block's *other* index.
+/// Returns (row_block_index, b x 1 segment).
+std::pair<std::int64_t, linalg::BlockPtr> ExtractColSegment(
+    const BlockLayout& layout, const BlockRecord& record, std::int64_t k,
+    sparklet::TaskContext& tc);
+
+/// ExtractRow (directed layouts): from a stored block with I == k / b,
+/// extract the segment of global row k belonging to column-block J, stored
+/// as a b x 1 vector. Returns (col_block_index, segment).
+std::pair<std::int64_t, linalg::BlockPtr> ExtractRowSegment(
+    const BlockLayout& layout, const BlockRecord& record, std::int64_t k,
+    sparklet::TaskContext& tc);
+
+/// FloydWarshallUpdate: A_IJ = min(A_IJ, B_Ik 1^T + 1 B_kJ) where
+/// `column_segments[X]` is the b x 1 slice of global column k for row-block
+/// X and `row_segments[Y]` the slice of global row k for column-block Y
+/// (equal to column_segments for undirected graphs — the symmetry the paper
+/// exploits).
+BlockRecord FloydWarshallUpdate(
+    const BlockLayout& layout, const BlockRecord& record,
+    const std::vector<linalg::BlockPtr>& column_segments,
+    const std::vector<linalg::BlockPtr>& row_segments,
+    sparklet::TaskContext& tc);
+
+/// Undirected convenience overload (row == column by symmetry).
+BlockRecord FloydWarshallUpdate(
+    const BlockLayout& layout, const BlockRecord& record,
+    const std::vector<linalg::BlockPtr>& column_segments,
+    sparklet::TaskContext& tc);
+
+// --- Blocked In-Memory combine-step helpers ------------------------------
+
+/// CopyDiag: replicates the closed diagonal block D_ii to every stored key
+/// in the column/row cross of i (q-1 copies, tagged kDiag).
+void CopyDiag(const BlockLayout& layout, std::int64_t i,
+              const linalg::BlockPtr& diag, std::vector<TaggedRecord>& out);
+
+/// Phase-2 unpack: list = {original cross block, diagonal copy}; returns the
+/// cross block updated through the diagonal (correctly oriented min-plus).
+BlockRecord Phase2Unpack(const BlockLayout& layout, std::int64_t i,
+                         const ListRecord& record, sparklet::TaskContext& tc);
+
+/// CopyCol: from an updated cross block of iteration i, emit the block
+/// itself (kOriginal) plus, for every stored target key, the row-side
+/// (A_Xi, kRow) or column-side (A_iX, kCol) factor needed by Phase 3.
+/// Diagonal targets receive both factors. (Table 1's CopyCol.)
+void CopyCol(const BlockLayout& layout, std::int64_t i,
+             const BlockRecord& record, std::vector<TaggedRecord>& out,
+             sparklet::TaskContext& tc);
+
+/// Phase-3 unpack: list = {original} for cross blocks (already updated), or
+/// {original, kRow, kCol} for the rest: min(A_UV, A_Ui (min,+) A_iV).
+BlockRecord Phase3Unpack(const BlockLayout& layout, std::int64_t i,
+                         const ListRecord& record, sparklet::TaskContext& tc);
+
+}  // namespace apspark::apsp

@@ -1,0 +1,76 @@
+#include "apsp/checkpoint.h"
+
+#include "common/serial.h"
+
+namespace apspark::apsp {
+
+namespace {
+constexpr const char* kManifestKey = "ckpt/manifest";
+
+std::string BlockKeyName(const BlockKey& key) {
+  return "ckpt/block/" + std::to_string(key.I) + "_" + std::to_string(key.J);
+}
+}  // namespace
+
+void SaveCheckpoint(sparklet::SparkletContext& ctx, const BlockLayout& layout,
+                    const std::vector<BlockRecord>& records,
+                    std::int64_t completed_rounds) {
+  ctx.shared_storage().ErasePrefix("ckpt/");
+  for (const auto& [key, block] : records) {
+    BinaryWriter writer;
+    block->Serialize(writer);
+    ctx.DriverWriteShared(BlockKeyName(key), std::move(writer).TakeBuffer(),
+                          block->SerializedBytes());
+  }
+  BinaryWriter manifest;
+  manifest.Write(completed_rounds);
+  manifest.Write(layout.n());
+  manifest.Write(layout.block_size());
+  manifest.Write(static_cast<std::uint8_t>(layout.directed() ? 1 : 0));
+  manifest.Write(static_cast<std::int64_t>(records.size()));
+  ctx.DriverWriteShared(kManifestKey, std::move(manifest).TakeBuffer(),
+                        manifest.size());
+}
+
+bool HasCheckpoint(sparklet::SparkletContext& ctx) {
+  return ctx.shared_storage().Contains(kManifestKey);
+}
+
+Result<CheckpointInfo> LoadCheckpoint(sparklet::SparkletContext& ctx,
+                                      const BlockLayout& layout) {
+  auto manifest_obj = ctx.shared_storage().Get(kManifestKey);
+  if (!manifest_obj.ok()) return NotFoundError("no checkpoint manifest");
+  BinaryReader manifest(*manifest_obj->payload);
+  auto rounds = manifest.Read<std::int64_t>();
+  auto n = manifest.Read<std::int64_t>();
+  auto b = manifest.Read<std::int64_t>();
+  auto directed = manifest.Read<std::uint8_t>();
+  auto count = manifest.Read<std::int64_t>();
+  if (!rounds.ok() || !n.ok() || !b.ok() || !directed.ok() || !count.ok()) {
+    return InvalidArgumentError("corrupt checkpoint manifest");
+  }
+  if (*n != layout.n() || *b != layout.block_size() ||
+      (*directed != 0) != layout.directed()) {
+    return FailedPreconditionError(
+        "checkpoint does not match the requested layout");
+  }
+  CheckpointInfo info;
+  info.next_round = *rounds;
+  for (const BlockKey& key : layout.StoredKeys()) {
+    auto obj = ctx.shared_storage().Get(BlockKeyName(key));
+    if (!obj.ok()) {
+      return FailedPreconditionError("checkpoint missing block " +
+                                     key.ToString());
+    }
+    BinaryReader reader(*obj->payload);
+    auto block = linalg::DenseBlock::Deserialize(reader);
+    if (!block.ok()) return block.status();
+    info.blocks.emplace_back(key, linalg::MakeBlock(std::move(block).value()));
+  }
+  if (static_cast<std::int64_t>(info.blocks.size()) != *count) {
+    return FailedPreconditionError("checkpoint block count mismatch");
+  }
+  return info;
+}
+
+}  // namespace apspark::apsp

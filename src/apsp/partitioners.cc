@@ -1,0 +1,67 @@
+#include "apsp/partitioners.h"
+
+#include <stdexcept>
+
+namespace apspark::apsp {
+
+const char* PartitionerKindName(PartitionerKind kind) noexcept {
+  switch (kind) {
+    case PartitionerKind::kMultiDiagonal:
+      return "MD";
+    case PartitionerKind::kPortableHash:
+      return "PH";
+  }
+  return "?";
+}
+
+MultiDiagonalPartitioner::MultiDiagonalPartitioner(const BlockLayout& layout,
+                                                   int num_partitions)
+    : num_partitions_(num_partitions),
+      q_(layout.q()),
+      directed_(layout.directed()) {
+  if (num_partitions <= 0) {
+    throw std::invalid_argument("MultiDiagonalPartitioner: partitions <= 0");
+  }
+  // Running offset: diagonal d starts where diagonal d-1 left off, so the
+  // global assignment is an exact round-robin over all stored keys.
+  offset_.resize(static_cast<std::size_t>(q_) + 1, 0);
+  for (std::int64_t d = 0; d < q_; ++d) {
+    const std::int64_t len = directed_ ? q_ : (q_ - d);
+    offset_[static_cast<std::size_t>(d) + 1] =
+        (offset_[static_cast<std::size_t>(d)] + len) % num_partitions_;
+  }
+}
+
+int MultiDiagonalPartitioner::PartitionOf(const BlockKey& key) const {
+  // Diagonal index: J - I for upper-triangular storage. Directed layouts
+  // wrap (J - I) mod q so every key still maps to a diagonal.
+  std::int64_t d = key.J - key.I;
+  if (d < 0) d += q_;
+  std::int64_t along = key.I;  // position along the diagonal
+  const std::int64_t base = offset_[static_cast<std::size_t>(d)];
+  return static_cast<int>((base + along) % num_partitions_);
+}
+
+sparklet::PartitionerPtr<BlockKey> MakeBlockPartitioner(
+    PartitionerKind kind, const BlockLayout& layout, int num_partitions) {
+  switch (kind) {
+    case PartitionerKind::kMultiDiagonal:
+      return std::make_shared<MultiDiagonalPartitioner>(layout,
+                                                        num_partitions);
+    case PartitionerKind::kPortableHash:
+      return sparklet::MakePortableHash<BlockKey>(num_partitions);
+  }
+  throw std::invalid_argument("unknown partitioner kind");
+}
+
+std::vector<std::int64_t> PartitionSizeHistogram(
+    const BlockLayout& layout, const sparklet::Partitioner<BlockKey>& part) {
+  std::vector<std::int64_t> histogram(
+      static_cast<std::size_t>(part.num_partitions()), 0);
+  for (const BlockKey& key : layout.StoredKeys()) {
+    ++histogram[static_cast<std::size_t>(part.PartitionOf(key))];
+  }
+  return histogram;
+}
+
+}  // namespace apspark::apsp

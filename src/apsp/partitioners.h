@@ -1,0 +1,54 @@
+// RDD partitioners over block keys: the paper's multi-diagonal partitioner
+// (MD, §5.3 / Figure 4) and the pySpark default portable-hash partitioner
+// (PH), plus helpers to build either by name.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apsp/block_key.h"
+#include "apsp/block_layout.h"
+#include "sparklet/partitioner.h"
+
+namespace apspark::apsp {
+
+enum class PartitionerKind { kMultiDiagonal, kPortableHash };
+
+const char* PartitionerKindName(PartitionerKind kind) noexcept;
+
+/// Multi-diagonal partitioner (paper §5.3, Figure 4).
+///
+/// Stored (upper-triangular) keys are walked diagonal-major — diagonal d
+/// holds keys (I, I+d) — and assigned round-robin with a running offset that
+/// carries across diagonals. This (a) balances partition sizes to within one
+/// block by construction, and (b) scatters each row- and column-block across
+/// many partitions, which is what Phases 2/3 of the blocked algorithms need
+/// to avoid hot partitions.
+class MultiDiagonalPartitioner final
+    : public sparklet::Partitioner<BlockKey> {
+ public:
+  MultiDiagonalPartitioner(const BlockLayout& layout, int num_partitions);
+
+  int num_partitions() const noexcept override { return num_partitions_; }
+  int PartitionOf(const BlockKey& key) const override;
+  std::string name() const override { return "MD"; }
+
+ private:
+  int num_partitions_;
+  std::int64_t q_;
+  bool directed_;
+  /// offset_[d]: partition index of the first key of diagonal d.
+  std::vector<std::int64_t> offset_;
+};
+
+/// Builds the requested partitioner with `num_partitions` partitions.
+sparklet::PartitionerPtr<BlockKey> MakeBlockPartitioner(
+    PartitionerKind kind, const BlockLayout& layout, int num_partitions);
+
+/// Histogram of stored-block counts per partition — the quantity plotted in
+/// the bottom panel of the paper's Figure 3.
+std::vector<std::int64_t> PartitionSizeHistogram(
+    const BlockLayout& layout, const sparklet::Partitioner<BlockKey>& part);
+
+}  // namespace apspark::apsp

@@ -1,0 +1,134 @@
+#include "apsp/solver.h"
+
+#include <stdexcept>
+
+#include "apsp/solvers/blocked_collect_broadcast.h"
+#include "apsp/solvers/blocked_inmemory.h"
+#include "apsp/solvers/floyd_warshall_2d.h"
+#include "apsp/solvers/repeated_squaring.h"
+
+namespace apspark::apsp {
+
+ApspRunResult ApspSolver::SolveGraph(const graph::Graph& graph,
+                                     const ApspOptions& opts,
+                                     const sparklet::ClusterConfig& cluster,
+                                     const linalg::CostModel& model) {
+  const BlockLayout layout(graph.num_vertices(), opts.block_size,
+                           opts.directed || graph.directed());
+  const linalg::DenseBlock adjacency = graph.ToDenseAdjacency();
+  sparklet::SparkletContext ctx(cluster, model);
+  return Solve(ctx, layout, layout.Decompose(adjacency), opts);
+}
+
+ApspRunResult ApspSolver::SolveModel(std::int64_t n, const ApspOptions& opts,
+                                     const sparklet::ClusterConfig& cluster,
+                                     const linalg::CostModel& model) {
+  const BlockLayout layout(n, opts.block_size, opts.directed);
+  sparklet::SparkletContext ctx(cluster, model);
+  return Solve(ctx, layout, layout.DecomposePhantom(), opts);
+}
+
+ApspRunResult ApspSolver::Solve(sparklet::SparkletContext& ctx,
+                                const BlockLayout& layout,
+                                const std::vector<BlockRecord>& blocks,
+                                const ApspOptions& opts) {
+  ApspRunResult result;
+  result.rounds_total = TotalRounds(layout);
+  const std::int64_t rounds_remaining =
+      std::max<std::int64_t>(0, result.rounds_total - opts.start_round);
+  const std::int64_t rounds_to_run =
+      opts.max_rounds > 0 ? std::min(opts.max_rounds, rounds_remaining)
+                          : rounds_remaining;
+
+  const int num_partitions =
+      std::max(1, opts.partitions_per_core * ctx.config().total_cores());
+  auto partitioner =
+      MakeBlockPartitioner(opts.partitioner, layout, num_partitions);
+
+  auto a = ctx.ParallelizePartitioned("A", blocks, partitioner);
+  // The paper disregards the cost of populating the RDD (§5.1).
+  ctx.cluster().Reset();
+
+  sparklet::RddPtr<BlockRecord> final_rdd;
+  try {
+    final_rdd = RunRounds(ctx, layout, a, partitioner, opts, rounds_to_run);
+    result.rounds_executed = rounds_to_run;
+    result.status = Status::Ok();
+  } catch (const sparklet::SparkletAbort& abort) {
+    result.status = abort.status();
+  }
+
+  result.sim_seconds = ctx.now_seconds();
+  result.metrics = ctx.metrics();
+  result.spill_peak_bytes = ctx.cluster().MaxLocalStorageUsed();
+  if (result.rounds_executed > 0) {
+    const double scale = static_cast<double>(result.rounds_total) /
+                         static_cast<double>(result.rounds_executed);
+    result.projected_seconds = result.sim_seconds * scale;
+    result.projected_spill_bytes =
+        static_cast<double>(result.spill_peak_bytes) * scale;
+    result.projected_storage_exceeded =
+        result.projected_spill_bytes >
+        static_cast<double>(ctx.config().local_storage_bytes);
+  }
+
+  // Assemble the distance matrix for completed real-data runs (the collect
+  // is excluded from the reported solve time, like the paper's timings).
+  const bool full_run =
+      result.status.ok() &&
+      opts.start_round + result.rounds_executed == result.rounds_total &&
+      final_rdd != nullptr;
+  if (full_run) {
+    const bool phantom =
+        !blocks.empty() && blocks.front().second->is_phantom();
+    if (!phantom) {
+      try {
+        auto records = final_rdd->Collect();
+        auto matrix = layout.Assemble(records);
+        if (matrix.ok()) {
+          result.distances = std::move(matrix).value();
+        } else {
+          result.status = matrix.status();
+        }
+      } catch (const sparklet::SparkletAbort& abort) {
+        result.status = abort.status();
+      }
+    }
+  }
+  return result;
+}
+
+std::unique_ptr<ApspSolver> MakeSolver(SolverKind kind) {
+  switch (kind) {
+    case SolverKind::kRepeatedSquaring:
+      return std::make_unique<RepeatedSquaringSolver>();
+    case SolverKind::kFloydWarshall2d:
+      return std::make_unique<FloydWarshall2dSolver>();
+    case SolverKind::kBlockedInMemory:
+      return std::make_unique<BlockedInMemorySolver>();
+    case SolverKind::kBlockedCollectBroadcast:
+      return std::make_unique<BlockedCollectBroadcastSolver>();
+  }
+  throw std::invalid_argument("unknown solver kind");
+}
+
+const char* SolverKindName(SolverKind kind) noexcept {
+  switch (kind) {
+    case SolverKind::kRepeatedSquaring:
+      return "Repeated Squaring";
+    case SolverKind::kFloydWarshall2d:
+      return "2D Floyd-Warshall";
+    case SolverKind::kBlockedInMemory:
+      return "Blocked-IM";
+    case SolverKind::kBlockedCollectBroadcast:
+      return "Blocked-CB";
+  }
+  return "?";
+}
+
+std::vector<SolverKind> AllSolverKinds() {
+  return {SolverKind::kRepeatedSquaring, SolverKind::kFloydWarshall2d,
+          SolverKind::kBlockedInMemory, SolverKind::kBlockedCollectBroadcast};
+}
+
+}  // namespace apspark::apsp

@@ -1,0 +1,129 @@
+// APSP solver interface: the public entry point of this library.
+//
+// Four solvers implement the paper's algorithms (§4):
+//   RepeatedSquaringSolver      — Alg. 1 (impure: shared-FS column staging)
+//   FloydWarshall2dSolver       — Alg. 2 (pure)
+//   BlockedInMemorySolver       — Alg. 3 (pure)
+//   BlockedCollectBroadcastSolver — Alg. 4 (impure)
+//
+// Two run modes:
+//   SolveGraph — full run on real data; returns the distance matrix,
+//     validated in tests against Dijkstra/Johnson.
+//   SolveModel — paper-scale run on phantom blocks; executes the complete
+//     engine control path (partitioning, shuffles, storage accounting) and
+//     reports modelled time. With options.max_rounds > 0 only the first
+//     rounds run and the total is projected, exactly the methodology of the
+//     paper's Table 2 ("Single" vs "Projected").
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "apsp/block_key.h"
+#include "apsp/block_layout.h"
+#include "apsp/partitioners.h"
+#include "graph/graph.h"
+#include "linalg/cost_model.h"
+#include "sparklet/rdd.h"
+
+namespace apspark::apsp {
+
+struct ApspOptions {
+  /// Decomposition parameter b; q = ceil(n/b).
+  std::int64_t block_size = 256;
+  PartitionerKind partitioner = PartitionerKind::kMultiDiagonal;
+  /// Spark's over-decomposition factor B: RDD partitions per core (§5.3).
+  int partitions_per_core = 2;
+  /// 0 = run to completion. Otherwise simulate this many rounds and project
+  /// (a "round" is one column sweep for Repeated Squaring, one k step for 2D
+  /// Floyd-Warshall, one diagonal iteration for the blocked methods).
+  std::int64_t max_rounds = 0;
+  bool directed = false;
+  /// Blocked Collect/Broadcast extension: checkpoint A to shared storage
+  /// every this many rounds (0 = off); see apsp/checkpoint.h.
+  std::int64_t checkpoint_every = 0;
+  /// Resume support: skip rounds [0, start_round) — the caller provides the
+  /// matching checkpointed blocks via Solve().
+  std::int64_t start_round = 0;
+};
+
+struct ApspRunResult {
+  Status status;  // OK, or why the run stopped (e.g. storage exhausted)
+
+  /// Full distance matrix (only for completed real-data runs).
+  std::optional<linalg::DenseBlock> distances;
+
+  sparklet::SimMetrics metrics;
+  double sim_seconds = 0;  // modelled time of the executed rounds
+  std::int64_t rounds_executed = 0;
+  std::int64_t rounds_total = 0;
+  /// sim_seconds scaled to all rounds (equals sim_seconds for full runs).
+  double projected_seconds = 0;
+
+  std::uint64_t spill_peak_bytes = 0;  // per-node local-storage high water
+  double projected_spill_bytes = 0;    // extrapolated over all rounds
+  /// True when the extrapolated spill exceeds per-node capacity: the solver
+  /// would die before finishing (paper Table 3: Blocked-IM at p = 1024).
+  bool projected_storage_exceeded = false;
+
+  double SecondsPerRound() const noexcept {
+    return rounds_executed > 0
+               ? sim_seconds / static_cast<double>(rounds_executed)
+               : 0.0;
+  }
+};
+
+class ApspSolver {
+ public:
+  virtual ~ApspSolver() = default;
+
+  virtual std::string name() const = 0;
+  /// Pure solvers rely only on fault-tolerant Spark functionality; impure
+  /// ones stage data in shared persistent storage (§3).
+  virtual bool pure() const noexcept = 0;
+  /// Rounds a full run takes for this layout.
+  virtual std::int64_t TotalRounds(const BlockLayout& layout) const = 0;
+
+  /// Full-fidelity run on real data.
+  ApspRunResult SolveGraph(const graph::Graph& graph, const ApspOptions& opts,
+                           const sparklet::ClusterConfig& cluster,
+                           const linalg::CostModel& model = {});
+
+  /// Paper-scale model run on phantom blocks (no numeric payload).
+  ApspRunResult SolveModel(std::int64_t n, const ApspOptions& opts,
+                           const sparklet::ClusterConfig& cluster,
+                           const linalg::CostModel& model = {});
+
+  /// Core loop on a caller-owned context (exposed for engine-level tests,
+  /// e.g. fault injection through ctx.fault_injector()).
+  ApspRunResult Solve(sparklet::SparkletContext& ctx,
+                      const BlockLayout& layout,
+                      const std::vector<BlockRecord>& blocks,
+                      const ApspOptions& opts);
+
+ protected:
+  /// Runs `rounds_to_run` rounds of the algorithm starting from RDD `a`
+  /// and returns the final block RDD. Throws SparkletAbort on modelled
+  /// failures.
+  virtual sparklet::RddPtr<BlockRecord> RunRounds(
+      sparklet::SparkletContext& ctx, const BlockLayout& layout,
+      sparklet::RddPtr<BlockRecord> a,
+      sparklet::PartitionerPtr<BlockKey> partitioner, const ApspOptions& opts,
+      std::int64_t rounds_to_run) = 0;
+};
+
+/// Factory over all four solvers (handy for sweeps and tests).
+enum class SolverKind {
+  kRepeatedSquaring,
+  kFloydWarshall2d,
+  kBlockedInMemory,
+  kBlockedCollectBroadcast,
+};
+
+std::unique_ptr<ApspSolver> MakeSolver(SolverKind kind);
+const char* SolverKindName(SolverKind kind) noexcept;
+std::vector<SolverKind> AllSolverKinds();
+
+}  // namespace apspark::apsp

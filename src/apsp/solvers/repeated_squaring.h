@@ -1,0 +1,37 @@
+// Repeated Squaring APSP (paper Algorithm 1).
+//
+// Computes A^n over the (min,+) semiring by repeated squaring. The naive
+// cartesian-based product shuffles all-to-all and "easily stalls even on
+// small problems" (§4.2), so — like the paper — the matrix-matrix product is
+// rewritten as a sequence of per-column-block matrix-vector products: for
+// each column block J, the column is collected on the driver, staged in
+// shared persistent storage, and executors multiply their resident blocks
+// against the staged segments; reduceByKey(MatMin) finishes the product.
+//
+// Impure: column staging through the shared file system is a side effect
+// outside the RDD lineage.
+//
+// One "round" (for projection purposes) is one column sweep; a full run is
+// ceil(log2(n)) squarings x q sweeps, matching the iteration counts the
+// paper reports in Table 2.
+#pragma once
+
+#include "apsp/solver.h"
+
+namespace apspark::apsp {
+
+class RepeatedSquaringSolver final : public ApspSolver {
+ public:
+  std::string name() const override { return "Repeated Squaring"; }
+  bool pure() const noexcept override { return false; }
+  std::int64_t TotalRounds(const BlockLayout& layout) const override;
+
+ protected:
+  sparklet::RddPtr<BlockRecord> RunRounds(
+      sparklet::SparkletContext& ctx, const BlockLayout& layout,
+      sparklet::RddPtr<BlockRecord> a,
+      sparklet::PartitionerPtr<BlockKey> partitioner, const ApspOptions& opts,
+      std::int64_t rounds_to_run) override;
+};
+
+}  // namespace apspark::apsp

@@ -1,0 +1,78 @@
+#include "apsp/tuner.h"
+
+#include <algorithm>
+
+namespace apspark::apsp {
+
+std::vector<TuneEntry> SweepConfigurations(const TuneRequest& request) {
+  std::vector<std::int64_t> block_sizes = request.block_sizes;
+  if (block_sizes.empty()) {
+    for (std::int64_t b = 512; b <= 4096; b *= 2) block_sizes.push_back(b);
+    block_sizes.push_back(1536);
+    block_sizes.push_back(3072);
+  }
+  std::sort(block_sizes.begin(), block_sizes.end());
+  block_sizes.erase(std::unique(block_sizes.begin(), block_sizes.end()),
+                    block_sizes.end());
+
+  std::vector<SolverKind> solvers = request.solvers;
+  if (solvers.empty()) {
+    solvers = {SolverKind::kBlockedInMemory,
+               SolverKind::kBlockedCollectBroadcast};
+  }
+
+  std::vector<TuneEntry> entries;
+  for (SolverKind kind : solvers) {
+    auto solver = MakeSolver(kind);
+    if (request.require_fault_tolerance && !solver->pure()) continue;
+    for (std::int64_t b : block_sizes) {
+      if (b <= 0 || b >= request.n) continue;
+      for (PartitionerKind part : {PartitionerKind::kMultiDiagonal,
+                                   PartitionerKind::kPortableHash}) {
+        ApspOptions options;
+        options.block_size = b;
+        options.partitioner = part;
+        options.max_rounds = 1;
+        options.directed = request.directed;
+        auto run = solver->SolveModel(request.n, options, request.cluster);
+        TuneEntry entry;
+        entry.solver = kind;
+        entry.block_size = b;
+        entry.partitioner = part;
+        entry.projected_seconds = run.projected_seconds;
+        entry.projected_spill_bytes = run.projected_spill_bytes;
+        entry.feasible =
+            run.status.ok() && !run.projected_storage_exceeded;
+        entries.push_back(entry);
+      }
+    }
+  }
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const TuneEntry& a, const TuneEntry& b) {
+                     if (a.feasible != b.feasible) return a.feasible;
+                     return a.projected_seconds < b.projected_seconds;
+                   });
+  return entries;
+}
+
+Result<TuneEntry> TuneConfiguration(const TuneRequest& request) {
+  if (request.n <= 1) {
+    return InvalidArgumentError("tuner: n must be > 1");
+  }
+  const auto entries = SweepConfigurations(request);
+  for (const TuneEntry& entry : entries) {
+    if (entry.feasible) return entry;
+  }
+  return NotFoundError(
+      "no feasible configuration: every candidate exhausts local storage");
+}
+
+ApspOptions ToOptions(const TuneEntry& entry, bool directed) {
+  ApspOptions options;
+  options.block_size = entry.block_size;
+  options.partitioner = entry.partitioner;
+  options.directed = directed;
+  return options;
+}
+
+}  // namespace apspark::apsp

@@ -1,0 +1,43 @@
+#include "common/bytes.h"
+
+#include <cstdio>
+
+namespace apspark {
+namespace {
+
+struct Unit {
+  double divisor;
+  const char* suffix;
+};
+
+constexpr Unit kUnits[] = {
+    {static_cast<double>(kTiB), "TiB"},
+    {static_cast<double>(kGiB), "GiB"},
+    {static_cast<double>(kMiB), "MiB"},
+    {static_cast<double>(kKiB), "KiB"},
+};
+
+std::string FormatScaled(double value, const char* rate_suffix) {
+  char buf[64];
+  for (const Unit& u : kUnits) {
+    if (value >= u.divisor) {
+      std::snprintf(buf, sizeof(buf), "%.1f%s%s", value / u.divisor, u.suffix,
+                    rate_suffix);
+      return buf;
+    }
+  }
+  std::snprintf(buf, sizeof(buf), "%.0fB%s", value, rate_suffix);
+  return buf;
+}
+
+}  // namespace
+
+std::string FormatBytes(std::uint64_t bytes) {
+  return FormatScaled(static_cast<double>(bytes), "");
+}
+
+std::string FormatRate(double bytes_per_second) {
+  return FormatScaled(bytes_per_second, "/s");
+}
+
+}  // namespace apspark

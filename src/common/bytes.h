@@ -1,0 +1,21 @@
+// Byte-count helpers: human-readable formatting and size literals used by the
+// virtual cluster's storage/network accounting.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace apspark {
+
+inline constexpr std::uint64_t kKiB = 1024ULL;
+inline constexpr std::uint64_t kMiB = 1024ULL * kKiB;
+inline constexpr std::uint64_t kGiB = 1024ULL * kMiB;
+inline constexpr std::uint64_t kTiB = 1024ULL * kGiB;
+
+/// "512B", "4.0KiB", "264.1GiB", "1.0TiB".
+std::string FormatBytes(std::uint64_t bytes);
+
+/// Same, for rates ("125.0MiB/s").
+std::string FormatRate(double bytes_per_second);
+
+}  // namespace apspark

@@ -1,0 +1,53 @@
+// Minimal leveled logger. Single-threaded writers are the common case; a
+// mutex guards the sink so engine worker threads may log safely.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace apspark {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global log threshold; messages below it are discarded.
+void SetLogLevel(LogLevel level) noexcept;
+LogLevel GetLogLevel() noexcept;
+
+/// Writes a single formatted log line to stderr (thread-safe).
+void LogMessage(LogLevel level, const std::string& message);
+
+namespace internal {
+
+/// Stream-style one-shot builder: emits on destruction.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { LogMessage(level_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace apspark
+
+#define APSPARK_LOG(level)                                     \
+  if (static_cast<int>(level) < static_cast<int>(::apspark::GetLogLevel())) \
+    ;                                                          \
+  else                                                         \
+    ::apspark::internal::LogLine(level)
+
+#define LOG_DEBUG APSPARK_LOG(::apspark::LogLevel::kDebug)
+#define LOG_INFO APSPARK_LOG(::apspark::LogLevel::kInfo)
+#define LOG_WARN APSPARK_LOG(::apspark::LogLevel::kWarn)
+#define LOG_ERROR APSPARK_LOG(::apspark::LogLevel::kError)

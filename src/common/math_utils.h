@@ -1,0 +1,30 @@
+// Small arithmetic helpers shared across modules.
+#pragma once
+
+#include <cstdint>
+
+namespace apspark {
+
+/// ceil(a / b) for positive integers.
+constexpr std::int64_t CeilDiv(std::int64_t a, std::int64_t b) noexcept {
+  return (a + b - 1) / b;
+}
+
+/// Number of q*q upper-triangular (including diagonal) block keys.
+constexpr std::int64_t UpperTriangularCount(std::int64_t q) noexcept {
+  return q * (q + 1) / 2;
+}
+
+/// ceil(log2(n)) for n >= 1; 0 for n <= 1. Number of repeated-squaring
+/// iterations required so that (min,+) A^(2^k) covers all paths of length n.
+constexpr int CeilLog2(std::int64_t n) noexcept {
+  int k = 0;
+  std::int64_t reach = 1;
+  while (reach < n) {
+    reach *= 2;
+    ++k;
+  }
+  return k;
+}
+
+}  // namespace apspark

@@ -1,0 +1,75 @@
+// Deterministic, fast pseudo-random number generation.
+//
+// All experiment inputs (Erdős–Rényi graphs, random weights, synthetic point
+// clouds) derive from these generators so that every test and benchmark is
+// reproducible bit-for-bit across runs, independent of the standard library's
+// distribution implementations.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace apspark {
+
+/// SplitMix64: used for seeding and cheap hashing. Public-domain algorithm
+/// (Steele, Lea, Flood), the recommended seeder for xoshiro generators.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  std::uint64_t Next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Stateless 64-bit mix, usable as a hash finalizer.
+std::uint64_t Mix64(std::uint64_t x) noexcept;
+
+/// xoshiro256**: the library's general-purpose generator. Satisfies
+/// UniformRandomBitGenerator so it can also drive <random> if ever needed.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed = 0x5eed5eed5eed5eedULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept { return Next(); }
+  std::uint64_t Next() noexcept;
+
+  /// Uniform double in [0, 1).
+  double NextDouble() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double NextDouble(double lo, double hi) noexcept;
+
+  /// Unbiased uniform integer in [0, bound) via Lemire rejection.
+  std::uint64_t NextBounded(std::uint64_t bound) noexcept;
+
+  /// Geometric(p): number of failures before the first success; used by the
+  /// Erdős–Rényi edge-skipping generator. Requires 0 < p <= 1.
+  std::uint64_t NextGeometric(double p) noexcept;
+
+  /// Standard normal via Box–Muller (used by synthetic point clouds).
+  double NextGaussian() noexcept;
+
+  /// Jump-ahead: creates an independent stream (2^128 steps).
+  void Jump() noexcept;
+
+ private:
+  std::uint64_t s_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace apspark

@@ -1,0 +1,8 @@
+#include "common/serial.h"
+
+// Header-only templates; this translation unit anchors the library target.
+namespace apspark {
+namespace internal {
+// Intentionally empty.
+}  // namespace internal
+}  // namespace apspark

@@ -1,0 +1,48 @@
+// Fixed-size worker pool for real (host) parallel execution of engine tasks.
+//
+// Note the distinction maintained throughout this repository: the *virtual*
+// cluster time reported by benchmarks comes from the discrete-event model in
+// sparklet/, not from host wall time. The thread pool only accelerates actual
+// computation on hosts that have spare cores; on a single-core host it
+// degrades gracefully to sequential execution.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace apspark {
+
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers; 0 means "hardware concurrency".
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t num_threads() const noexcept { return workers_.size(); }
+
+  /// Enqueues a task; returns a future for its completion.
+  std::future<void> Submit(std::function<void()> task);
+
+  /// Runs fn(i) for i in [0, count) across the pool and waits for all.
+  /// Exceptions from tasks are rethrown (first one wins).
+  void ParallelFor(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::packaged_task<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool shutting_down_ = false;
+};
+
+}  // namespace apspark

@@ -1,0 +1,45 @@
+#include "common/time_utils.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace apspark {
+
+std::string FormatDuration(double seconds) {
+  char buf[64];
+  if (!(seconds >= 0.0) || std::isinf(seconds)) return "inf";
+  if (seconds < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.0fms", seconds * 1e3);
+    return buf;
+  }
+  const auto total = static_cast<std::uint64_t>(seconds + 0.5);
+  const std::uint64_t days = total / 86400;
+  const std::uint64_t hours = (total % 86400) / 3600;
+  const std::uint64_t mins = (total % 3600) / 60;
+  const std::uint64_t secs = total % 60;
+  if (days > 0) {
+    std::snprintf(buf, sizeof(buf), "%llud%lluh",
+                  static_cast<unsigned long long>(days),
+                  static_cast<unsigned long long>(hours));
+  } else if (hours > 0) {
+    std::snprintf(buf, sizeof(buf), "%lluh%llum",
+                  static_cast<unsigned long long>(hours),
+                  static_cast<unsigned long long>(mins));
+  } else if (mins > 0) {
+    std::snprintf(buf, sizeof(buf), "%llum%llus",
+                  static_cast<unsigned long long>(mins),
+                  static_cast<unsigned long long>(secs));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%llus",
+                  static_cast<unsigned long long>(secs));
+  }
+  return buf;
+}
+
+std::string FormatSeconds(double seconds, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*fs", precision, seconds);
+  return buf;
+}
+
+}  // namespace apspark

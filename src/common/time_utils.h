@@ -1,0 +1,39 @@
+// Wall-clock timing and duration formatting.
+//
+// FormatDuration renders times the way the paper's Table 2 does
+// ("45s", "2m23s", "9d16h", "1h15m"), which lets our benchmark output be
+// compared side by side with the published tables.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace apspark {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Formats a duration in seconds using the paper's compact two-unit style:
+///   0.022  -> "22ms"        45     -> "45s"
+///   143    -> "2m23s"       4500   -> "1h15m"
+///   836#k  -> "9d16h"
+std::string FormatDuration(double seconds);
+
+/// Formats seconds with fixed precision, e.g. "12.34s".
+std::string FormatSeconds(double seconds, int precision = 2);
+
+}  // namespace apspark

@@ -1,0 +1,27 @@
+#include "graph/csr.h"
+
+namespace apspark::graph {
+
+Csr::Csr(const Graph& g) : num_vertices_(g.num_vertices()) {
+  const std::size_t arcs_per_edge = g.directed() ? 1 : 2;
+  std::vector<std::size_t> degree(static_cast<std::size_t>(num_vertices_) + 1,
+                                  0);
+  for (const Edge& e : g.edges()) {
+    ++degree[static_cast<std::size_t>(e.u) + 1];
+    if (!g.directed()) ++degree[static_cast<std::size_t>(e.v) + 1];
+  }
+  offsets_.resize(static_cast<std::size_t>(num_vertices_) + 1, 0);
+  for (std::size_t i = 1; i < offsets_.size(); ++i) {
+    offsets_[i] = offsets_[i - 1] + degree[i];
+  }
+  neighbors_.resize(g.num_edges() * arcs_per_edge);
+  std::vector<std::size_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (const Edge& e : g.edges()) {
+    neighbors_[cursor[static_cast<std::size_t>(e.u)]++] = {e.v, e.weight};
+    if (!g.directed()) {
+      neighbors_[cursor[static_cast<std::size_t>(e.v)]++] = {e.u, e.weight};
+    }
+  }
+}
+
+}  // namespace apspark::graph

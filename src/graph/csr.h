@@ -1,0 +1,43 @@
+// Compressed sparse row adjacency, the backing structure for the
+// Dijkstra/Johnson ground-truth solvers.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace apspark::graph {
+
+class Csr {
+ public:
+  struct Neighbor {
+    VertexId to;
+    double weight;
+  };
+
+  /// Builds CSR from a graph; undirected graphs get both arc directions.
+  explicit Csr(const Graph& g);
+
+  VertexId num_vertices() const noexcept { return num_vertices_; }
+  std::size_t num_arcs() const noexcept { return neighbors_.size(); }
+
+  std::span<const Neighbor> Neighbors(VertexId u) const noexcept {
+    return {neighbors_.data() + offsets_[static_cast<std::size_t>(u)],
+            neighbors_.data() + offsets_[static_cast<std::size_t>(u) + 1]};
+  }
+
+  /// Out-degree of u.
+  std::size_t Degree(VertexId u) const noexcept {
+    return offsets_[static_cast<std::size_t>(u) + 1] -
+           offsets_[static_cast<std::size_t>(u)];
+  }
+
+ private:
+  VertexId num_vertices_;
+  std::vector<std::size_t> offsets_;
+  std::vector<Neighbor> neighbors_;
+};
+
+}  // namespace apspark::graph

@@ -1,0 +1,160 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <queue>
+
+#include "common/rng.h"
+
+namespace apspark::graph {
+
+double PaperEdgeProbability(VertexId n, double eps) {
+  if (n <= 1) return 0.0;
+  const double nd = static_cast<double>(n);
+  return std::min(1.0, (1.0 + eps) * std::log(nd) / nd);
+}
+
+Graph ErdosRenyi(VertexId n, double edge_probability, WeightRange weights,
+                 std::uint64_t seed, bool directed) {
+  Graph g(n, directed);
+  if (n <= 1 || edge_probability <= 0.0) return g;
+  Xoshiro256 rng(seed);
+  // Geometric skipping over the linearized pair index space: the gap between
+  // consecutive edges is Geometric(p), so expected work is O(m) not O(n^2).
+  // Undirected: pairs (u, v) with u < v; directed: all ordered pairs u != v.
+  const std::uint64_t total =
+      directed ? static_cast<std::uint64_t>(n) * (n - 1)
+               : static_cast<std::uint64_t>(n) * (n - 1) / 2;
+  // Row r of the (strict) upper triangle starts at linear index
+  // r*(n-1) - r*(r-1)/2 and holds n-1-r entries. Since the sampled indices
+  // are strictly increasing, the row cursor advances monotonically and the
+  // whole generation is O(n + m).
+  auto row_start = [n](VertexId r) {
+    return static_cast<std::uint64_t>(r) * static_cast<std::uint64_t>(n - 1) -
+           static_cast<std::uint64_t>(r) * static_cast<std::uint64_t>(r - 1) /
+               2;
+  };
+  std::uint64_t idx = 0;
+  bool first = true;
+  VertexId row = 0;
+  while (true) {
+    const std::uint64_t gap =
+        edge_probability >= 1.0 ? 0 : rng.NextGeometric(edge_probability);
+    idx += gap + (first ? 0 : 1);
+    first = false;
+    if (idx >= total) break;
+    VertexId u, v;
+    if (directed) {
+      u = static_cast<VertexId>(idx / static_cast<std::uint64_t>(n - 1));
+      auto r = static_cast<VertexId>(idx % static_cast<std::uint64_t>(n - 1));
+      v = r >= u ? r + 1 : r;  // skip the diagonal
+    } else {
+      while (row + 1 < n && row_start(row + 1) <= idx) ++row;
+      u = row;
+      v = static_cast<VertexId>(idx - row_start(u)) + u + 1;
+    }
+    g.AddEdge(u, v, rng.NextDouble(weights.lo, weights.hi)).CheckOk();
+  }
+  return g;
+}
+
+Graph PaperErdosRenyi(VertexId n, std::uint64_t seed, WeightRange weights) {
+  return ErdosRenyi(n, PaperEdgeProbability(n), weights, seed);
+}
+
+Graph PathGraph(VertexId n, double weight) {
+  Graph g(n);
+  for (VertexId i = 0; i + 1 < n; ++i) g.AddEdge(i, i + 1, weight).CheckOk();
+  return g;
+}
+
+Graph CycleGraph(VertexId n, double weight) {
+  Graph g = PathGraph(n, weight);
+  if (n > 2) g.AddEdge(n - 1, 0, weight).CheckOk();
+  return g;
+}
+
+Graph StarGraph(VertexId n, double weight) {
+  Graph g(n);
+  for (VertexId i = 1; i < n; ++i) g.AddEdge(0, i, weight).CheckOk();
+  return g;
+}
+
+Graph CompleteGraph(VertexId n, WeightRange weights, std::uint64_t seed) {
+  Graph g(n);
+  Xoshiro256 rng(seed);
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) {
+      g.AddEdge(u, v, rng.NextDouble(weights.lo, weights.hi)).CheckOk();
+    }
+  }
+  return g;
+}
+
+Graph GridGraph(VertexId rows, VertexId cols, double weight) {
+  Graph g(rows * cols);
+  auto id = [cols](VertexId r, VertexId c) { return r * cols + c; };
+  for (VertexId r = 0; r < rows; ++r) {
+    for (VertexId c = 0; c < cols; ++c) {
+      if (c + 1 < cols) g.AddEdge(id(r, c), id(r, c + 1), weight).CheckOk();
+      if (r + 1 < rows) g.AddEdge(id(r, c), id(r + 1, c), weight).CheckOk();
+    }
+  }
+  return g;
+}
+
+std::vector<std::array<double, 3>> SwissRoll(std::int64_t count,
+                                             std::uint64_t seed) {
+  std::vector<std::array<double, 3>> points;
+  points.reserve(static_cast<std::size_t>(count));
+  Xoshiro256 rng(seed);
+  for (std::int64_t i = 0; i < count; ++i) {
+    const double t = 1.5 * 3.14159265358979 * (1.0 + 2.0 * rng.NextDouble());
+    const double height = 21.0 * rng.NextDouble();
+    points.push_back({t * std::cos(t), height, t * std::sin(t)});
+  }
+  return points;
+}
+
+Graph KnnGraph(const std::vector<std::array<double, 3>>& points, int k) {
+  const auto n = static_cast<VertexId>(points.size());
+  Graph g(n);
+  if (k <= 0 || n <= 1) return g;
+  auto dist = [&](VertexId a, VertexId b) {
+    double s = 0.0;
+    for (int d = 0; d < 3; ++d) {
+      const double diff = points[static_cast<std::size_t>(a)][static_cast<std::size_t>(d)] -
+                          points[static_cast<std::size_t>(b)][static_cast<std::size_t>(d)];
+      s += diff * diff;
+    }
+    return std::sqrt(s);
+  };
+  // Deduplicate symmetric pairs: add each chosen edge once, smaller id first.
+  std::vector<std::pair<VertexId, VertexId>> chosen;
+  for (VertexId u = 0; u < n; ++u) {
+    // Max-heap of the k nearest so far.
+    std::priority_queue<std::pair<double, VertexId>> heap;
+    for (VertexId v = 0; v < n; ++v) {
+      if (v == u) continue;
+      const double d = dist(u, v);
+      if (static_cast<int>(heap.size()) < k) {
+        heap.emplace(d, v);
+      } else if (d < heap.top().first) {
+        heap.pop();
+        heap.emplace(d, v);
+      }
+    }
+    while (!heap.empty()) {
+      const VertexId v = heap.top().second;
+      heap.pop();
+      chosen.emplace_back(std::min(u, v), std::max(u, v));
+    }
+  }
+  std::sort(chosen.begin(), chosen.end());
+  chosen.erase(std::unique(chosen.begin(), chosen.end()), chosen.end());
+  for (const auto& [u, v] : chosen) g.AddEdge(u, v, dist(u, v)).CheckOk();
+  return g;
+}
+
+}  // namespace apspark::graph

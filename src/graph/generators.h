@@ -1,0 +1,59 @@
+// Synthetic graph generators.
+//
+// The paper's benchmark inputs are Erdős–Rényi graphs with edge probability
+// p_e = (1+eps) ln(n)/n, eps = 0.1 (§5.1) and arbitrary positive weights.
+// The deterministic structured generators below feed correctness tests, and
+// KnnGraph supports the manifold-learning example from the paper's intro
+// (geodesic distances for Isomap-style pipelines).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace apspark::graph {
+
+struct WeightRange {
+  double lo = 1.0;
+  double hi = 10.0;
+};
+
+/// G(n, p) with geometric edge skipping (O(m) expected time), uniform weights
+/// in [weights.lo, weights.hi). Deterministic in `seed`.
+Graph ErdosRenyi(VertexId n, double edge_probability, WeightRange weights,
+                 std::uint64_t seed, bool directed = false);
+
+/// The paper's parameterization: p_e = (1+eps) ln(n)/n.
+double PaperEdgeProbability(VertexId n, double eps = 0.1);
+
+/// Convenience wrapper using PaperEdgeProbability.
+Graph PaperErdosRenyi(VertexId n, std::uint64_t seed,
+                      WeightRange weights = {1.0, 10.0});
+
+/// 0-1-2-...-(n-1) path, unit or specified weights.
+Graph PathGraph(VertexId n, double weight = 1.0);
+
+/// n-cycle.
+Graph CycleGraph(VertexId n, double weight = 1.0);
+
+/// Star with vertex 0 at the centre.
+Graph StarGraph(VertexId n, double weight = 1.0);
+
+/// Complete graph with uniform random weights (deterministic in seed).
+Graph CompleteGraph(VertexId n, WeightRange weights, std::uint64_t seed);
+
+/// rows x cols 4-neighbour grid with unit weights.
+Graph GridGraph(VertexId rows, VertexId cols, double weight = 1.0);
+
+/// Points on a "Swiss roll" 2-manifold embedded in R^3 (classic Isomap test
+/// set); used by the geodesic-distances example.
+std::vector<std::array<double, 3>> SwissRoll(std::int64_t count,
+                                             std::uint64_t seed);
+
+/// Symmetric k-nearest-neighbour graph over points in R^3; edge weight is
+/// Euclidean distance. O(n^2 log k) construction — fine at example scale.
+Graph KnnGraph(const std::vector<std::array<double, 3>>& points, int k);
+
+}  // namespace apspark::graph

@@ -1,0 +1,62 @@
+#include "graph/path_reconstruction.h"
+
+#include <cmath>
+
+namespace apspark::graph {
+
+ApspWithPaths FloydWarshallWithPaths(const Graph& g) {
+  const std::int64_t n = g.num_vertices();
+  ApspWithPaths out{g.ToDenseAdjacency(),
+                    std::vector<std::int64_t>(
+                        static_cast<std::size_t>(n * n), -1),
+                    n};
+  auto& d = out.distances;
+  auto& next = out.next;
+  // Direct edges: the first hop is the destination itself.
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      if (i != j && !std::isinf(d.At(i, j))) {
+        next[static_cast<std::size_t>(i * n + j)] = j;
+      }
+    }
+    next[static_cast<std::size_t>(i * n + i)] = i;
+  }
+  for (std::int64_t k = 0; k < n; ++k) {
+    for (std::int64_t i = 0; i < n; ++i) {
+      const double dik = d.At(i, k);
+      if (std::isinf(dik)) continue;
+      for (std::int64_t j = 0; j < n; ++j) {
+        const double via = dik + d.At(k, j);
+        if (via < d.At(i, j)) {
+          d.Set(i, j, via);
+          next[static_cast<std::size_t>(i * n + j)] =
+              next[static_cast<std::size_t>(i * n + k)];
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Result<std::vector<VertexId>> ExtractPath(const ApspWithPaths& apsp,
+                                          VertexId s, VertexId t) {
+  if (s < 0 || t < 0 || s >= apsp.n || t >= apsp.n) {
+    return InvalidArgumentError("path endpoints out of range");
+  }
+  if (apsp.Next(s, t) < 0) {
+    return NotFoundError("no path from " + std::to_string(s) + " to " +
+                         std::to_string(t));
+  }
+  std::vector<VertexId> path{s};
+  VertexId at = s;
+  while (at != t) {
+    at = apsp.Next(at, t);
+    path.push_back(at);
+    if (static_cast<std::int64_t>(path.size()) > apsp.n) {
+      return InternalError("successor cycle during path extraction");
+    }
+  }
+  return path;
+}
+
+}  // namespace apspark::graph

@@ -1,0 +1,38 @@
+// Path reconstruction.
+//
+// The paper computes "length of all pairs shortest paths (i.e., no paths
+// themselves)" (§3). This extension recovers the actual vertex sequences:
+// Floyd-Warshall with a successor matrix, plus extraction of any (s, t)
+// path. Successor (rather than predecessor) tracking composes naturally
+// with the k-loop: next(i, j) is the first hop of the current best i->j
+// path.
+#pragma once
+
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph.h"
+#include "linalg/dense_block.h"
+
+namespace apspark::graph {
+
+struct ApspWithPaths {
+  linalg::DenseBlock distances;
+  /// next(i, j) = first hop on a shortest i->j path; -1 if unreachable.
+  std::vector<std::int64_t> next;
+  std::int64_t n = 0;
+
+  std::int64_t Next(VertexId i, VertexId j) const noexcept {
+    return next[static_cast<std::size_t>(i * n + j)];
+  }
+};
+
+/// Floyd-Warshall with successor tracking. O(n^3) time, O(n^2) extra space.
+ApspWithPaths FloydWarshallWithPaths(const Graph& g);
+
+/// The vertex sequence of a shortest s->t path (inclusive of endpoints),
+/// or NOT_FOUND if t is unreachable from s.
+Result<std::vector<VertexId>> ExtractPath(const ApspWithPaths& apsp,
+                                          VertexId s, VertexId t);
+
+}  // namespace apspark::graph

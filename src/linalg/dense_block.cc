@@ -1,0 +1,139 @@
+#include "linalg/dense_block.h"
+
+#include <cmath>
+#include <cstring>
+
+namespace apspark::linalg {
+
+DenseBlock::DenseBlock(std::int64_t rows, std::int64_t cols, double fill)
+    : rows_(rows),
+      cols_(cols),
+      data_(static_cast<std::size_t>(rows * cols), fill) {}
+
+DenseBlock::DenseBlock(std::int64_t rows, std::int64_t cols,
+                       std::vector<double> data)
+    : rows_(rows), cols_(cols), data_(std::move(data)) {
+  if (data_.size() != static_cast<std::size_t>(rows * cols)) {
+    throw std::invalid_argument("DenseBlock: data size does not match shape");
+  }
+}
+
+DenseBlock DenseBlock::Phantom(std::int64_t rows, std::int64_t cols) {
+  DenseBlock b;
+  b.rows_ = rows;
+  b.cols_ = cols;
+  b.phantom_ = true;
+  return b;
+}
+
+namespace {
+// Serialized layout: rows (8) + cols (8) + phantom flag (1) + payload.
+constexpr std::uint64_t kHeaderBytes = 8 + 8 + 1;
+}  // namespace
+
+std::uint64_t DenseBlock::SerializedBytes() const noexcept {
+  return kHeaderBytes +
+         static_cast<std::uint64_t>(rows_ * cols_) * sizeof(double);
+}
+
+void DenseBlock::Serialize(BinaryWriter& writer) const {
+  writer.Write(rows_);
+  writer.Write(cols_);
+  writer.Write(static_cast<std::uint8_t>(phantom_ ? 1 : 0));
+  if (!phantom_) {
+    writer.WriteRaw(data_.data(), data_.size() * sizeof(double));
+  }
+}
+
+Result<DenseBlock> DenseBlock::Deserialize(BinaryReader& reader) {
+  auto rows = reader.Read<std::int64_t>();
+  if (!rows.ok()) return rows.status();
+  auto cols = reader.Read<std::int64_t>();
+  if (!cols.ok()) return cols.status();
+  auto phantom = reader.Read<std::uint8_t>();
+  if (!phantom.ok()) return phantom.status();
+  if (*rows < 0 || *cols < 0) {
+    return InvalidArgumentError("DenseBlock: negative shape");
+  }
+  if (*phantom != 0) return Phantom(*rows, *cols);
+  const std::size_t count = static_cast<std::size_t>(*rows * *cols);
+  if (reader.remaining() < count * sizeof(double)) {
+    return OutOfRangeError("DenseBlock: truncated payload");
+  }
+  std::vector<double> data(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    auto v = reader.Read<double>();
+    if (!v.ok()) return v.status();
+    data[i] = *v;
+  }
+  return DenseBlock(*rows, *cols, std::move(data));
+}
+
+DenseBlock DenseBlock::Column(std::int64_t c) const {
+  if (phantom_) return Phantom(rows_, 1);
+  DenseBlock out(rows_, 1, 0.0);
+  for (std::int64_t r = 0; r < rows_; ++r) out.Set(r, 0, At(r, c));
+  return out;
+}
+
+DenseBlock DenseBlock::RowBlock(std::int64_t r) const {
+  if (phantom_) return Phantom(1, cols_);
+  DenseBlock out(1, cols_, 0.0);
+  std::memcpy(out.mutable_data(), Row(r),
+              static_cast<std::size_t>(cols_) * sizeof(double));
+  return out;
+}
+
+DenseBlock DenseBlock::Transposed() const {
+  if (phantom_) return Phantom(cols_, rows_);
+  DenseBlock out(cols_, rows_, 0.0);
+  // Simple tiled transpose to stay cache-friendly for large blocks.
+  constexpr std::int64_t kTile = 64;
+  for (std::int64_t r0 = 0; r0 < rows_; r0 += kTile) {
+    for (std::int64_t c0 = 0; c0 < cols_; c0 += kTile) {
+      const std::int64_t r1 = std::min(rows_, r0 + kTile);
+      const std::int64_t c1 = std::min(cols_, c0 + kTile);
+      for (std::int64_t r = r0; r < r1; ++r) {
+        for (std::int64_t c = c0; c < c1; ++c) {
+          out.Set(c, r, At(r, c));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+DenseBlock DenseBlock::SubBlock(std::int64_t r0, std::int64_t c0,
+                                std::int64_t h, std::int64_t w) const {
+  if (phantom_) return Phantom(h, w);
+  DenseBlock out(h, w, 0.0);
+  for (std::int64_t r = 0; r < h; ++r) {
+    std::memcpy(out.MutableRow(r), Row(r0 + r) + c0,
+                static_cast<std::size_t>(w) * sizeof(double));
+  }
+  return out;
+}
+
+bool DenseBlock::ApproxEquals(const DenseBlock& other, double tol) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_) return false;
+  if (phantom_ || other.phantom_) return phantom_ == other.phantom_;
+  return MaxAbsDiff(other) <= tol;
+}
+
+double DenseBlock::MaxAbsDiff(const DenseBlock& other) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_) return kInf;
+  if (phantom_ || other.phantom_) return phantom_ == other.phantom_ ? 0 : kInf;
+  double max_diff = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    const double a = data_[i];
+    const double b = other.data_[i];
+    const bool a_inf = std::isinf(a);
+    const bool b_inf = std::isinf(b);
+    if (a_inf != b_inf) return kInf;
+    if (a_inf) continue;
+    max_diff = std::max(max_diff, std::fabs(a - b));
+  }
+  return max_diff;
+}
+
+}  // namespace apspark::linalg

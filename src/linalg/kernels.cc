@@ -1,0 +1,184 @@
+#include "linalg/kernels.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace apspark::linalg {
+namespace {
+
+void CheckProductShapes(const DenseBlock& a, const DenseBlock& b) {
+  if (a.cols() != b.rows()) {
+    throw std::invalid_argument("min-plus product: inner dimensions differ");
+  }
+}
+
+}  // namespace
+
+void MinPlusAccumulateRaw(std::int64_t m, std::int64_t n, std::int64_t k,
+                          const double* a, std::int64_t lda, const double* b,
+                          std::int64_t ldb, double* c, std::int64_t ldc) {
+  // i-k-j order: the inner loop streams rows of B and C, which vectorizes
+  // well and is the min-plus analogue of the classic GEMM loop ordering.
+  for (std::int64_t i = 0; i < m; ++i) {
+    double* ci = c + i * ldc;
+    const double* ai = a + i * lda;
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const double aik = ai[kk];
+      if (std::isinf(aik)) continue;  // no path through kk
+      const double* bk = b + kk * ldb;
+      for (std::int64_t j = 0; j < n; ++j) {
+        const double via = aik + bk[j];
+        if (via < ci[j]) ci[j] = via;
+      }
+    }
+  }
+}
+
+DenseBlock MinPlusProduct(const DenseBlock& a, const DenseBlock& b) {
+  CheckProductShapes(a, b);
+  if (a.is_phantom() || b.is_phantom()) {
+    return DenseBlock::Phantom(a.rows(), b.cols());
+  }
+  DenseBlock c(a.rows(), b.cols(), kInf);
+  MinPlusAccumulateRaw(a.rows(), b.cols(), a.cols(), a.data(), a.cols(),
+                       b.data(), b.cols(), c.mutable_data(), c.cols());
+  return c;
+}
+
+void MinPlusAccumulate(const DenseBlock& a, const DenseBlock& b,
+                       DenseBlock& c) {
+  CheckProductShapes(a, b);
+  if (c.rows() != a.rows() || c.cols() != b.cols()) {
+    throw std::invalid_argument("min-plus accumulate: output shape mismatch");
+  }
+  if (a.is_phantom() || b.is_phantom() || c.is_phantom()) {
+    c = DenseBlock::Phantom(a.rows(), b.cols());
+    return;
+  }
+  MinPlusAccumulateRaw(a.rows(), b.cols(), a.cols(), a.data(), a.cols(),
+                       b.data(), b.cols(), c.mutable_data(), c.cols());
+}
+
+DenseBlock ElementMin(const DenseBlock& a, const DenseBlock& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) {
+    throw std::invalid_argument("element-min: shape mismatch");
+  }
+  if (a.is_phantom() || b.is_phantom()) {
+    return DenseBlock::Phantom(a.rows(), a.cols());
+  }
+  DenseBlock out = a;
+  ElementMinInPlace(out, b);
+  return out;
+}
+
+void ElementMinInPlace(DenseBlock& a, const DenseBlock& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) {
+    throw std::invalid_argument("element-min: shape mismatch");
+  }
+  if (a.is_phantom() || b.is_phantom()) {
+    a = DenseBlock::Phantom(a.rows(), a.cols());
+    return;
+  }
+  double* pa = a.mutable_data();
+  const double* pb = b.data();
+  const std::int64_t n = a.size();
+  for (std::int64_t i = 0; i < n; ++i) pa[i] = std::min(pa[i], pb[i]);
+}
+
+void FloydWarshallRaw(std::int64_t n, double* a, std::int64_t lda) {
+  for (std::int64_t k = 0; k < n; ++k) {
+    const double* ak = a + k * lda;
+    for (std::int64_t i = 0; i < n; ++i) {
+      double* ai = a + i * lda;
+      const double aik = ai[k];
+      if (std::isinf(aik)) continue;
+      for (std::int64_t j = 0; j < n; ++j) {
+        const double via = aik + ak[j];
+        if (via < ai[j]) ai[j] = via;
+      }
+    }
+  }
+}
+
+void FloydWarshallInPlace(DenseBlock& a) {
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument("Floyd-Warshall: block must be square");
+  }
+  if (a.is_phantom()) return;  // phantom stays phantom, shape unchanged
+  FloydWarshallRaw(a.rows(), a.mutable_data(), a.cols());
+}
+
+void NaiveFloydWarshall(DenseBlock& a) { FloydWarshallInPlace(a); }
+
+void OuterSumMinUpdate(DenseBlock& a, const DenseBlock& u,
+                       const DenseBlock& v) {
+  if (u.rows() != a.rows() || v.rows() != a.cols() || u.cols() != 1 ||
+      v.cols() != 1) {
+    throw std::invalid_argument("outer-sum update: vector shape mismatch");
+  }
+  if (a.is_phantom() || u.is_phantom() || v.is_phantom()) {
+    a = DenseBlock::Phantom(a.rows(), a.cols());
+    return;
+  }
+  const double* pu = u.data();
+  const double* pv = v.data();
+  for (std::int64_t i = 0; i < a.rows(); ++i) {
+    const double ui = pu[i];
+    if (std::isinf(ui)) continue;
+    double* ai = a.MutableRow(i);
+    for (std::int64_t j = 0; j < a.cols(); ++j) {
+      const double via = ui + pv[j];
+      if (via < ai[j]) ai[j] = via;
+    }
+  }
+}
+
+void BlockedFloydWarshall(DenseBlock& a, std::int64_t block_size) {
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument("blocked Floyd-Warshall: matrix must be square");
+  }
+  if (block_size <= 0) {
+    throw std::invalid_argument("blocked Floyd-Warshall: block size must be > 0");
+  }
+  if (a.is_phantom()) return;
+  const std::int64_t n = a.rows();
+  double* base = a.mutable_data();
+  const std::int64_t ld = n;
+  auto tile = [&](std::int64_t bi, std::int64_t bj) {
+    return base + bi * block_size * ld + bj * block_size;
+  };
+  auto dim = [&](std::int64_t bi) {
+    return std::min(block_size, n - bi * block_size);
+  };
+  const std::int64_t q = (n + block_size - 1) / block_size;
+  for (std::int64_t t = 0; t < q; ++t) {
+    const std::int64_t bt = dim(t);
+    // Phase 1: close the diagonal tile.
+    FloydWarshallRaw(bt, tile(t, t), ld);
+    // Phase 2: row and column tiles through the diagonal tile.
+    for (std::int64_t j = 0; j < q; ++j) {
+      if (j == t) continue;
+      const std::int64_t bj = dim(j);
+      // Row tile: A[t][j] = min(A[t][j], A[t][t] (min,+) A[t][j]).
+      MinPlusAccumulateRaw(bt, bj, bt, tile(t, t), ld, tile(t, j), ld,
+                           tile(t, j), ld);
+      // Column tile: A[j][t] = min(A[j][t], A[j][t] (min,+) A[t][t]).
+      MinPlusAccumulateRaw(bj, bt, bt, tile(j, t), ld, tile(t, t), ld,
+                           tile(j, t), ld);
+    }
+    // Phase 3: remaining tiles through the freshly updated row/column.
+    for (std::int64_t i = 0; i < q; ++i) {
+      if (i == t) continue;
+      const std::int64_t bi = dim(i);
+      for (std::int64_t j = 0; j < q; ++j) {
+        if (j == t) continue;
+        const std::int64_t bj = dim(j);
+        MinPlusAccumulateRaw(bi, bj, bt, tile(i, t), ld, tile(t, j), ld,
+                             tile(i, j), ld);
+      }
+    }
+  }
+}
+
+}  // namespace apspark::linalg

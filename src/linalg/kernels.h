@@ -1,0 +1,58 @@
+// Sequential "bare-metal" kernels.
+//
+// These are the C++ equivalents of the operations the paper offloads from
+// pySpark to NumPy/SciPy (Intel MKL) and Numba: min-plus matrix product,
+// element-wise minimum, in-place Floyd-Warshall, the rank-1 outer-sum update
+// used by 2D Floyd-Warshall, and the cache-blocked sequential Floyd-Warshall
+// of Venkataraman et al. used both as the diagonal-block solver and as the
+// single-core reference (T1) for weak-scaling efficiency.
+//
+// All kernels propagate phantom blocks: if any operand is phantom, the result
+// is a phantom of the correct shape and no arithmetic is performed (cost
+// accounting happens at the building-block layer, see apsp/building_blocks.h).
+#pragma once
+
+#include <cstdint>
+
+#include "linalg/dense_block.h"
+
+namespace apspark::linalg {
+
+/// C = A (min,+) B. Requires a.cols() == b.rows().
+DenseBlock MinPlusProduct(const DenseBlock& a, const DenseBlock& b);
+
+/// c = min(c, A (min,+) B) element-wise, in place.
+/// Requires c.rows() == a.rows(), c.cols() == b.cols(), a.cols() == b.rows().
+void MinPlusAccumulate(const DenseBlock& a, const DenseBlock& b, DenseBlock& c);
+
+/// Element-wise minimum (the paper's MatMin).
+DenseBlock ElementMin(const DenseBlock& a, const DenseBlock& b);
+void ElementMinInPlace(DenseBlock& a, const DenseBlock& b);
+
+/// In-place Floyd-Warshall over a square block: closes paths through the
+/// block's own vertices (the paper's FloydWarshall building block).
+void FloydWarshallInPlace(DenseBlock& a);
+
+/// a_ij = min(a_ij, u_i + v_j) where u is a rows x 1 and v a cols x 1 vector
+/// (the paper's FloydWarshallUpdate: C = B_Ik 1^T + 1 B_Jk^T, then MatMin).
+void OuterSumMinUpdate(DenseBlock& a, const DenseBlock& u, const DenseBlock& v);
+
+/// Sequential cache-blocked Floyd-Warshall (Venkataraman et al. [23]) over a
+/// full n x n matrix, tile size `block_size`. This is the "efficient
+/// sequential Floyd-Warshall as implemented in SciPy" used for T1.
+void BlockedFloydWarshall(DenseBlock& a, std::int64_t block_size);
+
+/// Plain textbook k-i-j Floyd-Warshall (reference for tests).
+void NaiveFloydWarshall(DenseBlock& a);
+
+// --- Raw strided kernels (used by the blocked solver; exposed for tests) ---
+
+/// C[mxn] = min(C, A[mxk] (min,+) B[kxn]) with leading dimensions lda/ldb/ldc.
+void MinPlusAccumulateRaw(std::int64_t m, std::int64_t n, std::int64_t k,
+                          const double* a, std::int64_t lda, const double* b,
+                          std::int64_t ldb, double* c, std::int64_t ldc);
+
+/// In-place FW on an n x n tile with leading dimension lda.
+void FloydWarshallRaw(std::int64_t n, double* a, std::int64_t lda);
+
+}  // namespace apspark::linalg

@@ -1,0 +1,19 @@
+#include "linalg/semiring.h"
+
+#include <cmath>
+
+namespace apspark::linalg {
+
+DenseBlock TransitiveClosure(const DenseBlock& adjacency) {
+  DenseBlock reach(adjacency.rows(), adjacency.cols(), 0.0);
+  for (std::int64_t i = 0; i < adjacency.rows(); ++i) {
+    reach.Set(i, i, 1.0);
+    for (std::int64_t j = 0; j < adjacency.cols(); ++j) {
+      if (!std::isinf(adjacency.At(i, j))) reach.Set(i, j, 1.0);
+    }
+  }
+  SemiringClosure<BooleanSemiring>(reach);
+  return reach;
+}
+
+}  // namespace apspark::linalg

@@ -1,0 +1,92 @@
+// Semiring-generalized block kernels.
+//
+// §2 of the paper notes that "APSP is one of several graph primitives that
+// can be directly posed as a linear algebra problem, and solved using matrix
+// operations over the semi-ring (min,+)", and that the blocked algorithms
+// trace back to transitive closure (Ullman & Yannakakis). This header makes
+// that formulation explicit: the kernels in kernels.h are the
+// MinPlusSemiring instantiation of a generic semiring matrix product, and
+// BooleanSemiring yields transitive closure / reachability.
+#pragma once
+
+#include <cstdint>
+
+#include "linalg/dense_block.h"
+
+namespace apspark::linalg {
+
+/// The tropical (min,+) semiring: APSP path lengths.
+struct MinPlusSemiring {
+  static constexpr double Zero() noexcept { return kInf; }  // additive id
+  static constexpr double One() noexcept { return 0.0; }    // multiplicative id
+  static double Add(double a, double b) noexcept { return a < b ? a : b; }
+  static double Multiply(double a, double b) noexcept { return a + b; }
+};
+
+/// The boolean (or, and) semiring over {0, 1}: transitive closure.
+struct BooleanSemiring {
+  static constexpr double Zero() noexcept { return 0.0; }
+  static constexpr double One() noexcept { return 1.0; }
+  static double Add(double a, double b) noexcept {
+    return (a != 0.0 || b != 0.0) ? 1.0 : 0.0;
+  }
+  static double Multiply(double a, double b) noexcept {
+    return (a != 0.0 && b != 0.0) ? 1.0 : 0.0;
+  }
+};
+
+/// C = C (+) A (x) B over semiring S.
+template <typename S>
+void SemiringProductAccumulate(const DenseBlock& a, const DenseBlock& b,
+                               DenseBlock& c) {
+  if (a.is_phantom() || b.is_phantom() || c.is_phantom()) {
+    c = DenseBlock::Phantom(a.rows(), b.cols());
+    return;
+  }
+  for (std::int64_t i = 0; i < a.rows(); ++i) {
+    double* ci = c.MutableRow(i);
+    const double* ai = a.Row(i);
+    for (std::int64_t k = 0; k < a.cols(); ++k) {
+      const double aik = ai[k];
+      if (aik == S::Zero()) continue;  // annihilator: no contribution
+      const double* bk = b.Row(k);
+      for (std::int64_t j = 0; j < b.cols(); ++j) {
+        ci[j] = S::Add(ci[j], S::Multiply(aik, bk[j]));
+      }
+    }
+  }
+}
+
+/// C = A (x) B over semiring S.
+template <typename S>
+DenseBlock SemiringProduct(const DenseBlock& a, const DenseBlock& b) {
+  DenseBlock c(a.rows(), b.cols(), S::Zero());
+  SemiringProductAccumulate<S>(a, b, c);
+  return c;
+}
+
+/// In-place Floyd-Warshall-style closure over semiring S:
+/// a_ij = a_ij (+) a_ik (x) a_kj for every k.
+template <typename S>
+void SemiringClosure(DenseBlock& a) {
+  if (a.is_phantom()) return;
+  const std::int64_t n = a.rows();
+  for (std::int64_t k = 0; k < n; ++k) {
+    const double* ak = a.Row(k);
+    for (std::int64_t i = 0; i < n; ++i) {
+      double* ai = a.MutableRow(i);
+      const double aik = ai[k];
+      if (aik == S::Zero()) continue;
+      for (std::int64_t j = 0; j < n; ++j) {
+        ai[j] = S::Add(ai[j], S::Multiply(aik, ak[j]));
+      }
+    }
+  }
+}
+
+/// Boolean reachability matrix of an adjacency matrix (entries 1 where an
+/// edge or self-loop exists): the transitive-closure ancestor of the
+/// paper's algorithms.
+DenseBlock TransitiveClosure(const DenseBlock& adjacency);
+
+}  // namespace apspark::linalg

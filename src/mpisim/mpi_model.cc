@@ -1,0 +1,17 @@
+#include "mpisim/mpi_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace apspark::mpisim {
+
+double MpiTuning::BroadcastSeconds(std::uint64_t bytes,
+                                   int ranks) const noexcept {
+  const double rounds =
+      std::max(1.0, std::ceil(std::log2(static_cast<double>(
+                        std::max(2, ranks)))));
+  return rounds * (latency_seconds +
+                   static_cast<double>(bytes) / bandwidth_bytes_per_sec);
+}
+
+}  // namespace apspark::mpisim

@@ -1,0 +1,61 @@
+// MPI reference APSP solvers (paper §5.5), executed in-process against the
+// MpiTuning cost model. Both assume a square process grid (p in {64, 256,
+// 1024, ...}), as the paper's MPI solvers do.
+#pragma once
+
+#include <optional>
+
+#include "common/status.h"
+#include "graph/graph.h"
+#include "linalg/dense_block.h"
+#include "mpisim/mpi_model.h"
+
+namespace apspark::mpisim {
+
+struct MpiRunResult {
+  Status status;
+  /// Distances (real-data runs only).
+  std::optional<linalg::DenseBlock> distances;
+  MpiMetrics metrics;
+  double seconds = 0;
+};
+
+/// FW-2D-GbE: textbook 2-D block-decomposed parallel Floyd-Warshall.
+/// Per iteration k: broadcast the owning row/column segments along the
+/// process grid, then update the local (n/sqrt(p))^2 tile.
+class Fw2dMpiSolver {
+ public:
+  explicit Fw2dMpiSolver(MpiTuning tuning = {}) : tuning_(tuning) {}
+
+  /// Real run on an adjacency matrix (validated in tests).
+  MpiRunResult Solve(const linalg::DenseBlock& adjacency, int p) const;
+
+  /// Paper-scale model run (no data).
+  MpiRunResult Model(std::int64_t n, int p) const;
+
+ private:
+  MpiMetrics ChargeRun(std::int64_t n, int p) const;
+  MpiTuning tuning_;
+};
+
+/// DC-GbE: divide-and-conquer (Kleene) APSP in the style of Solomonik et
+/// al. [19]: recursive 2x2 block elimination with (min,+) products.
+class DcMpiSolver {
+ public:
+  explicit DcMpiSolver(MpiTuning tuning = {}) : tuning_(tuning) {}
+
+  MpiRunResult Solve(const linalg::DenseBlock& adjacency, int p) const;
+  MpiRunResult Model(std::int64_t n, int p) const;
+
+  /// The real recursive Kleene algorithm, exposed for direct testing.
+  static void KleeneApsp(linalg::DenseBlock& a);
+
+ private:
+  MpiMetrics ChargeRun(std::int64_t n, int p) const;
+  MpiTuning tuning_;
+};
+
+/// True if p has an integer square root (required by both solvers).
+bool IsSquareProcessCount(int p) noexcept;
+
+}  // namespace apspark::mpisim

@@ -1,0 +1,43 @@
+// Deterministic fault injection.
+//
+// Tests use this to demonstrate the paper's purity argument (§3, §4.5):
+// solvers built only from RDD transformations recover from task failures by
+// lineage recomputation, while solvers that smuggle data through shared
+// persistent storage have side effects the engine cannot replay.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+
+namespace apspark::sparklet {
+
+class FaultInjector {
+ public:
+  /// Arms `times` consecutive failures for tasks computing partition
+  /// `partition` of any RDD whose name is `rdd_name`.
+  void FailTask(const std::string& rdd_name, int partition, int times = 1) {
+    plan_[{rdd_name, partition}] += times;
+  }
+
+  /// Consumes one armed failure if present. Called by the engine before
+  /// each task attempt.
+  bool ShouldFail(const std::string& rdd_name, int partition) {
+    auto it = plan_.find({rdd_name, partition});
+    if (it == plan_.end() || it->second <= 0) return false;
+    if (--it->second == 0) plan_.erase(it);
+    ++injected_;
+    return true;
+  }
+
+  std::uint64_t injected_count() const noexcept { return injected_; }
+  bool empty() const noexcept { return plan_.empty(); }
+  void Clear() { plan_.clear(); }
+
+ private:
+  std::map<std::pair<std::string, int>, int> plan_;
+  std::uint64_t injected_ = 0;
+};
+
+}  // namespace apspark::sparklet

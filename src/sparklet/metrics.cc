@@ -1,0 +1,46 @@
+#include "sparklet/metrics.h"
+
+#include <sstream>
+
+#include "common/bytes.h"
+#include "common/time_utils.h"
+
+namespace apspark::sparklet {
+
+SimMetrics& SimMetrics::operator+=(const SimMetrics& other) noexcept {
+  compute_seconds += other.compute_seconds;
+  shuffle_seconds += other.shuffle_seconds;
+  collect_seconds += other.collect_seconds;
+  broadcast_seconds += other.broadcast_seconds;
+  shared_fs_seconds += other.shared_fs_seconds;
+  scheduling_seconds += other.scheduling_seconds;
+  shuffle_bytes += other.shuffle_bytes;
+  collect_bytes += other.collect_bytes;
+  broadcast_bytes += other.broadcast_bytes;
+  shared_fs_written_bytes += other.shared_fs_written_bytes;
+  shared_fs_read_bytes += other.shared_fs_read_bytes;
+  stages += other.stages;
+  tasks += other.tasks;
+  task_failures += other.task_failures;
+  task_retries += other.task_retries;
+  local_storage_peak_bytes =
+      std::max(local_storage_peak_bytes, other.local_storage_peak_bytes);
+  return *this;
+}
+
+std::string SimMetrics::Summary() const {
+  std::ostringstream out;
+  out << "sim=" << FormatDuration(sim_seconds())
+      << " [compute=" << FormatDuration(compute_seconds)
+      << " shuffle=" << FormatDuration(shuffle_seconds)
+      << " collect=" << FormatDuration(collect_seconds)
+      << " bcast=" << FormatDuration(broadcast_seconds)
+      << " sharedfs=" << FormatDuration(shared_fs_seconds)
+      << " sched=" << FormatDuration(scheduling_seconds) << "]"
+      << " stages=" << stages << " tasks=" << tasks
+      << " shuffle=" << FormatBytes(shuffle_bytes)
+      << " spill-peak/node=" << FormatBytes(local_storage_peak_bytes);
+  return out.str();
+}
+
+}  // namespace apspark::sparklet

@@ -1,0 +1,47 @@
+// Per-run simulation metrics, broken down the way the paper discusses costs:
+// compute vs data movement (shuffle, driver collect, shared-FS side channel)
+// vs Spark overheads (task scheduling, stage setup).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace apspark::sparklet {
+
+struct SimMetrics {
+  // Virtual time, seconds, by category. sim_seconds() is their sum and is
+  // the "execution time" every benchmark reports.
+  double compute_seconds = 0;
+  double shuffle_seconds = 0;
+  double collect_seconds = 0;
+  double broadcast_seconds = 0;
+  double shared_fs_seconds = 0;
+  double scheduling_seconds = 0;
+
+  // Volumes.
+  std::uint64_t shuffle_bytes = 0;
+  std::uint64_t collect_bytes = 0;
+  std::uint64_t broadcast_bytes = 0;
+  std::uint64_t shared_fs_written_bytes = 0;
+  std::uint64_t shared_fs_read_bytes = 0;
+
+  // Counters.
+  std::uint64_t stages = 0;
+  std::uint64_t tasks = 0;
+  std::uint64_t task_failures = 0;
+  std::uint64_t task_retries = 0;
+
+  // High-water mark of per-node local storage used for shuffle staging.
+  std::uint64_t local_storage_peak_bytes = 0;
+
+  double sim_seconds() const noexcept {
+    return compute_seconds + shuffle_seconds + collect_seconds +
+           broadcast_seconds + shared_fs_seconds + scheduling_seconds;
+  }
+
+  SimMetrics& operator+=(const SimMetrics& other) noexcept;
+
+  std::string Summary() const;
+};
+
+}  // namespace apspark::sparklet

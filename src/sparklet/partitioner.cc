@@ -1,0 +1,38 @@
+#include "sparklet/partitioner.h"
+
+namespace apspark::sparklet {
+
+std::int64_t PortableHashInt(std::int64_t value) noexcept {
+  // CPython 2: hash(n) == n for n != -1; hash(-1) == -2.
+  return value == -1 ? -2 : value;
+}
+
+std::int64_t PortableHashTuple2(std::int64_t a, std::int64_t b) noexcept {
+  // CPython 2 tuplehash with 64-bit longs, length 2 — exactly what
+  // pyspark.rdd.portable_hash computes for an (I, J) key.
+  using U = std::uint64_t;  // well-defined wrap-around arithmetic
+  U x = 0x345678UL;
+  U mult = 1000003UL;
+  std::int64_t len = 2;
+
+  --len;
+  x = (x ^ static_cast<U>(PortableHashInt(a))) * mult;
+  mult += static_cast<U>(82520L + len + len);
+
+  --len;
+  x = (x ^ static_cast<U>(PortableHashInt(b))) * mult;
+  mult += static_cast<U>(82520L + len + len);
+
+  x += 97531UL;
+  auto result = static_cast<std::int64_t>(x);
+  if (result == -1) result = -2;
+  return result;
+}
+
+int NonNegativeMod(std::int64_t hash, int num_partitions) noexcept {
+  if (num_partitions <= 0) return 0;
+  const int raw = static_cast<int>(hash % num_partitions);
+  return raw < 0 ? raw + num_partitions : raw;
+}
+
+}  // namespace apspark::sparklet

@@ -1,0 +1,87 @@
+// Key partitioners.
+//
+// Spark distributes an RDD's records to partitions by applying a partitioner
+// to each record's key. Two implementations matter for the paper:
+//  * PortableHashPartitioner — a faithful replica of pySpark's default
+//    `portable_hash` (CPython 2 tuple hashing + non-negative modulo). The
+//    paper traces the Blocked In-Memory load imbalance to this function's
+//    "XOR based mixing of elements of the tuple, which in case of
+//    upper-triangular matrix leads to many collisions" (§5.3).
+//  * The multi-diagonal partitioner of §5.3 lives with the APSP layer
+//    (apsp/partitioners.h) since it is defined over block keys.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace apspark::sparklet {
+
+/// Replica of CPython 2's integer hash (identity on small ints) used by
+/// pySpark's portable_hash for int keys.
+std::int64_t PortableHashInt(std::int64_t value) noexcept;
+
+/// Replica of CPython 2's tuple hash, which pySpark's portable_hash applies
+/// to tuple keys such as the paper's block coordinates (I, J).
+std::int64_t PortableHashTuple2(std::int64_t a, std::int64_t b) noexcept;
+
+/// Spark's Partitioner.nonNegativeMod.
+int NonNegativeMod(std::int64_t hash, int num_partitions) noexcept;
+
+/// Abstract partitioner over keys of type K.
+template <typename K>
+class Partitioner {
+ public:
+  virtual ~Partitioner() = default;
+  virtual int num_partitions() const noexcept = 0;
+  virtual int PartitionOf(const K& key) const = 0;
+  virtual std::string name() const = 0;
+};
+
+template <typename K>
+using PartitionerPtr = std::shared_ptr<const Partitioner<K>>;
+
+namespace internal {
+
+inline std::int64_t PortableHashKey(std::int64_t key) noexcept {
+  return PortableHashInt(key);
+}
+inline std::int64_t PortableHashKey(
+    const std::pair<std::int64_t, std::int64_t>& key) noexcept {
+  return PortableHashTuple2(key.first, key.second);
+}
+
+}  // namespace internal
+
+/// pySpark's default partitioner ("the partitioner one would use ad hoc").
+/// Works for any key type K that provides internal::PortableHashKey or a
+/// `PortableHash()` member.
+template <typename K>
+class PortableHashPartitioner final : public Partitioner<K> {
+ public:
+  explicit PortableHashPartitioner(int num_partitions)
+      : num_partitions_(num_partitions) {}
+
+  int num_partitions() const noexcept override { return num_partitions_; }
+
+  int PartitionOf(const K& key) const override {
+    if constexpr (requires(const K& k) { k.PortableHash(); }) {
+      return NonNegativeMod(key.PortableHash(), num_partitions_);
+    } else {
+      return NonNegativeMod(internal::PortableHashKey(key), num_partitions_);
+    }
+  }
+
+  std::string name() const override { return "PH"; }
+
+ private:
+  int num_partitions_;
+};
+
+template <typename K>
+PartitionerPtr<K> MakePortableHash(int num_partitions) {
+  return std::make_shared<PortableHashPartitioner<K>>(num_partitions);
+}
+
+}  // namespace apspark::sparklet

@@ -1,0 +1,793 @@
+// Sparklet: a miniature Apache-Spark-style dataflow engine.
+//
+// The engine reproduces the Spark semantics the paper's solvers exercise:
+//  * lazy, immutable RDDs with lineage (recomputation on task failure);
+//  * narrow transformations (map / filter / flatMap / union) fused into a
+//    single stage, exactly like Spark pipelining;
+//  * wide transformations (partitionBy / reduceByKey / combineByKey) that
+//    run a map side writing partitioned, compressed spill to each node's
+//    local storage, then a reduce side fetching over the modelled network —
+//    Spark preserves shuffle files for fault tolerance, so local-storage
+//    usage grows monotonically within a job (the failure mode the paper
+//    observes for Blocked In-Memory, §5.2);
+//  * driver actions: collect (funnelled through the driver NIC) and count;
+//  * torrent-style broadcast and a shared-persistent-storage side channel.
+//
+// Execution model: record processing is real and runs in the driver thread
+// (correctness is bit-for-bit testable); *time* is virtual, advanced by the
+// discrete-event VirtualCluster using the calibrated CostModel plus byte
+// accounting from Serde<T>. See DESIGN.md §5.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/cost_model.h"
+#include "sparklet/config.h"
+#include "sparklet/fault.h"
+#include "sparklet/metrics.h"
+#include "sparklet/partitioner.h"
+#include "sparklet/serde.h"
+#include "sparklet/shared_storage.h"
+#include "sparklet/task_context.h"
+#include "sparklet/virtual_cluster.h"
+
+namespace apspark::sparklet {
+
+/// Thrown when the simulated job cannot continue (virtual storage exhausted,
+/// task retries exceeded). Solver entry points catch this and surface the
+/// wrapped Status; it never escapes the library API.
+class SparkletAbort : public std::runtime_error {
+ public:
+  explicit SparkletAbort(Status status)
+      : std::runtime_error(status.ToString()), status_(std::move(status)) {}
+  const Status& status() const noexcept { return status_; }
+
+ private:
+  Status status_;
+};
+
+class SparkletContext;
+
+/// Type-erased lineage node (for DAG bookkeeping and boundary dependencies).
+class RddBase {
+ public:
+  virtual ~RddBase() = default;
+  virtual const std::string& name() const noexcept = 0;
+  virtual int id() const noexcept = 0;
+  virtual int num_partitions() const noexcept = 0;
+  virtual void EnsureMaterialized() = 0;
+  virtual bool IsBoundary() const noexcept = 0;
+  virtual std::size_t MaterializedRecordCount() const noexcept = 0;
+};
+
+template <typename T>
+class Rdd;
+template <typename T>
+using RddPtr = std::shared_ptr<Rdd<T>>;
+
+namespace internal {
+
+/// Collects the stage-boundary dependencies of a new (narrow) RDD: boundary
+/// parents themselves, plus boundaries inherited through non-boundary
+/// parents (whose compute will be fused into the child's stage).
+std::vector<std::shared_ptr<RddBase>> CollectBoundaries(
+    const std::vector<std::shared_ptr<RddBase>>& parents);
+
+}  // namespace internal
+
+template <typename T>
+class Rdd final : public RddBase, public std::enable_shared_from_this<Rdd<T>> {
+ public:
+  using Element = T;
+  using Partition = std::vector<T>;
+  /// Computes one partition; may recursively pull (fused) parent partitions.
+  using ComputeFn = std::function<Partition(int, TaskContext&)>;
+
+  // Constructed via SparkletContext / transformations; use the factory
+  // functions below rather than this constructor.
+  Rdd(SparkletContext* ctx, std::string name, int num_partitions,
+      ComputeFn compute, std::vector<std::shared_ptr<RddBase>> parents,
+      bool cache);
+
+  // -- RddBase ----------------------------------------------------------
+  const std::string& name() const noexcept override { return name_; }
+  int id() const noexcept override { return id_; }
+  int num_partitions() const noexcept override { return num_partitions_; }
+  bool IsBoundary() const noexcept override { return cache_; }
+  std::size_t MaterializedRecordCount() const noexcept override;
+
+  /// Runs the stage(s) needed to cache this RDD's partitions (no-op unless
+  /// the RDD is a caching boundary: parallelized, shuffled, or persisted).
+  void EnsureMaterialized() override;
+
+  // -- transformations (lazy) -------------------------------------------
+  /// fn: (const T&, TaskContext&) -> U.
+  template <typename F>
+  auto Map(std::string op_name, F fn)
+      -> RddPtr<std::invoke_result_t<F, const T&, TaskContext&>>;
+
+  /// pred: (const T&) -> bool.
+  template <typename Pred>
+  RddPtr<T> Filter(std::string op_name, Pred pred);
+
+  /// fn: (const T&, TaskContext&, std::vector<U>& out) -> void (appends).
+  template <typename U, typename F>
+  RddPtr<U> FlatMap(std::string op_name, F fn);
+
+  /// fn: (std::vector<T>&& partition, TaskContext&) -> std::vector<U>.
+  /// Runs once per task over the whole partition, so per-task state (e.g.
+  /// caching shared-storage reads, as the paper's executors do with column
+  /// blocks) is expressible.
+  template <typename U, typename F>
+  RddPtr<U> MapPartitions(std::string op_name, F fn);
+
+  /// Marks this RDD as cached: first materialization stores partitions, and
+  /// downstream stages read them instead of recomputing the lineage.
+  RddPtr<T> Persist();
+
+  /// Drops cached data (lineage remains; a later access recomputes).
+  void Unpersist();
+
+  /// Test hook: simulates loss of one cached partition (executor failure).
+  /// The next access recomputes this RDD from its lineage.
+  void DropPartition(int partition);
+
+  // -- actions -----------------------------------------------------------
+  /// Gathers every record on the driver (charges network + driver deserde).
+  Partition Collect();
+
+  /// Number of records (cheap driver action).
+  std::int64_t Count();
+
+  // -- engine internals (public: used by free-function transformations) --
+  /// Fused pull: cached partitions are read back; uncached ones recompute.
+  Partition ComputeOrRead(int partition, TaskContext& tc);
+
+  SparkletContext* ctx() const noexcept { return ctx_; }
+  const std::vector<std::shared_ptr<RddBase>>& parents() const noexcept {
+    return parents_;
+  }
+  bool materialized() const noexcept { return materialized_; }
+
+  /// Replaces the compute function (used by shuffle construction).
+  void SetComputeForShuffle(ComputeFn compute) { compute_ = std::move(compute); }
+
+ private:
+  void RunStageAndCache();
+  Partition RunTaskWithRetries(int partition, TaskContext& tc);
+
+  SparkletContext* ctx_;
+  std::string name_;
+  int id_;
+  int num_partitions_;
+  ComputeFn compute_;
+  std::vector<std::shared_ptr<RddBase>> parents_;
+  std::vector<std::shared_ptr<RddBase>> boundary_deps_;
+  bool cache_;
+  bool materialized_ = false;
+  std::vector<std::optional<Partition>> store_;
+
+  friend class SparkletContext;
+  template <typename>
+  friend class Rdd;  // cross-type access from Map/FlatMap/MapPartitions
+};
+
+// ---------------------------------------------------------------------------
+// Driver context
+// ---------------------------------------------------------------------------
+
+class SparkletContext {
+ public:
+  explicit SparkletContext(ClusterConfig config,
+                           linalg::CostModel cost_model = {})
+      : cluster_(config), cost_model_(cost_model) {}
+
+  VirtualCluster& cluster() noexcept { return cluster_; }
+  const ClusterConfig& config() const noexcept { return cluster_.config(); }
+  const linalg::CostModel& cost_model() const noexcept { return cost_model_; }
+  SharedStorage& shared_storage() noexcept { return shared_storage_; }
+  FaultInjector& fault_injector() noexcept { return fault_injector_; }
+  const SimMetrics& metrics() const noexcept { return cluster_.metrics(); }
+  double now_seconds() const noexcept { return cluster_.now_seconds(); }
+
+  TaskContext MakeTaskContext() {
+    return TaskContext(&cost_model_, &shared_storage_, &config());
+  }
+
+  int NextRddId() noexcept { return next_rdd_id_++; }
+
+  /// Creates a pre-materialized RDD by chunking `data` into
+  /// `num_partitions` equal ranges (Spark's default slicing).
+  template <typename T>
+  RddPtr<T> Parallelize(std::string name, std::vector<T> data,
+                        int num_partitions);
+
+  /// Creates a pre-materialized pair RDD placing each record according to
+  /// `partitioner` (the paper's solvers always start from a partitioned A).
+  template <typename K, typename V>
+  RddPtr<std::pair<K, V>> ParallelizePartitioned(
+      std::string name, const std::vector<std::pair<K, V>>& data,
+      PartitionerPtr<K> partitioner);
+
+  /// Unions RDDs: Spark semantics — partitions are concatenated, each
+  /// component keeps its own partitioning (the paper's partition-blowup
+  /// discussion in §5.2 depends on this).
+  template <typename T>
+  RddPtr<T> Union(std::string name, std::vector<RddPtr<T>> rdds);
+
+  /// Brace-friendly overload: ctx.Union("u", {a, b, c}).
+  template <typename T>
+  RddPtr<T> Union(std::string name, std::initializer_list<RddPtr<T>> rdds) {
+    return Union(std::move(name), std::vector<RddPtr<T>>(rdds));
+  }
+
+  /// Driver-side write of a serialized object to shared persistent storage
+  /// (the impure side channel); charges shared-FS time.
+  void DriverWriteShared(const std::string& key,
+                         std::vector<std::uint8_t> bytes,
+                         std::uint64_t logical_bytes) {
+    cluster_.ChargeSharedFsWrite(logical_bytes, 1);
+    shared_storage_.Put(key, std::move(bytes), logical_bytes);
+  }
+
+  /// Driver-side broadcast of `logical_bytes` to all executors.
+  void Broadcast(std::uint64_t logical_bytes) {
+    cluster_.ChargeBroadcast(logical_bytes);
+  }
+
+ private:
+  VirtualCluster cluster_;
+  linalg::CostModel cost_model_;
+  SharedStorage shared_storage_;
+  FaultInjector fault_injector_;
+  int next_rdd_id_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Rdd member implementations
+// ---------------------------------------------------------------------------
+
+namespace internal {
+
+inline std::vector<std::shared_ptr<RddBase>> CollectBoundaries(
+    const std::vector<std::shared_ptr<RddBase>>& parents) {
+  std::vector<std::shared_ptr<RddBase>> out;
+  for (const auto& p : parents) {
+    if (p->IsBoundary()) out.push_back(p);
+    // Non-boundary parents fold their own boundaries in at construction
+    // time; see the Rdd constructor.
+  }
+  return out;
+}
+
+}  // namespace internal
+
+template <typename T>
+Rdd<T>::Rdd(SparkletContext* ctx, std::string name, int num_partitions,
+            ComputeFn compute, std::vector<std::shared_ptr<RddBase>> parents,
+            bool cache)
+    : ctx_(ctx),
+      name_(std::move(name)),
+      id_(ctx->NextRddId()),
+      num_partitions_(num_partitions),
+      compute_(std::move(compute)),
+      parents_(std::move(parents)),
+      cache_(cache),
+      store_(static_cast<std::size_t>(num_partitions)) {
+  boundary_deps_ = internal::CollectBoundaries(parents_);
+}
+
+template <typename T>
+std::size_t Rdd<T>::MaterializedRecordCount() const noexcept {
+  std::size_t count = 0;
+  for (const auto& p : store_) {
+    if (p) count += p->size();
+  }
+  return count;
+}
+
+template <typename T>
+typename Rdd<T>::Partition Rdd<T>::RunTaskWithRetries(int partition,
+                                                      TaskContext& tc) {
+  int failures = 0;
+  for (;;) {
+    if (ctx_->fault_injector().ShouldFail(name_, partition)) {
+      auto& metrics = ctx_->cluster().mutable_metrics();
+      metrics.task_failures += 1;
+      ++failures;
+      if (failures >= ctx_->config().max_task_failures) {
+        throw SparkletAbort(AbortedError(
+            "task for RDD '" + name_ + "' partition " +
+            std::to_string(partition) + " exceeded max failures"));
+      }
+      metrics.task_retries += 1;
+      continue;  // lineage recomputation: simply run the task again
+    }
+    return compute_(partition, tc);
+  }
+}
+
+template <typename T>
+void Rdd<T>::RunStageAndCache() {
+  std::vector<double> costs;
+  costs.reserve(static_cast<std::size_t>(num_partitions_));
+  TaskContext tc = ctx_->MakeTaskContext();
+  tc.SetStageConcurrency(
+      std::min(num_partitions_, ctx_->config().total_cores()));
+  for (int p = 0; p < num_partitions_; ++p) {
+    if (store_[static_cast<std::size_t>(p)]) {
+      costs.push_back(0.0);  // partition survived (e.g. after DropPartition)
+      continue;
+    }
+    tc.ResetForTask();
+    store_[static_cast<std::size_t>(p)] = RunTaskWithRetries(p, tc);
+    costs.push_back(tc.task_seconds());
+  }
+  ctx_->cluster().RunStage(costs);
+}
+
+template <typename T>
+void Rdd<T>::EnsureMaterialized() {
+  if (materialized_ || !cache_) {
+    if (!cache_) {
+      // Not a boundary: materialize our own boundaries so fused compute
+      // can run (useful when called directly on a narrow RDD).
+      for (const auto& dep : boundary_deps_) dep->EnsureMaterialized();
+    }
+    return;
+  }
+  for (const auto& dep : boundary_deps_) dep->EnsureMaterialized();
+  RunStageAndCache();
+  materialized_ = true;
+}
+
+template <typename T>
+typename Rdd<T>::Partition Rdd<T>::ComputeOrRead(int partition,
+                                                 TaskContext& tc) {
+  if (cache_) {
+    EnsureMaterialized();
+    return *store_[static_cast<std::size_t>(partition)];
+  }
+  return RunTaskWithRetries(partition, tc);
+}
+
+template <typename T>
+template <typename F>
+auto Rdd<T>::Map(std::string op_name, F fn)
+    -> RddPtr<std::invoke_result_t<F, const T&, TaskContext&>> {
+  using U = std::invoke_result_t<F, const T&, TaskContext&>;
+  auto self = this->shared_from_this();
+  typename Rdd<U>::ComputeFn compute =
+      [self, fn](int p, TaskContext& tc) -> std::vector<U> {
+    Partition input = self->ComputeOrRead(p, tc);
+    std::vector<U> out;
+    out.reserve(input.size());
+    for (const T& record : input) out.push_back(fn(record, tc));
+    return out;
+  };
+  std::vector<std::shared_ptr<RddBase>> parents{self};
+  auto inherited = self->cache_ ? std::vector<std::shared_ptr<RddBase>>{}
+                                : self->boundary_deps_;
+  auto rdd = std::make_shared<Rdd<U>>(ctx_, std::move(op_name),
+                                      num_partitions_, std::move(compute),
+                                      std::move(parents), /*cache=*/false);
+  rdd->boundary_deps_ = self->cache_
+                            ? std::vector<std::shared_ptr<RddBase>>{self}
+                            : inherited;
+  return rdd;
+}
+
+template <typename T>
+template <typename Pred>
+RddPtr<T> Rdd<T>::Filter(std::string op_name, Pred pred) {
+  auto self = this->shared_from_this();
+  ComputeFn compute = [self, pred](int p, TaskContext& tc) -> Partition {
+    Partition input = self->ComputeOrRead(p, tc);
+    Partition out;
+    for (T& record : input) {
+      if (pred(static_cast<const T&>(record))) out.push_back(std::move(record));
+    }
+    return out;
+  };
+  auto rdd = std::make_shared<Rdd<T>>(
+      ctx_, std::move(op_name), num_partitions_, std::move(compute),
+      std::vector<std::shared_ptr<RddBase>>{self}, /*cache=*/false);
+  rdd->boundary_deps_ = self->cache_
+                            ? std::vector<std::shared_ptr<RddBase>>{self}
+                            : self->boundary_deps_;
+  return rdd;
+}
+
+template <typename T>
+template <typename U, typename F>
+RddPtr<U> Rdd<T>::FlatMap(std::string op_name, F fn) {
+  auto self = this->shared_from_this();
+  typename Rdd<U>::ComputeFn compute =
+      [self, fn](int p, TaskContext& tc) -> std::vector<U> {
+    Partition input = self->ComputeOrRead(p, tc);
+    std::vector<U> out;
+    for (const T& record : input) fn(record, tc, out);
+    return out;
+  };
+  auto rdd = std::make_shared<Rdd<U>>(
+      ctx_, std::move(op_name), num_partitions_, std::move(compute),
+      std::vector<std::shared_ptr<RddBase>>{self}, /*cache=*/false);
+  rdd->boundary_deps_ = self->cache_
+                            ? std::vector<std::shared_ptr<RddBase>>{self}
+                            : self->boundary_deps_;
+  return rdd;
+}
+
+template <typename T>
+template <typename U, typename F>
+RddPtr<U> Rdd<T>::MapPartitions(std::string op_name, F fn) {
+  auto self = this->shared_from_this();
+  typename Rdd<U>::ComputeFn compute =
+      [self, fn](int p, TaskContext& tc) -> std::vector<U> {
+    return fn(self->ComputeOrRead(p, tc), tc);
+  };
+  auto rdd = std::make_shared<Rdd<U>>(
+      ctx_, std::move(op_name), num_partitions_, std::move(compute),
+      std::vector<std::shared_ptr<RddBase>>{self}, /*cache=*/false);
+  rdd->boundary_deps_ = self->cache_
+                            ? std::vector<std::shared_ptr<RddBase>>{self}
+                            : self->boundary_deps_;
+  return rdd;
+}
+
+template <typename T>
+RddPtr<T> Rdd<T>::Persist() {
+  cache_ = true;
+  if (store_.empty() && num_partitions_ > 0) {
+    store_.resize(static_cast<std::size_t>(num_partitions_));
+  }
+  return this->shared_from_this();
+}
+
+template <typename T>
+void Rdd<T>::Unpersist() {
+  for (auto& p : store_) p.reset();
+  materialized_ = false;
+}
+
+template <typename T>
+void Rdd<T>::DropPartition(int partition) {
+  store_[static_cast<std::size_t>(partition)].reset();
+  materialized_ = false;
+}
+
+template <typename T>
+typename Rdd<T>::Partition Rdd<T>::Collect() {
+  for (const auto& dep : boundary_deps_) dep->EnsureMaterialized();
+  if (cache_) EnsureMaterialized();
+
+  Partition all;
+  std::vector<double> costs;
+  costs.reserve(static_cast<std::size_t>(num_partitions_));
+  std::uint64_t bytes = 0;
+  TaskContext tc = ctx_->MakeTaskContext();
+  tc.SetStageConcurrency(
+      std::min(num_partitions_, ctx_->config().total_cores()));
+  for (int p = 0; p < num_partitions_; ++p) {
+    tc.ResetForTask();
+    Partition part = ComputeOrRead(p, tc);
+    costs.push_back(tc.task_seconds());
+    for (T& record : part) {
+      bytes += SerializedSizeOf(record);
+      all.push_back(std::move(record));
+    }
+  }
+  ctx_->cluster().RunStage(costs);
+  ctx_->cluster().ChargeCollect(bytes, num_partitions_);
+  // Driver deserializes the whole result single-threaded (pySpark pickle).
+  const double deser =
+      static_cast<double>(bytes) * ctx_->config().serde_seconds_per_byte;
+  ctx_->cluster().mutable_metrics().collect_seconds += deser;
+  return all;
+}
+
+template <typename T>
+std::int64_t Rdd<T>::Count() {
+  for (const auto& dep : boundary_deps_) dep->EnsureMaterialized();
+  if (cache_) EnsureMaterialized();
+  std::int64_t count = 0;
+  std::vector<double> costs;
+  TaskContext tc = ctx_->MakeTaskContext();
+  for (int p = 0; p < num_partitions_; ++p) {
+    tc.ResetForTask();
+    count += static_cast<std::int64_t>(ComputeOrRead(p, tc).size());
+    costs.push_back(tc.task_seconds());
+  }
+  ctx_->cluster().RunStage(costs);
+  ctx_->cluster().ChargeCollect(8ULL * static_cast<std::uint64_t>(
+                                           num_partitions_),
+                                num_partitions_);
+  return count;
+}
+
+// ---------------------------------------------------------------------------
+// Context templates
+// ---------------------------------------------------------------------------
+
+template <typename T>
+RddPtr<T> SparkletContext::Parallelize(std::string name, std::vector<T> data,
+                                       int num_partitions) {
+  if (num_partitions <= 0) num_partitions = 1;
+  // The source data is kept alive by the compute closure (Spark can always
+  // re-read stable input), so lost partitions are recomputable.
+  auto source = std::make_shared<const std::vector<T>>(std::move(data));
+  const int parts = num_partitions;
+  typename Rdd<T>::ComputeFn compute =
+      [source, parts](int p, TaskContext&) -> std::vector<T> {
+    const std::size_t n = source->size();
+    const std::size_t lo = n * static_cast<std::size_t>(p) /
+                           static_cast<std::size_t>(parts);
+    const std::size_t hi = n * (static_cast<std::size_t>(p) + 1) /
+                           static_cast<std::size_t>(parts);
+    return std::vector<T>(source->begin() + static_cast<std::ptrdiff_t>(lo),
+                          source->begin() + static_cast<std::ptrdiff_t>(hi));
+  };
+  auto rdd = std::make_shared<Rdd<T>>(this, std::move(name), num_partitions,
+                                      std::move(compute),
+                                      std::vector<std::shared_ptr<RddBase>>{},
+                                      /*cache=*/true);
+  rdd->EnsureMaterialized();
+  return rdd;
+}
+
+template <typename K, typename V>
+RddPtr<std::pair<K, V>> SparkletContext::ParallelizePartitioned(
+    std::string name, const std::vector<std::pair<K, V>>& data,
+    PartitionerPtr<K> partitioner) {
+  const int parts = partitioner->num_partitions();
+  // Bucket once up front (O(records)); the compute closure indexes into the
+  // shared buckets so lost partitions recompute in O(1).
+  auto buckets =
+      std::make_shared<std::vector<std::vector<std::pair<K, V>>>>(
+          static_cast<std::size_t>(parts));
+  for (const auto& record : data) {
+    (*buckets)[static_cast<std::size_t>(
+                   partitioner->PartitionOf(record.first))]
+        .push_back(record);
+  }
+  typename Rdd<std::pair<K, V>>::ComputeFn compute =
+      [buckets](int p, TaskContext&) {
+        return (*buckets)[static_cast<std::size_t>(p)];
+      };
+  auto rdd = std::make_shared<Rdd<std::pair<K, V>>>(
+      this, std::move(name), parts, std::move(compute),
+      std::vector<std::shared_ptr<RddBase>>{}, /*cache=*/true);
+  rdd->EnsureMaterialized();
+  return rdd;
+}
+
+template <typename T>
+RddPtr<T> SparkletContext::Union(std::string name,
+                                 std::vector<RddPtr<T>> rdds) {
+  int total_parts = 0;
+  std::vector<std::shared_ptr<RddBase>> parents;
+  for (const auto& r : rdds) {
+    total_parts += r->num_partitions();
+    parents.push_back(r);
+  }
+  auto sources = rdds;  // captured by the routing closure
+  typename Rdd<T>::ComputeFn compute =
+      [sources](int p, TaskContext& tc) -> std::vector<T> {
+    int offset = p;
+    for (const auto& src : sources) {
+      if (offset < src->num_partitions()) return src->ComputeOrRead(offset, tc);
+      offset -= src->num_partitions();
+    }
+    throw std::out_of_range("union: partition index out of range");
+  };
+  auto rdd = std::make_shared<Rdd<T>>(this, std::move(name), total_parts,
+                                      std::move(compute), std::move(parents),
+                                      /*cache=*/false);
+  // Boundary deps: each cached source, or the sources' own boundaries.
+  std::vector<std::shared_ptr<RddBase>> bounds;
+  for (const auto& r : rdds) {
+    if (r->IsBoundary()) {
+      bounds.push_back(r);
+    } else {
+      for (const auto& b : r->parents()) {
+        if (b->IsBoundary()) bounds.push_back(b);
+      }
+    }
+  }
+  rdd->boundary_deps_ = std::move(bounds);
+  return rdd;
+}
+
+// ---------------------------------------------------------------------------
+// Wide (shuffle) transformations — free functions over pair RDDs
+// ---------------------------------------------------------------------------
+
+namespace internal {
+
+/// Runs the map side of a shuffle: computes every parent partition (fusing
+/// its narrow chain), partitions records into buckets, optionally performs
+/// map-side combine, charges spill + wire, and returns per-reduce buckets.
+///
+/// CombineInit:  (V&&) -> C                        combiner from first value
+/// CombineMerge: (C&, V&&, TaskContext&) -> void   fold a value in
+template <typename K, typename V, typename C, typename CombineInit,
+          typename CombineMerge>
+std::vector<std::vector<std::pair<K, C>>> ShuffleMapSide(
+    Rdd<std::pair<K, V>>& parent, const Partitioner<K>& partitioner,
+    bool map_side_combine, CombineInit init, CombineMerge merge) {
+  SparkletContext* ctx = parent.ctx();
+  const int reducers = partitioner.num_partitions();
+  std::vector<std::vector<std::pair<K, C>>> buckets(
+      static_cast<std::size_t>(reducers));
+  std::vector<double> costs;
+  std::vector<std::uint64_t> spill_bytes(
+      static_cast<std::size_t>(parent.num_partitions()), 0);
+  TaskContext tc = ctx->MakeTaskContext();
+  tc.SetStageConcurrency(
+      std::min(parent.num_partitions(), ctx->config().total_cores()));
+  for (int p = 0; p < parent.num_partitions(); ++p) {
+    tc.ResetForTask();
+    std::vector<std::pair<K, V>> records = parent.ComputeOrRead(p, tc);
+    // Map-side combine into a per-task table (Spark's ExternalAppendOnlyMap).
+    std::unordered_map<K, C> combined;
+    std::vector<std::pair<K, C>> passthrough;
+    for (auto& [key, value] : records) {
+      if (map_side_combine) {
+        auto it = combined.find(key);
+        if (it == combined.end()) {
+          combined.emplace(key, init(std::move(value)));
+        } else {
+          merge(it->second, std::move(value), tc);
+        }
+      } else {
+        passthrough.emplace_back(key, init(std::move(value)));
+      }
+    }
+    std::uint64_t bytes = 0;
+    auto emit = [&](std::pair<K, C>&& rec) {
+      bytes += SerializedSizeOf(rec);
+      const int r = partitioner.PartitionOf(rec.first);
+      buckets[static_cast<std::size_t>(r)].push_back(std::move(rec));
+    };
+    for (auto& rec : passthrough) emit(std::move(rec));
+    for (auto& [key, comb] : combined) {
+      emit(std::make_pair(key, std::move(comb)));
+    }
+    spill_bytes[static_cast<std::size_t>(p)] = bytes;
+    // The task pays for serializing its map output and writing the
+    // compressed spill to the node-local SSD.
+    costs.push_back(
+        tc.task_seconds() +
+        static_cast<double>(bytes) * ctx->config().serde_seconds_per_byte +
+        static_cast<double>(bytes) * ctx->config().shuffle_compression /
+            ctx->config().local_storage_bandwidth_bytes_per_sec);
+  }
+  ctx->cluster().RunStage(costs);
+  Status status = ctx->cluster().ChargeShuffle(spill_bytes);
+  if (!status.ok()) throw SparkletAbort(status);
+  return buckets;
+}
+
+}  // namespace internal
+
+/// combineByKey: the general shuffle (paper's ListAppend combiner pattern).
+///   init:        (V&&) -> C
+///   merge_value: (C&, V&&, TaskContext&) -> void
+///   merge_comb:  (C&, C&&, TaskContext&) -> void
+template <typename K, typename V, typename C, typename Init,
+          typename MergeValue, typename MergeComb>
+RddPtr<std::pair<K, C>> CombineByKey(RddPtr<std::pair<K, V>> parent,
+                                     PartitionerPtr<K> partitioner,
+                                     std::string op_name, Init init,
+                                     MergeValue merge_value,
+                                     MergeComb merge_comb) {
+  SparkletContext* ctx = parent->ctx();
+  auto rdd = std::make_shared<Rdd<std::pair<K, C>>>(
+      ctx, op_name, partitioner->num_partitions(),
+      typename Rdd<std::pair<K, C>>::ComputeFn{},
+      std::vector<std::shared_ptr<RddBase>>{parent}, /*cache=*/true);
+  // The shuffle runs lazily on first materialization: the compute function
+  // installed here performs map side + reduce side in one go, caching all
+  // partitions through the store (EnsureMaterialized drives it).
+  auto state = std::make_shared<
+      std::optional<std::vector<std::vector<std::pair<K, C>>>>>();
+  rdd->SetComputeForShuffle(
+      [parent, partitioner, init, merge_value, merge_comb, state, ctx](
+          int p, TaskContext& tc) -> std::vector<std::pair<K, C>> {
+        if (!state->has_value()) {
+          *state = internal::ShuffleMapSide<K, V, C>(
+              *parent, *partitioner, /*map_side_combine=*/true, init,
+              merge_value);
+        }
+        // Reduce side for partition p: fetch the bucket (copied, since Spark
+        // preserves shuffle files for recomputation) and merge combiners.
+        const auto& bucket = (**state)[static_cast<std::size_t>(p)];
+        std::uint64_t fetch_bytes = 0;
+        std::unordered_map<K, C> table;
+        for (const auto& rec : bucket) {
+          fetch_bytes += SerializedSizeOf(rec);
+          auto it = table.find(rec.first);
+          if (it == table.end()) {
+            table.emplace(rec.first, rec.second);
+          } else {
+            C copy = rec.second;
+            merge_comb(it->second, std::move(copy), tc);
+          }
+        }
+        tc.ChargeCompute(static_cast<double>(fetch_bytes) *
+                             ctx->config().serde_seconds_per_byte +
+                         static_cast<double>(fetch_bytes) *
+                             ctx->config().shuffle_compression /
+                             ctx->config().local_storage_bandwidth_bytes_per_sec);
+        std::vector<std::pair<K, C>> out;
+        out.reserve(table.size());
+        for (auto& [key, comb] : table) {
+          out.emplace_back(key, std::move(comb));
+        }
+        return out;
+      });
+  return rdd;
+}
+
+/// reduceByKey(fn): combineByKey with C == V.
+///   fn: (const V&, const V&, TaskContext&) -> V.
+template <typename K, typename V, typename Fn>
+RddPtr<std::pair<K, V>> ReduceByKey(RddPtr<std::pair<K, V>> parent,
+                                    PartitionerPtr<K> partitioner,
+                                    std::string op_name, Fn fn) {
+  return CombineByKey<K, V, V>(
+      parent, partitioner, std::move(op_name),
+      [](V&& v) { return std::move(v); },
+      [fn](V& acc, V&& v, TaskContext& tc) { acc = fn(acc, v, tc); },
+      [fn](V& acc, V&& v, TaskContext& tc) { acc = fn(acc, v, tc); });
+}
+
+/// partitionBy: repartitions records without combining (records with equal
+/// keys stay distinct).
+template <typename K, typename V>
+RddPtr<std::pair<K, V>> PartitionBy(RddPtr<std::pair<K, V>> parent,
+                                    PartitionerPtr<K> partitioner,
+                                    std::string op_name = "partitionBy") {
+  SparkletContext* ctx = parent->ctx();
+  // Shuffle without combine: every record is emitted to its target bucket.
+  auto out = std::make_shared<Rdd<std::pair<K, V>>>(
+      ctx, op_name, partitioner->num_partitions(),
+      typename Rdd<std::pair<K, V>>::ComputeFn{},
+      std::vector<std::shared_ptr<RddBase>>{parent}, /*cache=*/true);
+  auto state = std::make_shared<
+      std::optional<std::vector<std::vector<std::pair<K, V>>>>>();
+  out->SetComputeForShuffle(
+      [parent, partitioner, state, ctx](int p, TaskContext& tc)
+          -> std::vector<std::pair<K, V>> {
+        if (!state->has_value()) {
+          *state = internal::ShuffleMapSide<K, V, V>(
+              *parent, *partitioner, /*map_side_combine=*/false,
+              [](V&& v) { return std::move(v); },
+              [](V&, V&&, TaskContext&) {});
+        }
+        // Copy (not move) from the bucket: Spark preserves shuffle files,
+        // so a lost reduce partition can be recomputed from them.
+        const auto& bucket = (**state)[static_cast<std::size_t>(p)];
+        std::uint64_t fetch_bytes = 0;
+        for (const auto& rec : bucket) fetch_bytes += SerializedSizeOf(rec);
+        tc.ChargeCompute(static_cast<double>(fetch_bytes) *
+                             ctx->config().serde_seconds_per_byte +
+                         static_cast<double>(fetch_bytes) *
+                             ctx->config().shuffle_compression /
+                             ctx->config().local_storage_bandwidth_bytes_per_sec);
+        return bucket;
+      });
+  return out;
+}
+
+}  // namespace apspark::sparklet

@@ -1,0 +1,50 @@
+// Serialized-size trait.
+//
+// Sparklet never needs to serialize records to function (data stays in the
+// driver process), but every byte-accounting decision — shuffle spill,
+// network transfer, collect, shared-FS traffic — uses the size the record
+// *would* occupy serialized. Specialize Serde<T> for record types whose
+// payload is not sizeof(T) (e.g. shared_ptr<DenseBlock> records).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace apspark::sparklet {
+
+template <typename T>
+struct Serde {
+  static std::uint64_t SizeOf(const T&) noexcept { return sizeof(T); }
+};
+
+template <typename A, typename B>
+struct Serde<std::pair<A, B>> {
+  static std::uint64_t SizeOf(const std::pair<A, B>& p) noexcept {
+    return Serde<A>::SizeOf(p.first) + Serde<B>::SizeOf(p.second);
+  }
+};
+
+template <typename T>
+struct Serde<std::vector<T>> {
+  static std::uint64_t SizeOf(const std::vector<T>& v) noexcept {
+    std::uint64_t total = 8;  // length prefix
+    for (const T& item : v) total += Serde<T>::SizeOf(item);
+    return total;
+  }
+};
+
+template <>
+struct Serde<std::string> {
+  static std::uint64_t SizeOf(const std::string& s) noexcept {
+    return 8 + s.size();
+  }
+};
+
+template <typename T>
+std::uint64_t SerializedSizeOf(const T& value) noexcept {
+  return Serde<T>::SizeOf(value);
+}
+
+}  // namespace apspark::sparklet

@@ -1,0 +1,52 @@
+#include "sparklet/shared_storage.h"
+
+namespace apspark::sparklet {
+
+void SharedStorage::Put(const std::string& key,
+                        std::vector<std::uint8_t> bytes,
+                        std::uint64_t logical_bytes) {
+  auto it = objects_.find(key);
+  if (it != objects_.end()) {
+    total_bytes_ -= it->second.logical_bytes;
+    objects_.erase(it);
+  }
+  Object obj;
+  obj.payload =
+      std::make_shared<const std::vector<std::uint8_t>>(std::move(bytes));
+  obj.logical_bytes = logical_bytes;
+  total_bytes_ += logical_bytes;
+  objects_.emplace(key, std::move(obj));
+}
+
+Result<SharedStorage::Object> SharedStorage::Get(const std::string& key) const {
+  auto it = objects_.find(key);
+  if (it == objects_.end()) {
+    return NotFoundError("shared storage: no object '" + key + "'");
+  }
+  return it->second;
+}
+
+bool SharedStorage::Contains(const std::string& key) const {
+  return objects_.count(key) > 0;
+}
+
+void SharedStorage::Clear() {
+  objects_.clear();
+  total_bytes_ = 0;
+}
+
+std::size_t SharedStorage::ErasePrefix(const std::string& prefix) {
+  std::size_t removed = 0;
+  for (auto it = objects_.begin(); it != objects_.end();) {
+    if (it->first.rfind(prefix, 0) == 0) {
+      total_bytes_ -= it->second.logical_bytes;
+      it = objects_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+}  // namespace apspark::sparklet

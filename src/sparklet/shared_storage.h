@@ -1,0 +1,59 @@
+// Shared persistent storage side channel (the paper's GPFS).
+//
+// The impure solvers (Repeated Squaring, Blocked Collect/Broadcast) bypass
+// Spark's shuffle by writing blocks to a shared file system from the driver
+// and reading them back inside executor tasks ("we do not broadcast the
+// column, but rather store its blocks in a shared file system available to
+// driver and executor nodes", §4.2). This class emulates that channel:
+// objects are stored as serialized byte buffers (real data survives a
+// round-trip), and the virtual cluster is charged for the traffic.
+//
+// Because writes happen outside the RDD lineage they are side effects, which
+// is precisely what makes those solvers non-fault-tolerant; the engine tags
+// reads so tests can demonstrate the hazard.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace apspark::sparklet {
+
+class SharedStorage {
+ public:
+  struct Object {
+    std::shared_ptr<const std::vector<std::uint8_t>> payload;
+    /// Size charged for accounting; for phantom blocks the payload is just a
+    /// header but logical_bytes reflects the real block.
+    std::uint64_t logical_bytes = 0;
+  };
+
+  /// Stores `bytes` under `key`, overwriting any previous object.
+  void Put(const std::string& key, std::vector<std::uint8_t> bytes,
+           std::uint64_t logical_bytes);
+
+  /// Fetches the object stored under `key`.
+  Result<Object> Get(const std::string& key) const;
+
+  bool Contains(const std::string& key) const;
+
+  /// Removes every object (e.g. between solver iterations/tests). Models an
+  /// external cleanup; no time is charged.
+  void Clear();
+
+  /// Deletes all keys with the given prefix; returns how many were removed.
+  std::size_t ErasePrefix(const std::string& prefix);
+
+  std::size_t object_count() const noexcept { return objects_.size(); }
+  std::uint64_t total_logical_bytes() const noexcept { return total_bytes_; }
+
+ private:
+  std::unordered_map<std::string, Object> objects_;
+  std::uint64_t total_bytes_ = 0;
+};
+
+}  // namespace apspark::sparklet

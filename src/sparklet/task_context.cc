@@ -1,0 +1,23 @@
+#include "sparklet/task_context.h"
+#include <algorithm>
+
+namespace apspark::sparklet {
+
+Result<SharedStorage::Object> TaskContext::ReadShared(const std::string& key) {
+  auto obj = storage_->Get(key);
+  if (!obj.ok()) return obj.status();
+  // Each reading task sees its fair share of the aggregate FS bandwidth:
+  // aggregate divided by the number of tasks that run concurrently in the
+  // current stage (set by the engine; at most the core count).
+  const int concurrent =
+      std::min(stage_concurrency_, config_->total_cores());
+  const double per_reader_bw =
+      config_->shared_fs.aggregate_bandwidth_bytes_per_sec /
+      static_cast<double>(concurrent < 1 ? 1 : concurrent);
+  task_seconds_ += static_cast<double>(obj->logical_bytes) / per_reader_bw +
+                   config_->shared_fs.file_overhead_seconds;
+  shared_read_bytes_ += obj->logical_bytes;
+  return obj;
+}
+
+}  // namespace apspark::sparklet

@@ -1,0 +1,64 @@
+// Per-task execution context.
+//
+// Every user function invoked by the engine receives a TaskContext& through
+// which it (a) charges modelled compute time — kernels are real at test
+// scale, but the virtual clock always advances by the calibrated cost model
+// so that laptop runs and paper-scale phantom runs report consistent time —
+// and (b) reaches the shared-storage side channel, with read traffic added
+// to the task's modelled duration (the paper's executors deserialize column
+// blocks from GPFS inside map tasks).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "linalg/cost_model.h"
+#include "sparklet/config.h"
+#include "sparklet/shared_storage.h"
+
+namespace apspark::sparklet {
+
+class TaskContext {
+ public:
+  TaskContext(const linalg::CostModel* cost_model, SharedStorage* storage,
+              const ClusterConfig* config)
+      : cost_model_(cost_model), storage_(storage), config_(config) {}
+
+  const linalg::CostModel& cost_model() const noexcept { return *cost_model_; }
+
+  /// Adds modelled seconds to this task's duration.
+  void ChargeCompute(double seconds) noexcept { task_seconds_ += seconds; }
+
+  /// Reads an object from shared storage, charging the task for the
+  /// transfer (per-reader slice of the shared-FS bandwidth).
+  Result<SharedStorage::Object> ReadShared(const std::string& key);
+
+  /// Total modelled duration accumulated so far.
+  double task_seconds() const noexcept { return task_seconds_; }
+  std::uint64_t shared_read_bytes() const noexcept {
+    return shared_read_bytes_;
+  }
+
+  /// Engine-internal: resets per-task accumulation between tasks.
+  void ResetForTask() noexcept {
+    task_seconds_ = 0;
+    shared_read_bytes_ = 0;
+  }
+
+  /// Engine-internal: number of tasks of the current stage that can run
+  /// concurrently, used to split shared-FS bandwidth fairly.
+  void SetStageConcurrency(int concurrency) noexcept {
+    stage_concurrency_ = concurrency < 1 ? 1 : concurrency;
+  }
+
+ private:
+  const linalg::CostModel* cost_model_;
+  SharedStorage* storage_;
+  const ClusterConfig* config_;
+  double task_seconds_ = 0;
+  std::uint64_t shared_read_bytes_ = 0;
+  int stage_concurrency_ = 1;
+};
+
+}  // namespace apspark::sparklet

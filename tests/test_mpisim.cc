@@ -1,0 +1,116 @@
+// Tests for the MPI reference solvers: the real Kleene divide-and-conquer
+// algorithm, the FW-2D baseline, grid validation, and cost-model shape.
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "graph/generators.h"
+#include "graph/shortest_paths.h"
+#include "mpisim/mpi_solvers.h"
+
+namespace apspark::mpisim {
+namespace {
+
+TEST(ProcessGrid, SquareCounts) {
+  EXPECT_TRUE(IsSquareProcessCount(64));
+  EXPECT_TRUE(IsSquareProcessCount(1024));
+  EXPECT_FALSE(IsSquareProcessCount(128));
+  EXPECT_FALSE(IsSquareProcessCount(0));
+  EXPECT_FALSE(IsSquareProcessCount(-4));
+}
+
+TEST(Kleene, MatchesDijkstraOnRandomGraphs) {
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const graph::Graph g = graph::PaperErdosRenyi(90, seed + 50);
+    linalg::DenseBlock a = g.ToDenseAdjacency();
+    DcMpiSolver::KleeneApsp(a);
+    EXPECT_TRUE(a.ApproxEquals(graph::DijkstraAllPairs(g), 1e-9));
+  }
+}
+
+TEST(Kleene, HandlesOddSizesAndBaseCaseBoundary) {
+  for (std::int64_t n : {1, 2, 31, 32, 33, 65}) {
+    const graph::Graph g =
+        graph::PaperErdosRenyi(n, static_cast<std::uint64_t>(n));
+    linalg::DenseBlock a = g.ToDenseAdjacency();
+    DcMpiSolver::KleeneApsp(a);
+    EXPECT_TRUE(a.ApproxEquals(graph::DijkstraAllPairs(g), 1e-9)) << n;
+  }
+}
+
+TEST(Kleene, DirectedGraph) {
+  const graph::Graph g =
+      graph::ErdosRenyi(60, 0.15, {1, 5}, 7, /*directed=*/true);
+  linalg::DenseBlock a = g.ToDenseAdjacency();
+  DcMpiSolver::KleeneApsp(a);
+  auto truth = graph::JohnsonAllPairs(g);
+  ASSERT_TRUE(truth.ok());
+  EXPECT_TRUE(a.ApproxEquals(*truth, 1e-9));
+}
+
+TEST(Fw2dMpi, SolvesAndCharges) {
+  const graph::Graph g = graph::PaperErdosRenyi(64, 3);
+  Fw2dMpiSolver solver;
+  auto result = solver.Solve(g.ToDenseAdjacency(), 4);
+  ASSERT_TRUE(result.status.ok());
+  EXPECT_TRUE(result.distances->ApproxEquals(graph::DijkstraAllPairs(g),
+                                             1e-9));
+  EXPECT_GT(result.seconds, 0.0);
+  EXPECT_EQ(result.metrics.supersteps, 64);
+}
+
+TEST(Fw2dMpi, RejectsNonSquareGrid) {
+  Fw2dMpiSolver solver;
+  EXPECT_EQ(solver.Model(1024, 48).status.code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(DcMpi, SolveMatchesReference) {
+  const graph::Graph g = graph::PaperErdosRenyi(64, 4);
+  DcMpiSolver solver;
+  auto result = solver.Solve(g.ToDenseAdjacency(), 16);
+  ASSERT_TRUE(result.status.ok());
+  EXPECT_TRUE(result.distances->ApproxEquals(graph::DijkstraAllPairs(g),
+                                             1e-9));
+}
+
+TEST(MpiModel, WeakScalingShape) {
+  // The shape the paper's Table 3 shows: the optimized DC solver beats the
+  // naive FW-2D everywhere, and the gap grows with scale.
+  Fw2dMpiSolver fw;
+  DcMpiSolver dc;
+  double prev_ratio = 0;
+  for (int p : {64, 256, 1024}) {
+    const std::int64_t n = 256LL * p;
+    const double t_fw = fw.Model(n, p).seconds;
+    const double t_dc = dc.Model(n, p).seconds;
+    EXPECT_GT(t_fw, t_dc) << "p=" << p;
+    const double ratio = t_fw / t_dc;
+    EXPECT_GE(ratio, prev_ratio * 0.8) << "p=" << p;
+    prev_ratio = ratio;
+  }
+}
+
+TEST(MpiModel, BroadcastGrowsWithRanksAndBytes) {
+  MpiTuning tuning;
+  EXPECT_GT(tuning.BroadcastSeconds(1 * kMiB, 32),
+            tuning.BroadcastSeconds(1 * kMiB, 4));
+  EXPECT_GT(tuning.BroadcastSeconds(8 * kMiB, 8),
+            tuning.BroadcastSeconds(1 * kMiB, 8));
+}
+
+TEST(MpiModel, Fw2dTimeGrowsSuperlinearlyInN) {
+  // FW-2D runs n supersteps of O(n^2/p) work plus per-step broadcasts, so
+  // doubling n multiplies time by 2x (latency-bound) to 8x (compute-bound).
+  Fw2dMpiSolver fw;
+  const auto r1 = fw.Model(4096, 64);
+  const auto r2 = fw.Model(8192, 64);
+  EXPECT_GT(r2.seconds, r1.seconds * 2);
+  EXPECT_LT(r2.seconds, r1.seconds * 8);
+  // At large n the update term dominates and the growth approaches cubic.
+  const auto r3 = fw.Model(65536, 64);
+  const auto r4 = fw.Model(131072, 64);
+  EXPECT_GT(r4.seconds, r3.seconds * 6);
+}
+
+}  // namespace
+}  // namespace apspark::mpisim

@@ -1,0 +1,135 @@
+// Tests for the semiring generalization and path reconstruction extensions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "graph/generators.h"
+#include "graph/path_reconstruction.h"
+#include "graph/shortest_paths.h"
+#include "linalg/kernels.h"
+#include "linalg/semiring.h"
+
+namespace apspark {
+namespace {
+
+using linalg::BooleanSemiring;
+using linalg::DenseBlock;
+using linalg::kInf;
+using linalg::MinPlusSemiring;
+
+TEST(Semiring, MinPlusInstantiationMatchesDedicatedKernel) {
+  Xoshiro256 rng(1);
+  DenseBlock a(7, 5, 0.0), b(5, 9, 0.0);
+  for (std::int64_t i = 0; i < a.size(); ++i) {
+    a.mutable_data()[i] = rng.NextDouble() < 0.2 ? kInf : rng.NextDouble(0, 9);
+  }
+  for (std::int64_t i = 0; i < b.size(); ++i) {
+    b.mutable_data()[i] = rng.NextDouble() < 0.2 ? kInf : rng.NextDouble(0, 9);
+  }
+  EXPECT_TRUE(linalg::SemiringProduct<MinPlusSemiring>(a, b).ApproxEquals(
+      linalg::MinPlusProduct(a, b)));
+}
+
+TEST(Semiring, ClosureMatchesFloydWarshall) {
+  const graph::Graph g = graph::PaperErdosRenyi(40, 2);
+  DenseBlock a = g.ToDenseAdjacency();
+  DenseBlock b = a;
+  linalg::SemiringClosure<MinPlusSemiring>(a);
+  linalg::FloydWarshallInPlace(b);
+  EXPECT_TRUE(a.ApproxEquals(b));
+}
+
+TEST(Semiring, BooleanAlgebra) {
+  EXPECT_EQ(BooleanSemiring::Add(0.0, 1.0), 1.0);
+  EXPECT_EQ(BooleanSemiring::Add(0.0, 0.0), 0.0);
+  EXPECT_EQ(BooleanSemiring::Multiply(1.0, 1.0), 1.0);
+  EXPECT_EQ(BooleanSemiring::Multiply(1.0, 0.0), 0.0);
+  EXPECT_EQ(BooleanSemiring::Zero(), 0.0);
+  EXPECT_EQ(BooleanSemiring::One(), 1.0);
+}
+
+TEST(Semiring, TransitiveClosureMatchesReachability) {
+  // Two components: 0-1-2 and 3-4.
+  graph::Graph g(5);
+  g.AddEdge(0, 1, 1.0).CheckOk();
+  g.AddEdge(1, 2, 1.0).CheckOk();
+  g.AddEdge(3, 4, 1.0).CheckOk();
+  const DenseBlock reach = linalg::TransitiveClosure(g.ToDenseAdjacency());
+  const DenseBlock dist = graph::DijkstraAllPairs(g);
+  for (std::int64_t i = 0; i < 5; ++i) {
+    for (std::int64_t j = 0; j < 5; ++j) {
+      EXPECT_EQ(reach.At(i, j) != 0.0, !std::isinf(dist.At(i, j)))
+          << i << "," << j;
+    }
+  }
+}
+
+TEST(Semiring, TransitiveClosureDirectedIsAsymmetric) {
+  graph::Graph g(3, /*directed=*/true);
+  g.AddEdge(0, 1, 1.0).CheckOk();
+  g.AddEdge(1, 2, 1.0).CheckOk();
+  const DenseBlock reach = linalg::TransitiveClosure(g.ToDenseAdjacency());
+  EXPECT_EQ(reach.At(0, 2), 1.0);
+  EXPECT_EQ(reach.At(2, 0), 0.0);
+}
+
+TEST(Paths, ReconstructedPathsAreShortestAndConsistent) {
+  const graph::Graph g = graph::PaperErdosRenyi(60, 3);
+  const auto apsp = graph::FloydWarshallWithPaths(g);
+  const auto truth = graph::DijkstraAllPairs(g);
+  EXPECT_TRUE(apsp.distances.ApproxEquals(truth, 1e-9));
+  // Every reconstructed path must be a real walk whose edge weights sum to
+  // the reported distance.
+  const auto adjacency = g.ToDenseAdjacency();
+  for (graph::VertexId s = 0; s < 60; s += 7) {
+    for (graph::VertexId t = 0; t < 60; t += 5) {
+      if (std::isinf(apsp.distances.At(s, t))) {
+        EXPECT_FALSE(graph::ExtractPath(apsp, s, t).ok());
+        continue;
+      }
+      auto path = graph::ExtractPath(apsp, s, t);
+      ASSERT_TRUE(path.ok()) << s << "->" << t;
+      ASSERT_GE(path->size(), 1u);
+      EXPECT_EQ(path->front(), s);
+      EXPECT_EQ(path->back(), t);
+      double total = 0;
+      for (std::size_t i = 0; i + 1 < path->size(); ++i) {
+        const double w = adjacency.At((*path)[i], (*path)[i + 1]);
+        ASSERT_FALSE(std::isinf(w)) << "path uses a non-edge";
+        total += w;
+      }
+      EXPECT_NEAR(total, apsp.distances.At(s, t), 1e-9);
+    }
+  }
+}
+
+TEST(Paths, TrivialAndDegenerateCases) {
+  const graph::Graph g = graph::PathGraph(4, 2.0);
+  const auto apsp = graph::FloydWarshallWithPaths(g);
+  auto self = graph::ExtractPath(apsp, 2, 2);
+  ASSERT_TRUE(self.ok());
+  EXPECT_EQ(*self, (std::vector<graph::VertexId>{2}));
+  auto full = graph::ExtractPath(apsp, 0, 3);
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(*full, (std::vector<graph::VertexId>{0, 1, 2, 3}));
+  EXPECT_FALSE(graph::ExtractPath(apsp, 0, 9).ok());
+}
+
+TEST(Paths, DirectedPathsFollowEdgeOrientation) {
+  graph::Graph g(4, /*directed=*/true);
+  g.AddEdge(0, 1, 1.0).CheckOk();
+  g.AddEdge(1, 2, 1.0).CheckOk();
+  g.AddEdge(2, 3, 1.0).CheckOk();
+  g.AddEdge(3, 0, 1.0).CheckOk();  // cycle
+  const auto apsp = graph::FloydWarshallWithPaths(g);
+  auto forward = graph::ExtractPath(apsp, 0, 3);
+  ASSERT_TRUE(forward.ok());
+  EXPECT_EQ(forward->size(), 4u);
+  auto back = graph::ExtractPath(apsp, 3, 0);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->size(), 2u);  // direct edge 3->0
+}
+
+}  // namespace
+}  // namespace apspark

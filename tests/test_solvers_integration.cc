@@ -1,0 +1,120 @@
+// End-to-end validation: every Spark-style solver must produce distances
+// identical (up to FP tolerance) to the Dijkstra ground truth, across graph
+// families, block sizes, partitioners and cluster shapes.
+#include <gtest/gtest.h>
+
+#include "apsp/solver.h"
+#include "graph/generators.h"
+#include "graph/shortest_paths.h"
+
+namespace apspark {
+namespace {
+
+using apsp::ApspOptions;
+using apsp::ApspRunResult;
+using apsp::MakeSolver;
+using apsp::PartitionerKind;
+using apsp::SolverKind;
+using graph::Graph;
+
+sparklet::ClusterConfig TestCluster() {
+  auto cfg = sparklet::ClusterConfig::TinyTest();
+  cfg.local_storage_bytes = 16ULL * kGiB;  // ample for correctness tests
+  return cfg;
+}
+
+void ExpectMatchesDijkstra(const Graph& g, const ApspRunResult& result,
+                           const std::string& label) {
+  ASSERT_TRUE(result.status.ok()) << label << ": " << result.status.ToString();
+  ASSERT_TRUE(result.distances.has_value()) << label;
+  const linalg::DenseBlock truth = graph::DijkstraAllPairs(g);
+  EXPECT_TRUE(result.distances->ApproxEquals(truth, 1e-9))
+      << label << ": max diff " << result.distances->MaxAbsDiff(truth);
+}
+
+struct Case {
+  SolverKind solver;
+  std::int64_t block_size;
+  PartitionerKind partitioner;
+};
+
+class SolverCorrectness : public ::testing::TestWithParam<Case> {};
+
+TEST_P(SolverCorrectness, ErdosRenyi) {
+  const Case c = GetParam();
+  const Graph g = graph::PaperErdosRenyi(64, /*seed=*/7);
+  ApspOptions opts;
+  opts.block_size = c.block_size;
+  opts.partitioner = c.partitioner;
+  auto solver = MakeSolver(c.solver);
+  auto result = solver->SolveGraph(g, opts, TestCluster());
+  ExpectMatchesDijkstra(g, result, solver->name());
+}
+
+TEST_P(SolverCorrectness, DisconnectedGraph) {
+  const Case c = GetParam();
+  // Two ER components with no inter-component edges: distances across must
+  // stay +inf.
+  Graph g(40);
+  const Graph a = graph::PaperErdosRenyi(20, 3);
+  for (const auto& e : a.edges()) g.AddEdge(e.u, e.v, e.weight).CheckOk();
+  const Graph b = graph::PaperErdosRenyi(20, 4);
+  for (const auto& e : b.edges()) {
+    g.AddEdge(e.u + 20, e.v + 20, e.weight).CheckOk();
+  }
+  ApspOptions opts;
+  opts.block_size = c.block_size;
+  opts.partitioner = c.partitioner;
+  auto solver = MakeSolver(c.solver);
+  auto result = solver->SolveGraph(g, opts, TestCluster());
+  ExpectMatchesDijkstra(g, result, solver->name());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSolvers, SolverCorrectness,
+    ::testing::Values(
+        Case{SolverKind::kRepeatedSquaring, 16, PartitionerKind::kMultiDiagonal},
+        Case{SolverKind::kRepeatedSquaring, 17, PartitionerKind::kPortableHash},
+        Case{SolverKind::kFloydWarshall2d, 16, PartitionerKind::kMultiDiagonal},
+        Case{SolverKind::kFloydWarshall2d, 13, PartitionerKind::kPortableHash},
+        Case{SolverKind::kBlockedInMemory, 16, PartitionerKind::kMultiDiagonal},
+        Case{SolverKind::kBlockedInMemory, 11, PartitionerKind::kPortableHash},
+        Case{SolverKind::kBlockedCollectBroadcast, 16,
+             PartitionerKind::kMultiDiagonal},
+        Case{SolverKind::kBlockedCollectBroadcast, 9,
+             PartitionerKind::kPortableHash}),
+    [](const auto& info) {
+      const Case& c = info.param;
+      std::string name;
+      switch (c.solver) {
+        case SolverKind::kRepeatedSquaring: name = "RS"; break;
+        case SolverKind::kFloydWarshall2d: name = "FW2D"; break;
+        case SolverKind::kBlockedInMemory: name = "IM"; break;
+        case SolverKind::kBlockedCollectBroadcast: name = "CB"; break;
+      }
+      name += "_b" + std::to_string(c.block_size);
+      name += c.partitioner == PartitionerKind::kMultiDiagonal ? "_MD" : "_PH";
+      return name;
+    });
+
+TEST(SolverDirected, AllSolversMatchJohnsonOnDigraph) {
+  const Graph g = graph::ErdosRenyi(48, 0.15, {1.0, 5.0}, /*seed=*/11,
+                                    /*directed=*/true);
+  auto truth = graph::JohnsonAllPairs(g);
+  ASSERT_TRUE(truth.ok());
+  for (SolverKind kind : apsp::AllSolverKinds()) {
+    ApspOptions opts;
+    opts.block_size = 16;
+    opts.directed = true;
+    auto solver = MakeSolver(kind);
+    auto result = solver->SolveGraph(g, opts, TestCluster());
+    ASSERT_TRUE(result.status.ok()) << solver->name();
+    ASSERT_TRUE(result.distances.has_value()) << solver->name();
+    EXPECT_TRUE(result.distances->ApproxEquals(*truth, 1e-9))
+        << solver->name() << ": max diff "
+        << result.distances->MaxAbsDiff(*truth);
+  }
+}
+
+}  // namespace
+}  // namespace apspark

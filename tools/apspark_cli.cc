@@ -1,0 +1,246 @@
+// apspark — command-line driver for the library.
+//
+//   apspark solve  --er <n> [--seed S] | --input <file>   solve APSP
+//                  [--solver rs|fw2d|im|cb] [--block B] [--partitioner md|ph]
+//                  [--cores C] [--directed] [--output <distances.txt>]
+//                  [--checkpoint-every K]
+//   apspark plan   --n N [--cores C] [--fault-tolerant]   recommend a config
+//   apspark model  --n N [--cores C] [--solver ...] [--block B] [--rounds R]
+//                  paper-scale phantom run, projected time + metrics
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "apsp/solver.h"
+#include "apsp/tuner.h"
+#include "common/time_utils.h"
+#include "graph/generators.h"
+#include "graph/io.h"
+
+namespace {
+
+using namespace apspark;
+
+struct Args {
+  std::string command;
+  std::int64_t n = 0;
+  std::uint64_t seed = 1;
+  std::string input;
+  std::string output;
+  std::string solver = "cb";
+  std::string partitioner = "md";
+  std::int64_t block = 0;  // 0 = auto
+  int cores = 4;
+  std::int64_t rounds = 0;
+  std::int64_t checkpoint_every = 0;
+  bool directed = false;
+  bool fault_tolerant = false;
+};
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: apspark solve|plan|model [options]\n"
+               "  solve --er N [--seed S] | --input FILE\n"
+               "        [--solver rs|fw2d|im|cb] [--block B]\n"
+               "        [--partitioner md|ph] [--cores C] [--directed]\n"
+               "        [--output FILE] [--checkpoint-every K]\n"
+               "  plan  --n N [--cores C] [--fault-tolerant]\n"
+               "  model --n N [--cores C] [--solver ...] [--block B]"
+               " [--rounds R]\n");
+  return 2;
+}
+
+bool ParseArgs(int argc, char** argv, Args& args) {
+  if (argc < 2) return false;
+  args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (flag == "--er" || flag == "--n") {
+      const char* v = next();
+      if (!v) return false;
+      args.n = std::atoll(v);
+    } else if (flag == "--seed") {
+      const char* v = next();
+      if (!v) return false;
+      args.seed = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (flag == "--input") {
+      const char* v = next();
+      if (!v) return false;
+      args.input = v;
+    } else if (flag == "--output") {
+      const char* v = next();
+      if (!v) return false;
+      args.output = v;
+    } else if (flag == "--solver") {
+      const char* v = next();
+      if (!v) return false;
+      args.solver = v;
+    } else if (flag == "--partitioner") {
+      const char* v = next();
+      if (!v) return false;
+      args.partitioner = v;
+    } else if (flag == "--block") {
+      const char* v = next();
+      if (!v) return false;
+      args.block = std::atoll(v);
+    } else if (flag == "--cores") {
+      const char* v = next();
+      if (!v) return false;
+      args.cores = std::atoi(v);
+    } else if (flag == "--rounds") {
+      const char* v = next();
+      if (!v) return false;
+      args.rounds = std::atoll(v);
+    } else if (flag == "--checkpoint-every") {
+      const char* v = next();
+      if (!v) return false;
+      args.checkpoint_every = std::atoll(v);
+    } else if (flag == "--directed") {
+      args.directed = true;
+    } else if (flag == "--fault-tolerant") {
+      args.fault_tolerant = true;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+Result<apsp::SolverKind> ParseSolver(const std::string& name) {
+  if (name == "rs") return apsp::SolverKind::kRepeatedSquaring;
+  if (name == "fw2d") return apsp::SolverKind::kFloydWarshall2d;
+  if (name == "im") return apsp::SolverKind::kBlockedInMemory;
+  if (name == "cb") return apsp::SolverKind::kBlockedCollectBroadcast;
+  return InvalidArgumentError("unknown solver '" + name + "'");
+}
+
+int RunSolve(const Args& args) {
+  graph::Graph g(0);
+  if (!args.input.empty()) {
+    auto loaded = graph::ReadEdgeListTextFile(args.input);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+      return 1;
+    }
+    g = *loaded;
+  } else if (args.n > 0) {
+    g = graph::ErdosRenyi(args.n, graph::PaperEdgeProbability(args.n),
+                          {1.0, 10.0}, args.seed, args.directed);
+  } else {
+    return Usage();
+  }
+  auto kind = ParseSolver(args.solver);
+  if (!kind.ok()) {
+    std::fprintf(stderr, "%s\n", kind.status().ToString().c_str());
+    return 1;
+  }
+  apsp::ApspOptions options;
+  options.block_size =
+      args.block > 0 ? args.block
+                     : std::max<std::int64_t>(1, g.num_vertices() / 4);
+  options.partitioner = args.partitioner == "ph"
+                            ? apsp::PartitionerKind::kPortableHash
+                            : apsp::PartitionerKind::kMultiDiagonal;
+  options.directed = args.directed;
+  options.checkpoint_every = args.checkpoint_every;
+  auto cluster = sparklet::ClusterConfig::TinyTest();
+  cluster.nodes = std::max(1, args.cores / 2);
+  cluster.cores_per_node = 2;
+  cluster.local_storage_bytes = 64ULL * kGiB;
+
+  auto solver = apsp::MakeSolver(*kind);
+  std::printf("solving %s with %s (b = %lld)\n", g.Summary().c_str(),
+              solver->name().c_str(),
+              static_cast<long long>(options.block_size));
+  auto result = solver->SolveGraph(g, options, cluster);
+  if (!result.status.ok()) {
+    std::fprintf(stderr, "solve failed: %s\n",
+                 result.status.ToString().c_str());
+    return 1;
+  }
+  std::printf("done: %lld rounds, simulated cluster time %s\n",
+              static_cast<long long>(result.rounds_executed),
+              FormatDuration(result.sim_seconds).c_str());
+  std::printf("engine: %s\n", result.metrics.Summary().c_str());
+  if (!args.output.empty()) {
+    std::ofstream out(args.output);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", args.output.c_str());
+      return 1;
+    }
+    const auto& d = *result.distances;
+    out.precision(17);
+    for (std::int64_t i = 0; i < d.rows(); ++i) {
+      for (std::int64_t j = 0; j < d.cols(); ++j) {
+        out << d.At(i, j) << (j + 1 == d.cols() ? '\n' : ' ');
+      }
+    }
+    std::printf("distances written to %s\n", args.output.c_str());
+  }
+  return 0;
+}
+
+int RunPlan(const Args& args) {
+  if (args.n <= 1) return Usage();
+  apsp::TuneRequest request;
+  request.n = args.n;
+  request.cluster = sparklet::ClusterConfig::PaperWithCores(args.cores);
+  request.require_fault_tolerance = args.fault_tolerant;
+  auto choice = apsp::TuneConfiguration(request);
+  if (!choice.ok()) {
+    std::fprintf(stderr, "%s\n", choice.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("recommended: %s, b = %lld, %s partitioner -> ~%s\n",
+              apsp::SolverKindName(choice->solver),
+              static_cast<long long>(choice->block_size),
+              apsp::PartitionerKindName(choice->partitioner),
+              FormatDuration(choice->projected_seconds).c_str());
+  return 0;
+}
+
+int RunModel(const Args& args) {
+  if (args.n <= 1) return Usage();
+  auto kind = ParseSolver(args.solver);
+  if (!kind.ok()) {
+    std::fprintf(stderr, "%s\n", kind.status().ToString().c_str());
+    return 1;
+  }
+  apsp::ApspOptions options;
+  options.block_size = args.block > 0 ? args.block : 1024;
+  options.max_rounds = args.rounds > 0 ? args.rounds : 1;
+  auto cluster = sparklet::ClusterConfig::PaperWithCores(
+      args.cores > 4 ? args.cores : 1024);
+  auto solver = apsp::MakeSolver(*kind);
+  auto result = solver->SolveModel(args.n, options, cluster);
+  std::printf("%s, n = %lld, b = %lld on %s\n", solver->name().c_str(),
+              static_cast<long long>(args.n),
+              static_cast<long long>(options.block_size),
+              cluster.Summary().c_str());
+  std::printf("rounds: %lld of %lld, per-round %s, projected %s%s\n",
+              static_cast<long long>(result.rounds_executed),
+              static_cast<long long>(result.rounds_total),
+              FormatDuration(result.SecondsPerRound()).c_str(),
+              FormatDuration(result.projected_seconds).c_str(),
+              result.projected_storage_exceeded ? "  [would exhaust storage]"
+                                                : "");
+  std::printf("engine: %s\n", result.metrics.Summary().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, args)) return Usage();
+  if (args.command == "solve") return RunSolve(args);
+  if (args.command == "plan") return RunPlan(args);
+  if (args.command == "model") return RunModel(args);
+  return Usage();
+}
