@@ -1,13 +1,24 @@
 // Figure 2: effect of block size on the execution time of the sequential
 // building blocks — FloydWarshall, and MatProd combined with MatMin
-// ("MinPlus" in the figure).
+// ("MinPlus" in the figure) — plus the kernel-engine comparison that tracks
+// this repository's perf trajectory.
 //
-// Two series are printed per kernel: the time measured on this host, and
-// the paper-calibrated cost model's prediction (0.762 Gops sequential FW
-// with an L3 knee around b = 1810). The paper's shape to reproduce: ~b^3
-// growth, fast below the cache knee, rapidly growing past it.
+// Section 1 reproduces the paper figure: host-measured time next to the
+// paper-calibrated cost model's prediction (0.762 Gops sequential FW with an
+// L3 knee around b = 1810). The paper's shape to reproduce: ~b^3 growth,
+// fast below the cache knee, rapidly growing past it.
+//
+// Section 2 races the kernel variants (naive scalar loops vs tiled+fused vs
+// tiled+parallel) on the MinPlus and FloydWarshall building blocks, checks
+// the min-plus results are bitwise-identical to the scalar reference, and
+// writes machine-readable results to BENCH_kernels.json (path overridable
+// via APSPARK_BENCH_JSON) so every future PR is measured against this one.
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "bench_util.h"
 #include "common/rng.h"
@@ -18,19 +29,174 @@
 
 namespace {
 
-apspark::linalg::DenseBlock RandomBlock(std::int64_t b, std::uint64_t seed) {
-  apspark::Xoshiro256 rng(seed);
-  apspark::linalg::DenseBlock block(b, b, 0.0);
+using namespace apspark;
+
+linalg::DenseBlock RandomBlock(std::int64_t b, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  linalg::DenseBlock block(b, b, 0.0);
   for (std::int64_t i = 0; i < block.size(); ++i) {
     block.mutable_data()[i] = rng.NextDouble(1.0, 100.0);
   }
   return block;
 }
 
+bool BitwiseEqual(const linalg::DenseBlock& a, const linalg::DenseBlock& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  return std::memcmp(a.data(), b.data(),
+                     static_cast<std::size_t>(a.size()) * sizeof(double)) == 0;
+}
+
+struct KernelResult {
+  std::string kernel;   // "minplus" or "floyd_warshall"
+  std::string variant;  // registry variant name
+  std::int64_t b = 0;
+  double seconds = 0;
+  double gops = 0;          // b^3 / seconds / 1e9
+  double speedup = 1.0;     // vs the naive variant at the same b
+  bool bitwise_equal = true;  // vs the scalar reference result
+};
+
+/// Times fn() `reps` times and returns the best (minimum) wall time.
+template <typename Fn>
+double BestOf(int reps, Fn&& fn) {
+  double best = 0;
+  for (int r = 0; r < reps; ++r) {
+    WallTimer t;
+    fn();
+    const double s = t.ElapsedSeconds();
+    if (r == 0 || s < best) best = s;
+  }
+  return best;
+}
+
+void WriteJson(const std::vector<KernelResult>& results,
+               const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"benchmark\": \"bench_fig2_kernels\",\n");
+  std::fprintf(f, "  \"results\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const KernelResult& r = results[i];
+    std::fprintf(f,
+                 "    {\"kernel\": \"%s\", \"variant\": \"%s\", \"b\": %lld, "
+                 "\"seconds\": %.6f, \"gops\": %.3f, \"speedup_vs_naive\": "
+                 "%.2f, \"bitwise_equal_to_reference\": %s}%s\n",
+                 r.kernel.c_str(), r.variant.c_str(),
+                 static_cast<long long>(r.b), r.seconds, r.gops, r.speedup,
+                 r.bitwise_equal ? "true" : "false",
+                 i + 1 == results.size() ? "" : ",");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nresults written to %s\n", path.c_str());
+}
+
+/// Section 2: the kernel-engine race. Returns all measurements.
+std::vector<KernelResult> RunKernelComparison(std::int64_t max_b) {
+  bench::PrintHeader(
+      "Kernel engine — naive scalar vs tiled+fused vs tiled+parallel\n"
+      "(MinPlus = min(A, A \xe2\x8a\x97 B); naive is the seed's "
+      "product+element-min path)");
+  std::vector<KernelResult> results;
+  const linalg::KernelVariant variants[] = {
+      linalg::KernelVariant::kNaive, linalg::KernelVariant::kTiled,
+      linalg::KernelVariant::kTiledParallel};
+
+  std::printf("%16s %8s %16s %16s %10s %10s  %s\n", "kernel", "b", "variant",
+              "time", "Gops", "speedup", "exact");
+  for (std::int64_t b : {256, 512, 1024}) {
+    if (b > max_b) continue;
+    const int reps = b >= 1024 ? 2 : 3;
+    const linalg::DenseBlock lhs = RandomBlock(b, 2);
+    const linalg::DenseBlock rhs = RandomBlock(b, 3);
+    const double ops = static_cast<double>(b) * b * b;
+
+    // --- MinPlus building block -------------------------------------
+    linalg::DenseBlock reference(0, 0);
+    double naive_seconds = 0;
+    for (linalg::KernelVariant v : variants) {
+      linalg::ScopedKernelVariant scope(v);
+      KernelResult r;
+      r.kernel = "minplus";
+      r.variant = linalg::KernelVariantName(v);
+      r.b = b;
+      linalg::DenseBlock out(0, 0);
+      if (v == linalg::KernelVariant::kNaive) {
+        // The seed's unfused path: materialize the product, then a second
+        // element-min pass against the resident block.
+        r.seconds = BestOf(reps, [&] {
+          linalg::DenseBlock prod = linalg::MinPlusProduct(lhs, rhs);
+          linalg::ElementMinInPlace(prod, lhs);
+          out = std::move(prod);
+        });
+        naive_seconds = r.seconds;
+        reference = out;
+      } else {
+        // The fused path the engine now runs: one pass, no product block.
+        r.seconds = BestOf(reps, [&] {
+          linalg::DenseBlock c = lhs;
+          linalg::MinPlusUpdate(lhs, rhs, c);
+          out = std::move(c);
+        });
+      }
+      r.gops = ops / r.seconds / 1e9;
+      r.speedup = naive_seconds / r.seconds;
+      r.bitwise_equal = BitwiseEqual(out, reference);
+      std::printf("%16s %8lld %16s %16s %10.3f %9.2fx  %s\n", "minplus",
+                  static_cast<long long>(b), r.variant.c_str(),
+                  FormatSeconds(r.seconds, 3).c_str(), r.gops, r.speedup,
+                  r.bitwise_equal ? "yes" : "NO");
+      results.push_back(r);
+    }
+
+    // --- FloydWarshall building block -------------------------------
+    const linalg::DenseBlock adj = [&] {
+      linalg::DenseBlock m = RandomBlock(b, 4);
+      for (std::int64_t i = 0; i < b; ++i) m.Set(i, i, 0.0);
+      return m;
+    }();
+    linalg::DenseBlock fw_reference = adj;
+    linalg::ReferenceFloydWarshall(fw_reference);
+    double fw_naive_seconds = 0;
+    for (linalg::KernelVariant v : variants) {
+      linalg::ScopedKernelVariant scope(v);
+      KernelResult r;
+      r.kernel = "floyd_warshall";
+      r.variant = linalg::KernelVariantName(v);
+      r.b = b;
+      linalg::DenseBlock out(0, 0);
+      r.seconds = BestOf(reps, [&] {
+        linalg::DenseBlock m = adj;
+        linalg::FloydWarshallInPlace(m);
+        out = std::move(m);
+      });
+      if (v == linalg::KernelVariant::kNaive) fw_naive_seconds = r.seconds;
+      r.gops = ops / r.seconds / 1e9;
+      r.speedup = fw_naive_seconds / r.seconds;
+      // Blocked FW reorders relaxations; allow last-ulp differences but
+      // report whether the result is in fact bit-identical.
+      r.bitwise_equal = BitwiseEqual(out, fw_reference);
+      if (!out.ApproxEquals(fw_reference, 1e-9)) {
+        std::fprintf(stderr, "FW variant %s DIVERGED from reference!\n",
+                     r.variant.c_str());
+        std::exit(1);
+      }
+      std::printf("%16s %8lld %16s %16s %10.3f %9.2fx  %s\n",
+                  "floyd_warshall", static_cast<long long>(b),
+                  r.variant.c_str(), FormatSeconds(r.seconds, 3).c_str(),
+                  r.gops, r.speedup, r.bitwise_equal ? "yes" : "~ulp");
+      results.push_back(r);
+    }
+  }
+  return results;
+}
+
 }  // namespace
 
 int main() {
-  using namespace apspark;
   bench::PrintHeader(
       "Figure 2 — sequential kernel time vs block size b\n"
       "(host-measured up to the feasible size; model curve to b = 10000)");
@@ -44,6 +210,10 @@ int main() {
 
   std::printf("%8s %16s %16s %16s %16s\n", "b", "FW measured", "FW model",
               "MinPlus measured", "MinPlus model");
+  // The model columns are calibrated against the sequential *scalar* kernels
+  // (0.762 Gops, L3 knee at b = 1810): pin the naive variant so measured and
+  // model compare like with like. Section 2 below races the tiled engine.
+  linalg::ScopedKernelVariant figure_scope(linalg::KernelVariant::kNaive);
   const std::int64_t sizes[] = {128,  256,  384,  512,  768, 1024,
                                 1536, 2048, 3072, 4096, 6144, 8192, 10000};
   for (std::int64_t b : sizes) {
@@ -62,8 +232,8 @@ int main() {
       const linalg::DenseBlock lhs = RandomBlock(b, 2);
       const linalg::DenseBlock rhs = RandomBlock(b, 3);
       WallTimer t2;
-      linalg::DenseBlock prod = linalg::MinPlusProduct(lhs, rhs);
-      linalg::ElementMinInPlace(prod, lhs);
+      linalg::DenseBlock prod = lhs;
+      linalg::MinPlusUpdate(lhs, rhs, prod);
       mp_meas = FormatSeconds(t2.ElapsedSeconds(), 3);
     }
     std::printf("%8lld %16s %16s %16s %16s\n",
@@ -79,5 +249,41 @@ int main() {
   std::printf("Model check: FW(256) = %s, FW(10000) = %s\n",
               FormatSeconds(model.FloydWarshallSeconds(256), 3).c_str(),
               FormatDuration(model.FloydWarshallSeconds(10000)).c_str());
+
+  const auto results = RunKernelComparison(max_measured);
+  const char* json_path = std::getenv("APSPARK_BENCH_JSON");
+  WriteJson(results, json_path != nullptr ? json_path : "BENCH_kernels.json");
+
+  // Fail loudly if the tiled engine regressed below the 2x bar this PR set,
+  // or if any min-plus variant stopped being bit-exact. Shared CI runners
+  // are noisy (2 reps, no -march=native), so the threshold can be relaxed
+  // via APSPARK_GATE_MIN_SPEEDUP there; the default is the local bar.
+  double min_speedup = 2.0;
+  if (const char* env = std::getenv("APSPARK_GATE_MIN_SPEEDUP")) {
+    min_speedup = std::atof(env);
+  }
+  bool gate_evaluated = false;
+  for (const KernelResult& r : results) {
+    if (r.kernel == "minplus" && !r.bitwise_equal) {
+      std::fprintf(stderr, "FAIL: %s %s b=%lld not bitwise equal\n",
+                   r.kernel.c_str(), r.variant.c_str(),
+                   static_cast<long long>(r.b));
+      return 1;
+    }
+    if (r.kernel == "minplus" && r.variant == "tiled" && r.b == 1024) {
+      gate_evaluated = true;
+      if (r.speedup < min_speedup) {
+        std::fprintf(stderr,
+                     "FAIL: tiled minplus speedup %.2fx < %.2fx at b=1024\n",
+                     r.speedup, min_speedup);
+        return 1;
+      }
+    }
+  }
+  if (!gate_evaluated) {
+    std::printf("note: perf gate NOT evaluated (b=1024 not measured; "
+                "APSPARK_FIG2_MAX_B=%lld)\n",
+                static_cast<long long>(max_measured));
+  }
   return 0;
 }

@@ -25,8 +25,19 @@ linalg::DenseBlock RandomBlock(std::int64_t b, std::uint64_t seed) {
   return block;
 }
 
+linalg::ScopedKernelVariant ScopedVariant(std::int64_t v) {
+  return linalg::ScopedKernelVariant(static_cast<linalg::KernelVariant>(v));
+}
+
+void SetVariantLabel(benchmark::State& state) {
+  state.SetLabel(linalg::KernelVariantName(
+      static_cast<linalg::KernelVariant>(state.range(1))));
+}
+
 void BM_MinPlusProduct(benchmark::State& state) {
   const std::int64_t b = state.range(0);
+  const auto variant = ScopedVariant(state.range(1));
+  SetVariantLabel(state);
   const auto lhs = RandomBlock(b, 1);
   const auto rhs = RandomBlock(b, 2);
   for (auto _ : state) {
@@ -34,10 +45,29 @@ void BM_MinPlusProduct(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * b * b * b);
 }
-BENCHMARK(BM_MinPlusProduct)->Arg(64)->Arg(128)->Arg(256);
+BENCHMARK(BM_MinPlusProduct)
+    ->ArgsProduct({{64, 128, 256}, {0, 1, 2}});
+
+void BM_MinPlusFusedUpdate(benchmark::State& state) {
+  const std::int64_t b = state.range(0);
+  const auto variant = ScopedVariant(state.range(1));
+  SetVariantLabel(state);
+  const auto lhs = RandomBlock(b, 1);
+  const auto rhs = RandomBlock(b, 2);
+  for (auto _ : state) {
+    linalg::DenseBlock c = lhs;
+    linalg::MinPlusUpdate(lhs, rhs, c);
+    benchmark::DoNotOptimize(c);
+  }
+  state.SetItemsProcessed(state.iterations() * b * b * b);
+}
+BENCHMARK(BM_MinPlusFusedUpdate)
+    ->ArgsProduct({{128, 256, 512}, {0, 1, 2}});
 
 void BM_FloydWarshallKernel(benchmark::State& state) {
   const std::int64_t b = state.range(0);
+  const auto variant = ScopedVariant(state.range(1));
+  SetVariantLabel(state);
   const auto block = RandomBlock(b, 3);
   for (auto _ : state) {
     linalg::DenseBlock copy = block;
@@ -46,10 +76,13 @@ void BM_FloydWarshallKernel(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * b * b * b);
 }
-BENCHMARK(BM_FloydWarshallKernel)->Arg(64)->Arg(128)->Arg(256);
+BENCHMARK(BM_FloydWarshallKernel)
+    ->ArgsProduct({{64, 128, 256}, {0, 1, 2}});
 
 void BM_BlockedFloydWarshall(benchmark::State& state) {
   const std::int64_t n = state.range(0);
+  const auto variant = ScopedVariant(state.range(1));
+  SetVariantLabel(state);
   const auto block = RandomBlock(n, 4);
   for (auto _ : state) {
     linalg::DenseBlock copy = block;
@@ -58,7 +91,8 @@ void BM_BlockedFloydWarshall(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * n * n * n);
 }
-BENCHMARK(BM_BlockedFloydWarshall)->Arg(128)->Arg(256);
+BENCHMARK(BM_BlockedFloydWarshall)
+    ->ArgsProduct({{128, 256}, {0, 1, 2}});
 
 void BM_Transpose(benchmark::State& state) {
   const auto block = RandomBlock(state.range(0), 5);

@@ -1,0 +1,19 @@
+#!/usr/bin/env sh
+# Builds (if needed) and runs the kernel benchmark, producing the
+# machine-readable perf-trajectory file BENCH_kernels.json at the repo root.
+#
+# Usage: bench/run_benches.sh [build-dir]   (default: build)
+set -e
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+if [ ! -f "$BUILD_DIR/CMakeCache.txt" ]; then
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+fi
+cmake --build "$BUILD_DIR" -j "$(nproc 2>/dev/null || echo 2)" \
+  --target bench_fig2_kernels
+
+APSPARK_BENCH_JSON="$(pwd)/BENCH_kernels.json" \
+  "$BUILD_DIR/bench_fig2_kernels"
+echo "wrote $(pwd)/BENCH_kernels.json"

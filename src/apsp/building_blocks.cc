@@ -1,7 +1,11 @@
 #include "apsp/building_blocks.h"
 
+#include <optional>
 #include <stdexcept>
+#include <utility>
 
+#include "common/thread_pool.h"
+#include "linalg/kernel_registry.h"
 #include "linalg/kernels.h"
 
 namespace apspark::apsp {
@@ -30,10 +34,46 @@ BlockPtr MatMin(const BlockPtr& a, const BlockPtr& b,
   return linalg::MakeBlock(linalg::ElementMin(*a, *b));
 }
 
+namespace {
+
+/// One fused min-plus update c = min(base, left ⊗ right): the planning /
+/// charging / numeric-execution split lets the batch unpackers charge the
+/// cost model sequentially while fanning the arithmetic out on the pool.
+struct FusedUpdate {
+  BlockKey key;
+  BlockPtr base;
+  BlockPtr left;
+  BlockPtr right;
+};
+
+/// Charges exactly what the unfused MatProd + MatMin pair charged, so the
+/// modelled cluster time is unchanged by fusion.
+void ChargeFused(const FusedUpdate& u, sparklet::TaskContext& tc) {
+  tc.ChargeCompute(
+      tc.cost_model().MinPlusSeconds(u.left->rows(), u.right->cols(),
+                                     u.left->cols()) +
+      tc.cost_model().ElementwiseSeconds(u.base->size()));
+}
+
+/// Pure numeric part (no TaskContext): safe to run on any host thread.
+BlockPtr RunFused(const FusedUpdate& u) {
+  DenseBlock out = *u.base;
+  linalg::MinPlusUpdate(*u.left, *u.right, out);
+  return linalg::MakeBlock(std::move(out));
+}
+
+}  // namespace
+
+BlockPtr MinPlusInto(const BlockPtr& base, const BlockPtr& a,
+                     const BlockPtr& b, sparklet::TaskContext& tc) {
+  FusedUpdate update{BlockKey{}, base, a, b};
+  ChargeFused(update, tc);
+  return RunFused(update);
+}
+
 BlockPtr MinPlus(const BlockPtr& a, const BlockPtr& b,
                  sparklet::TaskContext& tc) {
-  BlockPtr prod = MatProd(a, b, tc);
-  return MatMin(a, prod, tc);
+  return MinPlusInto(a, a, b, tc);
 }
 
 BlockPtr FloydWarshall(const BlockPtr& a, sparklet::TaskContext& tc) {
@@ -137,9 +177,12 @@ const linalg::BlockPtr* FindRole(const TaggedList& list, BlockRole role) {
 
 }  // namespace
 
-BlockRecord Phase2Unpack(const BlockLayout& layout, std::int64_t i,
-                         const ListRecord& record, sparklet::TaskContext& tc) {
-  (void)layout;
+namespace {
+
+/// Plans one Phase-2 record: either a passthrough result or a fused update.
+/// Throws exactly like the original per-record unpack on malformed lists.
+std::optional<FusedUpdate> PlanPhase2(std::int64_t i, const ListRecord& record,
+                                      BlockRecord& passthrough) {
   const auto& [key, list] = record;
   const linalg::BlockPtr* original = FindRole(list, BlockRole::kOriginal);
   const linalg::BlockPtr* diag = FindRole(list, BlockRole::kDiag);
@@ -150,14 +193,92 @@ BlockRecord Phase2Unpack(const BlockLayout& layout, std::int64_t i,
     // min(A_ii, A_ii (min,+) D) equals D exactly in the semiring (the
     // diagonal of A_ii is 0); returning D directly avoids floating-point
     // re-rounding of path sums that would break exact symmetry.
-    return {key, *diag};
+    passthrough = {key, *diag};
+    return std::nullopt;
   }
   // Orientation matters in the (min,+) semiring: stored (X, i) holds the
   // column-side factor A_Xi and is updated as min(A_Xi, A_Xi (min,+) D);
   // stored (i, X) holds the row-side A_iX, updated as min(A_iX, D (min,+) A_iX).
-  BlockPtr prod = key.J == i ? MatProd(*original, *diag, tc)
-                             : MatProd(*diag, *original, tc);
-  return {key, MatMin(*original, prod, tc)};
+  if (key.J == i) return FusedUpdate{key, *original, *original, *diag};
+  return FusedUpdate{key, *original, *diag, *original};
+}
+
+/// Plans one Phase-3 record (same contract as PlanPhase2; `i` is unused but
+/// keeps the planner signatures interchangeable for UnpackBatch).
+std::optional<FusedUpdate> PlanPhase3(std::int64_t /*i*/,
+                                      const ListRecord& record,
+                                      BlockRecord& passthrough) {
+  const auto& [key, list] = record;
+  const linalg::BlockPtr* original = FindRole(list, BlockRole::kOriginal);
+  if (original == nullptr) {
+    throw std::logic_error("Phase3Unpack: missing original block at " +
+                           key.ToString());
+  }
+  const linalg::BlockPtr* row = FindRole(list, BlockRole::kRow);
+  const linalg::BlockPtr* col = FindRole(list, BlockRole::kCol);
+  if (row == nullptr && col == nullptr) {
+    // Cross blocks were fully updated in Phase 2 and travel alone.
+    passthrough = {key, *original};
+    return std::nullopt;
+  }
+  if (row == nullptr || col == nullptr) {
+    throw std::logic_error("Phase3Unpack: expected both factors at " +
+                           key.ToString());
+  }
+  // A_UV = min(A_UV, A_Ui (min,+) A_iV).
+  return FusedUpdate{key, *original, *row, *col};
+}
+
+using PlanFn = std::optional<FusedUpdate> (*)(std::int64_t, const ListRecord&,
+                                              BlockRecord&);
+
+/// Shared batch driver: plan + charge sequentially (TaskContext is not
+/// thread-safe), then run the fused numeric updates on the host pool.
+std::vector<BlockRecord> UnpackBatch(std::vector<ListRecord>&& records,
+                                     sparklet::TaskContext& tc,
+                                     PlanFn plan, std::int64_t i) {
+  std::vector<BlockRecord> out(records.size());
+  std::vector<std::pair<std::size_t, FusedUpdate>> pending;
+  pending.reserve(records.size());
+  for (std::size_t r = 0; r < records.size(); ++r) {
+    if (auto update = plan(i, records[r], out[r])) {
+      ChargeFused(*update, tc);
+      pending.emplace_back(r, std::move(*update));
+    }
+  }
+  auto run_one = [&](std::size_t p) {
+    out[pending[p].first] = {pending[p].second.key,
+                             RunFused(pending[p].second)};
+  };
+  if (linalg::GetKernelVariant() == linalg::KernelVariant::kTiledParallel) {
+    linalg::KernelThreadPool().ParallelFor(pending.size(), run_one);
+  } else {
+    // naive / tiled are single-threaded baselines by contract: their
+    // solver-level timings must not be silently multithreaded.
+    for (std::size_t p = 0; p < pending.size(); ++p) run_one(p);
+  }
+  return out;
+}
+
+}  // namespace
+
+BlockRecord Phase2Unpack(const BlockLayout& layout, std::int64_t i,
+                         const ListRecord& record, sparklet::TaskContext& tc) {
+  (void)layout;
+  BlockRecord passthrough;
+  if (auto update = PlanPhase2(i, record, passthrough)) {
+    ChargeFused(*update, tc);
+    return {update->key, RunFused(*update)};
+  }
+  return passthrough;
+}
+
+std::vector<BlockRecord> Phase2UnpackBatch(const BlockLayout& layout,
+                                           std::int64_t i,
+                                           std::vector<ListRecord>&& records,
+                                           sparklet::TaskContext& tc) {
+  (void)layout;
+  return UnpackBatch(std::move(records), tc, PlanPhase2, i);
 }
 
 void CopyCol(const BlockLayout& layout, std::int64_t i,
@@ -216,26 +337,20 @@ void CopyCol(const BlockLayout& layout, std::int64_t i,
 BlockRecord Phase3Unpack(const BlockLayout& layout, std::int64_t i,
                          const ListRecord& record, sparklet::TaskContext& tc) {
   (void)layout;
-  (void)i;
-  const auto& [key, list] = record;
-  const linalg::BlockPtr* original = FindRole(list, BlockRole::kOriginal);
-  if (original == nullptr) {
-    throw std::logic_error("Phase3Unpack: missing original block at " +
-                           key.ToString());
+  BlockRecord passthrough;
+  if (auto update = PlanPhase3(i, record, passthrough)) {
+    ChargeFused(*update, tc);
+    return {update->key, RunFused(*update)};
   }
-  const linalg::BlockPtr* row = FindRole(list, BlockRole::kRow);
-  const linalg::BlockPtr* col = FindRole(list, BlockRole::kCol);
-  if (row == nullptr && col == nullptr) {
-    // Cross blocks were fully updated in Phase 2 and travel alone.
-    return {key, *original};
-  }
-  if (row == nullptr || col == nullptr) {
-    throw std::logic_error("Phase3Unpack: expected both factors at " +
-                           key.ToString());
-  }
-  // A_UV = min(A_UV, A_Ui (min,+) A_iV).
-  BlockPtr prod = MatProd(*row, *col, tc);
-  return {key, MatMin(*original, prod, tc)};
+  return passthrough;
+}
+
+std::vector<BlockRecord> Phase3UnpackBatch(const BlockLayout& layout,
+                                           std::int64_t i,
+                                           std::vector<ListRecord>&& records,
+                                           sparklet::TaskContext& tc) {
+  (void)layout;
+  return UnpackBatch(std::move(records), tc, PlanPhase3, i);
 }
 
 }  // namespace apspark::apsp

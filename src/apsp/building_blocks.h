@@ -35,10 +35,18 @@ linalg::BlockPtr MatProd(const linalg::BlockPtr& a, const linalg::BlockPtr& b,
 linalg::BlockPtr MatMin(const linalg::BlockPtr& a, const linalg::BlockPtr& b,
                         sparklet::TaskContext& tc);
 
-/// MinPlus: min(A (min,+) B, A) — product followed by element-wise min with
-/// the resident block (Table 1's fused form).
+/// MinPlus: min(A (min,+) B, A) — Table 1's fused form, computed in one
+/// fused pass (no intermediate product block is materialized). Charges the
+/// same modelled time as MatProd followed by MatMin.
 linalg::BlockPtr MinPlus(const linalg::BlockPtr& a, const linalg::BlockPtr& b,
                          sparklet::TaskContext& tc);
+
+/// Fused three-operand form: min(base, A (min,+) B) in one pass. The hot
+/// kernel of the blocked solvers' phase-2/phase-3 updates.
+linalg::BlockPtr MinPlusInto(const linalg::BlockPtr& base,
+                             const linalg::BlockPtr& a,
+                             const linalg::BlockPtr& b,
+                             sparklet::TaskContext& tc);
 
 /// FloydWarshall: closes a diagonal block with the sequential solver.
 linalg::BlockPtr FloydWarshall(const linalg::BlockPtr& a,
@@ -105,5 +113,18 @@ void CopyCol(const BlockLayout& layout, std::int64_t i,
 /// {original, kRow, kCol} for the rest: min(A_UV, A_Ui (min,+) A_iV).
 BlockRecord Phase3Unpack(const BlockLayout& layout, std::int64_t i,
                          const ListRecord& record, sparklet::TaskContext& tc);
+
+/// Partition-at-a-time unpackers: same records and identical virtual-cluster
+/// charges as mapping Phase2Unpack / Phase3Unpack record by record, but the
+/// numeric block updates fan out on the host ThreadPool (host threads speed
+/// up real compute only; modelled time is untouched).
+std::vector<BlockRecord> Phase2UnpackBatch(const BlockLayout& layout,
+                                           std::int64_t i,
+                                           std::vector<ListRecord>&& records,
+                                           sparklet::TaskContext& tc);
+std::vector<BlockRecord> Phase3UnpackBatch(const BlockLayout& layout,
+                                           std::int64_t i,
+                                           std::vector<ListRecord>&& records,
+                                           sparklet::TaskContext& tc);
 
 }  // namespace apspark::apsp

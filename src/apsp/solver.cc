@@ -32,6 +32,11 @@ ApspRunResult ApspSolver::Solve(sparklet::SparkletContext& ctx,
                                 const BlockLayout& layout,
                                 const std::vector<BlockRecord>& blocks,
                                 const ApspOptions& opts) {
+  // Select the host kernel implementation for this run (restored on return
+  // so one run's config cannot leak into other work in the process). This
+  // only affects how fast real blocks are processed on this machine;
+  // modelled cluster time comes from the cost model either way.
+  linalg::ScopedKernelVariant kernel_scope(ctx.config().kernel_variant);
   ApspRunResult result;
   result.rounds_total = TotalRounds(layout);
   const std::int64_t rounds_remaining =

@@ -5,6 +5,7 @@
 #include "apsp/building_blocks.h"
 #include "common/math_utils.h"
 #include "common/serial.h"
+#include "linalg/kernels.h"
 
 namespace apspark::apsp {
 
@@ -87,34 +88,61 @@ RddPtr<BlockRecord> RepeatedSquaringSolver::RunRounds(
       }
 
       // Line 5: T[J] = A.map(MatProd).reduceByKey(MatMin) — a matrix-vector
-      // product against the staged column.
+      // product against the staged column. Contributions that share an
+      // output row-block fold into one fused accumulator (c = min(c, A ⊗ B))
+      // instead of materializing one product block each: this is the
+      // map-side combine reduceByKey performs anyway, done without the
+      // intermediate blocks. The first contribution per key charges MatProd
+      // alone (a product into a fresh +inf accumulator *is* the product);
+      // later ones add the MatMin the unfused combine charged, so modelled
+      // time and shuffle bytes are unchanged.
       const bool directed = layout.directed();
       auto partial = current->MapPartitions<BlockRecord>(
           "rs-matprod",
           [squaring, j, directed](std::vector<BlockRecord>&& part,
                                   TaskContext& tc) {
             std::unordered_map<std::int64_t, BlockPtr> cache;
-            std::vector<BlockRecord> out;
-            out.reserve(part.size());
+            std::unordered_map<std::int64_t, DenseBlock> acc;
+            std::vector<std::int64_t> order;  // deterministic output order
+            auto contribute = [&](std::int64_t row, const BlockPtr& lhs,
+                                  const BlockPtr& seg) {
+              auto it = acc.find(row);
+              if (it == acc.end()) {
+                tc.ChargeCompute(tc.cost_model().MinPlusSeconds(
+                    lhs->rows(), seg->cols(), lhs->cols()));
+                acc.emplace(row, linalg::MinPlusProduct(*lhs, *seg));
+                order.push_back(row);
+                return;
+              }
+              tc.ChargeCompute(tc.cost_model().MinPlusSeconds(
+                                   lhs->rows(), seg->cols(), lhs->cols()) +
+                               tc.cost_model().ElementwiseSeconds(
+                                   it->second.size()));
+              linalg::MinPlusUpdate(*lhs, *seg, it->second);
+            };
             for (const auto& [key, block] : part) {
               if (directed) {
                 // A_XY (min,+) B_YJ contributes to (X, J).
-                BlockPtr seg = FetchSegment(cache, squaring, j, key.J, tc);
-                out.push_back({BlockKey{key.I, j}, MatProd(block, seg, tc)});
+                contribute(key.I,
+                           block, FetchSegment(cache, squaring, j, key.J, tc));
                 continue;
               }
               // Upper-triangular storage: the stored block serves both
               // A_XY and (for X != Y) its transpose A_YX.
               if (key.I <= j) {
-                BlockPtr seg = FetchSegment(cache, squaring, j, key.J, tc);
-                out.push_back({BlockKey{key.I, j}, MatProd(block, seg, tc)});
+                contribute(key.I,
+                           block, FetchSegment(cache, squaring, j, key.J, tc));
               }
               if (key.I != key.J && key.J <= j) {
-                BlockPtr seg = FetchSegment(cache, squaring, j, key.I, tc);
-                BlockPtr transposed = Transpose(block, tc);
-                out.push_back(
-                    {BlockKey{key.J, j}, MatProd(transposed, seg, tc)});
+                contribute(key.J, Transpose(block, tc),
+                           FetchSegment(cache, squaring, j, key.I, tc));
               }
+            }
+            std::vector<BlockRecord> out;
+            out.reserve(order.size());
+            for (const std::int64_t row : order) {
+              out.push_back({BlockKey{row, j},
+                             linalg::MakeBlock(std::move(acc.at(row)))});
             }
             return out;
           });

@@ -3,6 +3,13 @@
 #include <exception>
 
 namespace apspark {
+namespace {
+
+// Which pool (if any) the current thread belongs to. Lets ParallelFor detect
+// re-entrant use from a worker and degrade to inline execution.
+thread_local const ThreadPool* g_current_pool = nullptr;
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
   if (num_threads == 0) {
@@ -37,7 +44,7 @@ std::future<void> ThreadPool::Submit(std::function<void()> task) {
 void ThreadPool::ParallelFor(std::size_t count,
                              const std::function<void(std::size_t)>& fn) {
   if (count == 0) return;
-  if (count == 1 || workers_.size() == 1) {
+  if (count == 1 || workers_.size() == 1 || OnWorkerThread()) {
     for (std::size_t i = 0; i < count; ++i) fn(i);
     return;
   }
@@ -57,7 +64,12 @@ void ThreadPool::ParallelFor(std::size_t count,
   if (first_error) std::rethrow_exception(first_error);
 }
 
+bool ThreadPool::OnWorkerThread() const noexcept {
+  return g_current_pool == this;
+}
+
 void ThreadPool::WorkerLoop() {
+  g_current_pool = this;
   for (;;) {
     std::packaged_task<void()> task;
     {

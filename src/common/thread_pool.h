@@ -32,8 +32,13 @@ class ThreadPool {
   std::future<void> Submit(std::function<void()> task);
 
   /// Runs fn(i) for i in [0, count) across the pool and waits for all.
-  /// Exceptions from tasks are rethrown (first one wins).
+  /// Exceptions from tasks are rethrown (first one wins). Safe to call from
+  /// inside one of this pool's own tasks: nested calls run inline instead of
+  /// deadlocking on a saturated queue.
   void ParallelFor(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+  /// True when the calling thread is one of this pool's workers.
+  bool OnWorkerThread() const noexcept;
 
  private:
   void WorkerLoop();

@@ -1,0 +1,64 @@
+#include "linalg/kernel_registry.h"
+
+#include <memory>
+
+#include "common/thread_pool.h"
+
+namespace apspark::linalg {
+namespace {
+
+KernelTuning& MutableTuning() {
+  static KernelTuning tuning;
+  return tuning;
+}
+
+ThreadPool*& OverridePool() {
+  static ThreadPool* pool = nullptr;
+  return pool;
+}
+
+}  // namespace
+
+const KernelTuning& GetKernelTuning() noexcept { return MutableTuning(); }
+
+void SetKernelTuning(const KernelTuning& tuning) noexcept {
+  MutableTuning() = tuning;
+}
+
+void SetKernelVariant(KernelVariant variant) noexcept {
+  MutableTuning().variant = variant;
+}
+
+KernelVariant GetKernelVariant() noexcept { return MutableTuning().variant; }
+
+void SetKernelThreadPool(ThreadPool* pool) noexcept { OverridePool() = pool; }
+
+ThreadPool& KernelThreadPool() {
+  if (OverridePool() != nullptr) return *OverridePool();
+  static std::unique_ptr<ThreadPool> default_pool =
+      std::make_unique<ThreadPool>(0);
+  return *default_pool;
+}
+
+const char* KernelVariantName(KernelVariant variant) noexcept {
+  switch (variant) {
+    case KernelVariant::kNaive:
+      return "naive";
+    case KernelVariant::kTiled:
+      return "tiled";
+    case KernelVariant::kTiledParallel:
+      return "tiled_parallel";
+  }
+  return "?";
+}
+
+std::optional<KernelVariant> ParseKernelVariant(std::string_view name) {
+  if (name == "naive") return KernelVariant::kNaive;
+  if (name == "tiled") return KernelVariant::kTiled;
+  if (name == "tiled_parallel" || name == "parallel") {
+    return KernelVariant::kTiledParallel;
+  }
+  return std::nullopt;
+}
+
+}  // namespace apspark::linalg

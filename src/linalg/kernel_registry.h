@@ -1,0 +1,93 @@
+// Kernel variant registry.
+//
+// The linalg layer ships three interchangeable implementations of every hot
+// kernel (min-plus product/update, Floyd-Warshall):
+//
+//   kNaive         — the scalar triple loops the seed shipped with; kept as
+//                    a measured baseline and as the dispatch target when a
+//                    caller wants zero tiling machinery.
+//   kTiled         — cache-tiled, fused, vectorizable loops (the default).
+//   kTiledParallel — kTiled with row stripes / phase tiles fanned out on the
+//                    host ThreadPool. Only host wall time changes: virtual
+//                    cluster accounting always charges the calibrated cost
+//                    model, never host threads.
+//
+// The active variant and its tuning parameters are process-global: the
+// engine executes all record processing from the driver thread (see
+// sparklet/rdd.h), so a plain global is race-free as long as callers select
+// the variant before kicking off a solve — which is what
+// apsp::ApspSolver::Solve does from sparklet::ClusterConfig::kernel_variant.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace apspark {
+class ThreadPool;
+}  // namespace apspark
+
+namespace apspark::linalg {
+
+enum class KernelVariant {
+  kNaive,
+  kTiled,
+  kTiledParallel,
+};
+
+/// Tiling / parallelism parameters of the tiled kernels. Defaults target a
+/// 48 KiB L1d + 2 MiB L2 AVX machine; all values are safe for any shape
+/// (ragged edges are handled by the kernels).
+struct KernelTuning {
+  KernelVariant variant = KernelVariant::kTiled;
+
+  /// Columns of B/C processed per tile: one C-row segment plus one B-row
+  /// segment of this width must stay L1-resident (2 x 8 KiB at 1024).
+  std::int64_t tile_j = 1024;
+  /// Rows of B held hot per panel: tile_k x tile_j doubles should fit L2
+  /// (128 x 1024 x 8 B = 1 MiB).
+  std::int64_t tile_k = 128;
+  /// Diagonal-tile size of the tiled Floyd-Warshall decomposition.
+  std::int64_t fw_block = 128;
+
+  /// Minimum rows per stripe when fanning a kernel out on the pool.
+  std::int64_t parallel_grain_rows = 64;
+  /// Blocks smaller than this many output elements never fan out (the
+  /// dispatch overhead would dominate).
+  std::int64_t parallel_min_elems = 128 * 128;
+};
+
+const KernelTuning& GetKernelTuning() noexcept;
+void SetKernelTuning(const KernelTuning& tuning) noexcept;
+
+/// Convenience: swaps only the variant, keeping the tuning parameters.
+void SetKernelVariant(KernelVariant variant) noexcept;
+KernelVariant GetKernelVariant() noexcept;
+
+/// Pool used by kTiledParallel. Passing nullptr restores the lazily created
+/// default pool (hardware concurrency). The pool must outlive any kernel
+/// calls that use it.
+void SetKernelThreadPool(ThreadPool* pool) noexcept;
+ThreadPool& KernelThreadPool();
+
+const char* KernelVariantName(KernelVariant variant) noexcept;
+std::optional<KernelVariant> ParseKernelVariant(std::string_view name);
+
+/// RAII: pins a kernel variant for a scope, restoring the full previous
+/// tuning on destruction. Used by solvers, benchmarks, and tests so one
+/// caller's selection cannot leak into unrelated work in the same process.
+class ScopedKernelVariant {
+ public:
+  explicit ScopedKernelVariant(KernelVariant variant)
+      : saved_(GetKernelTuning()) {
+    SetKernelVariant(variant);
+  }
+  ~ScopedKernelVariant() { SetKernelTuning(saved_); }
+  ScopedKernelVariant(const ScopedKernelVariant&) = delete;
+  ScopedKernelVariant& operator=(const ScopedKernelVariant&) = delete;
+
+ private:
+  KernelTuning saved_;
+};
+
+}  // namespace apspark::linalg

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <vector>
+
+#include "common/thread_pool.h"
 
 namespace apspark::linalg {
 namespace {
@@ -13,13 +16,166 @@ void CheckProductShapes(const DenseBlock& a, const DenseBlock& b) {
   }
 }
 
+/// Number of row stripes to fan a kernel of `m` x `n` output out over, given
+/// the tuning thresholds. 1 means "stay sequential".
+std::int64_t ParallelStripes(std::int64_t m, std::int64_t n,
+                             const KernelTuning& tuning) {
+  if (m * n < tuning.parallel_min_elems) return 1;
+  const std::int64_t by_grain =
+      (m + tuning.parallel_grain_rows - 1) / tuning.parallel_grain_rows;
+  const std::int64_t by_threads =
+      static_cast<std::int64_t>(KernelThreadPool().num_threads());
+  return std::max<std::int64_t>(1, std::min(by_grain, by_threads));
+}
+
+/// Fixed scalar k-i-j Floyd-Warshall on a raw tile (the textbook loop).
+void FloydWarshallRawScalar(std::int64_t n, double* a, std::int64_t lda) {
+  for (std::int64_t k = 0; k < n; ++k) {
+    const double* ak = a + k * lda;
+    for (std::int64_t i = 0; i < n; ++i) {
+      double* ai = a + i * lda;
+      const double aik = ai[k];
+      if (std::isinf(aik)) continue;
+      for (std::int64_t j = 0; j < n; ++j) {
+        const double via = aik + ak[j];
+        if (via < ai[j]) ai[j] = via;
+      }
+    }
+  }
+}
+
+/// Sequential body of the tiled micro-kernel over a row range [i0, i1).
+void MinPlusTiledRows(std::int64_t i0, std::int64_t i1, std::int64_t n,
+                      std::int64_t k, const double* a, std::int64_t lda,
+                      const double* b, std::int64_t ldb, double* c,
+                      std::int64_t ldc, const KernelTuning& tuning) {
+  const std::int64_t tj = std::max<std::int64_t>(8, tuning.tile_j);
+  const std::int64_t tk = std::max<std::int64_t>(1, tuning.tile_k);
+  for (std::int64_t j0 = 0; j0 < n; j0 += tj) {
+    const std::int64_t jn = std::min(tj, n - j0);
+    for (std::int64_t k0 = 0; k0 < k; k0 += tk) {
+      const std::int64_t kn = std::min(tk, k - k0);
+      for (std::int64_t i = i0; i < i1; ++i) {
+        const double* ai = a + i * lda + k0;
+        double* ci = c + i * ldc + j0;
+        // Register-blocked over k: four B rows are folded into C per pass,
+        // so each C segment is loaded and stored once per four k steps
+        // instead of once per step. The min chain applies the k's in
+        // ascending order with keep-on-tie semantics, exactly like the
+        // scalar loop, so results are bitwise identical. a_ik = +inf needs
+        // no special case inside a quad (inf + w >= c is a no-op; weights
+        // are never -inf), but an all-infinite quad is skipped outright —
+        // the hoisted guard of the scalar loop, four rows at a time.
+        std::int64_t kk = 0;
+        for (; kk + 4 <= kn; kk += 4) {
+          const double a0 = ai[kk + 0];
+          const double a1 = ai[kk + 1];
+          const double a2 = ai[kk + 2];
+          const double a3 = ai[kk + 3];
+          if (std::isinf(a0) && std::isinf(a1) && std::isinf(a2) &&
+              std::isinf(a3)) {
+            continue;  // no path through any of these four k's
+          }
+          const double* b0 = b + (k0 + kk + 0) * ldb + j0;
+          const double* b1 = b + (k0 + kk + 1) * ldb + j0;
+          const double* b2 = b + (k0 + kk + 2) * ldb + j0;
+          const double* b3 = b + (k0 + kk + 3) * ldb + j0;
+          // Branch-free min so the compiler emits vector minpd; exact-row
+          // aliasing of c with a B row (in-place phase updates) is safe
+          // because every lane reads before it writes.
+          for (std::int64_t j = 0; j < jn; ++j) {
+            double cj = ci[j];
+            const double v0 = a0 + b0[j];
+            cj = v0 < cj ? v0 : cj;
+            const double v1 = a1 + b1[j];
+            cj = v1 < cj ? v1 : cj;
+            const double v2 = a2 + b2[j];
+            cj = v2 < cj ? v2 : cj;
+            const double v3 = a3 + b3[j];
+            cj = v3 < cj ? v3 : cj;
+            ci[j] = cj;
+          }
+        }
+        for (; kk < kn; ++kk) {
+          const double aik = ai[kk];
+          if (std::isinf(aik)) continue;  // hoisted: no path through kk
+          const double* bk = b + (k0 + kk) * ldb + j0;
+          for (std::int64_t j = 0; j < jn; ++j) {
+            const double via = aik + bk[j];
+            ci[j] = via < ci[j] ? via : ci[j];
+          }
+        }
+      }
+    }
+  }
+}
+
+/// Blocked 3-phase Floyd-Warshall over a raw n x n matrix with leading
+/// dimension lda. Phase-2/phase-3 tile updates reuse the min-plus
+/// micro-kernel; with `parallel` they fan out on the host pool (tiles write
+/// disjoint output, so the phases are race-free).
+void BlockedFloydWarshallRaw(std::int64_t n, double* a, std::int64_t lda,
+                             std::int64_t block, bool tiled, bool parallel) {
+  const std::int64_t q = (n + block - 1) / block;
+  auto tile = [&](std::int64_t bi, std::int64_t bj) {
+    return a + bi * block * lda + bj * block;
+  };
+  auto dim = [&](std::int64_t bi) { return std::min(block, n - bi * block); };
+  auto update = [&](std::int64_t m2, std::int64_t n2, std::int64_t k2,
+                    const double* ta, const double* tb, double* tc) {
+    if (tiled) {
+      MinPlusAccumulateRawTiled(m2, n2, k2, ta, lda, tb, lda, tc, lda,
+                                /*parallel=*/false);
+    } else {
+      MinPlusAccumulateRawNaive(m2, n2, k2, ta, lda, tb, lda, tc, lda);
+    }
+  };
+  for (std::int64_t t = 0; t < q; ++t) {
+    const std::int64_t bt = dim(t);
+    // Phase 1: close the diagonal tile.
+    FloydWarshallRawScalar(bt, tile(t, t), lda);
+    // Phase 2: row and column tiles through the diagonal tile.
+    auto phase2 = [&](std::int64_t j) {
+      if (j == t) return;
+      const std::int64_t bj = dim(j);
+      // Row tile: A[t][j] = min(A[t][j], A[t][t] (min,+) A[t][j]).
+      update(bt, bj, bt, tile(t, t), tile(t, j), tile(t, j));
+      // Column tile: A[j][t] = min(A[j][t], A[j][t] (min,+) A[t][t]).
+      update(bj, bt, bt, tile(j, t), tile(t, t), tile(j, t));
+    };
+    // Phase 3: remaining tiles through the freshly updated row/column.
+    auto phase3 = [&](std::int64_t i) {
+      if (i == t) return;
+      const std::int64_t bi = dim(i);
+      for (std::int64_t j = 0; j < q; ++j) {
+        if (j == t) continue;
+        update(bi, dim(j), bt, tile(i, t), tile(t, j), tile(i, j));
+      }
+    };
+    if (parallel && q > 2) {
+      ThreadPool& pool = KernelThreadPool();
+      pool.ParallelFor(static_cast<std::size_t>(q), [&](std::size_t j) {
+        phase2(static_cast<std::int64_t>(j));
+      });
+      pool.ParallelFor(static_cast<std::size_t>(q), [&](std::size_t i) {
+        phase3(static_cast<std::int64_t>(i));
+      });
+    } else {
+      for (std::int64_t j = 0; j < q; ++j) phase2(j);
+      for (std::int64_t i = 0; i < q; ++i) phase3(i);
+    }
+  }
+}
+
 }  // namespace
 
-void MinPlusAccumulateRaw(std::int64_t m, std::int64_t n, std::int64_t k,
-                          const double* a, std::int64_t lda, const double* b,
-                          std::int64_t ldb, double* c, std::int64_t ldc) {
-  // i-k-j order: the inner loop streams rows of B and C, which vectorizes
-  // well and is the min-plus analogue of the classic GEMM loop ordering.
+void MinPlusAccumulateRawNaive(std::int64_t m, std::int64_t n, std::int64_t k,
+                               const double* a, std::int64_t lda,
+                               const double* b, std::int64_t ldb, double* c,
+                               std::int64_t ldc) {
+  // i-k-j order: the inner loop streams rows of B and C, the min-plus
+  // analogue of the classic GEMM loop ordering — but unblocked: every row
+  // of C streams the whole of B through the cache hierarchy.
   for (std::int64_t i = 0; i < m; ++i) {
     double* ci = c + i * ldc;
     const double* ai = a + i * lda;
@@ -35,6 +191,62 @@ void MinPlusAccumulateRaw(std::int64_t m, std::int64_t n, std::int64_t k,
   }
 }
 
+void MinPlusAccumulateRawTiled(std::int64_t m, std::int64_t n, std::int64_t k,
+                               const double* a, std::int64_t lda,
+                               const double* b, std::int64_t ldb, double* c,
+                               std::int64_t ldc, bool parallel) {
+  const KernelTuning tuning = GetKernelTuning();
+  // Row striping is only safe when no stripe's C rows are another stripe's
+  // A/B input (the in-place Kleene and phase updates alias them); overlap
+  // forces the sequential path.
+  const auto overlaps = [&](const double* p, std::int64_t rows,
+                            std::int64_t ld, std::int64_t cols) {
+    const auto lo = reinterpret_cast<std::uintptr_t>(p);
+    const auto hi = lo + static_cast<std::uintptr_t>((rows - 1) * ld + cols) *
+                             sizeof(double);
+    const auto clo = reinterpret_cast<std::uintptr_t>(c);
+    const auto chi = clo + static_cast<std::uintptr_t>((m - 1) * ldc + n) *
+                               sizeof(double);
+    return lo < chi && clo < hi;
+  };
+  if (parallel && (overlaps(a, m, lda, k) || overlaps(b, k, ldb, n))) {
+    parallel = false;
+  }
+  const std::int64_t stripes = parallel ? ParallelStripes(m, n, tuning) : 1;
+  if (stripes <= 1) {
+    MinPlusTiledRows(0, m, n, k, a, lda, b, ldb, c, ldc, tuning);
+    return;
+  }
+  const std::int64_t rows_per_stripe = (m + stripes - 1) / stripes;
+  KernelThreadPool().ParallelFor(
+      static_cast<std::size_t>(stripes), [&](std::size_t s) {
+        const std::int64_t i0 =
+            static_cast<std::int64_t>(s) * rows_per_stripe;
+        const std::int64_t i1 = std::min(m, i0 + rows_per_stripe);
+        if (i0 < i1) {
+          MinPlusTiledRows(i0, i1, n, k, a, lda, b, ldb, c, ldc, tuning);
+        }
+      });
+}
+
+void MinPlusAccumulateRaw(std::int64_t m, std::int64_t n, std::int64_t k,
+                          const double* a, std::int64_t lda, const double* b,
+                          std::int64_t ldb, double* c, std::int64_t ldc) {
+  switch (GetKernelVariant()) {
+    case KernelVariant::kNaive:
+      MinPlusAccumulateRawNaive(m, n, k, a, lda, b, ldb, c, ldc);
+      return;
+    case KernelVariant::kTiled:
+      MinPlusAccumulateRawTiled(m, n, k, a, lda, b, ldb, c, ldc,
+                                /*parallel=*/false);
+      return;
+    case KernelVariant::kTiledParallel:
+      MinPlusAccumulateRawTiled(m, n, k, a, lda, b, ldb, c, ldc,
+                                /*parallel=*/true);
+      return;
+  }
+}
+
 DenseBlock MinPlusProduct(const DenseBlock& a, const DenseBlock& b) {
   CheckProductShapes(a, b);
   if (a.is_phantom() || b.is_phantom()) {
@@ -46,11 +258,10 @@ DenseBlock MinPlusProduct(const DenseBlock& a, const DenseBlock& b) {
   return c;
 }
 
-void MinPlusAccumulate(const DenseBlock& a, const DenseBlock& b,
-                       DenseBlock& c) {
+void MinPlusUpdate(const DenseBlock& a, const DenseBlock& b, DenseBlock& c) {
   CheckProductShapes(a, b);
   if (c.rows() != a.rows() || c.cols() != b.cols()) {
-    throw std::invalid_argument("min-plus accumulate: output shape mismatch");
+    throw std::invalid_argument("min-plus update: output shape mismatch");
   }
   if (a.is_phantom() || b.is_phantom() || c.is_phantom()) {
     c = DenseBlock::Phantom(a.rows(), b.cols());
@@ -87,17 +298,20 @@ void ElementMinInPlace(DenseBlock& a, const DenseBlock& b) {
 }
 
 void FloydWarshallRaw(std::int64_t n, double* a, std::int64_t lda) {
-  for (std::int64_t k = 0; k < n; ++k) {
-    const double* ak = a + k * lda;
-    for (std::int64_t i = 0; i < n; ++i) {
-      double* ai = a + i * lda;
-      const double aik = ai[k];
-      if (std::isinf(aik)) continue;
-      for (std::int64_t j = 0; j < n; ++j) {
-        const double via = aik + ak[j];
-        if (via < ai[j]) ai[j] = via;
+  const KernelTuning tuning = GetKernelTuning();
+  switch (tuning.variant) {
+    case KernelVariant::kNaive:
+      FloydWarshallRawScalar(n, a, lda);
+      return;
+    case KernelVariant::kTiled:
+    case KernelVariant::kTiledParallel:
+      if (n <= tuning.fw_block) {
+        FloydWarshallRawScalar(n, a, lda);
+        return;
       }
-    }
+      BlockedFloydWarshallRaw(n, a, lda, tuning.fw_block, /*tiled=*/true,
+                              tuning.variant == KernelVariant::kTiledParallel);
+      return;
   }
 }
 
@@ -109,7 +323,13 @@ void FloydWarshallInPlace(DenseBlock& a) {
   FloydWarshallRaw(a.rows(), a.mutable_data(), a.cols());
 }
 
-void NaiveFloydWarshall(DenseBlock& a) { FloydWarshallInPlace(a); }
+void ReferenceFloydWarshall(DenseBlock& a) {
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument("Floyd-Warshall: block must be square");
+  }
+  if (a.is_phantom()) return;
+  FloydWarshallRawScalar(a.rows(), a.mutable_data(), a.cols());
+}
 
 void OuterSumMinUpdate(DenseBlock& a, const DenseBlock& u,
                        const DenseBlock& v) {
@@ -129,7 +349,7 @@ void OuterSumMinUpdate(DenseBlock& a, const DenseBlock& u,
     double* ai = a.MutableRow(i);
     for (std::int64_t j = 0; j < a.cols(); ++j) {
       const double via = ui + pv[j];
-      if (via < ai[j]) ai[j] = via;
+      ai[j] = via < ai[j] ? via : ai[j];
     }
   }
 }
@@ -142,43 +362,10 @@ void BlockedFloydWarshall(DenseBlock& a, std::int64_t block_size) {
     throw std::invalid_argument("blocked Floyd-Warshall: block size must be > 0");
   }
   if (a.is_phantom()) return;
-  const std::int64_t n = a.rows();
-  double* base = a.mutable_data();
-  const std::int64_t ld = n;
-  auto tile = [&](std::int64_t bi, std::int64_t bj) {
-    return base + bi * block_size * ld + bj * block_size;
-  };
-  auto dim = [&](std::int64_t bi) {
-    return std::min(block_size, n - bi * block_size);
-  };
-  const std::int64_t q = (n + block_size - 1) / block_size;
-  for (std::int64_t t = 0; t < q; ++t) {
-    const std::int64_t bt = dim(t);
-    // Phase 1: close the diagonal tile.
-    FloydWarshallRaw(bt, tile(t, t), ld);
-    // Phase 2: row and column tiles through the diagonal tile.
-    for (std::int64_t j = 0; j < q; ++j) {
-      if (j == t) continue;
-      const std::int64_t bj = dim(j);
-      // Row tile: A[t][j] = min(A[t][j], A[t][t] (min,+) A[t][j]).
-      MinPlusAccumulateRaw(bt, bj, bt, tile(t, t), ld, tile(t, j), ld,
-                           tile(t, j), ld);
-      // Column tile: A[j][t] = min(A[j][t], A[j][t] (min,+) A[t][t]).
-      MinPlusAccumulateRaw(bj, bt, bt, tile(j, t), ld, tile(t, t), ld,
-                           tile(j, t), ld);
-    }
-    // Phase 3: remaining tiles through the freshly updated row/column.
-    for (std::int64_t i = 0; i < q; ++i) {
-      if (i == t) continue;
-      const std::int64_t bi = dim(i);
-      for (std::int64_t j = 0; j < q; ++j) {
-        if (j == t) continue;
-        const std::int64_t bj = dim(j);
-        MinPlusAccumulateRaw(bi, bj, bt, tile(i, t), ld, tile(t, j), ld,
-                             tile(i, j), ld);
-      }
-    }
-  }
+  const KernelVariant variant = GetKernelVariant();
+  BlockedFloydWarshallRaw(a.rows(), a.mutable_data(), a.cols(), block_size,
+                          variant != KernelVariant::kNaive,
+                          variant == KernelVariant::kTiledParallel);
 }
 
 }  // namespace apspark::linalg

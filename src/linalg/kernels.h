@@ -1,4 +1,4 @@
-// Sequential "bare-metal" kernels.
+// Dense min-plus kernels — the compute core of the engine.
 //
 // These are the C++ equivalents of the operations the paper offloads from
 // pySpark to NumPy/SciPy (Intel MKL) and Numba: min-plus matrix product,
@@ -6,6 +6,15 @@
 // used by 2D Floyd-Warshall, and the cache-blocked sequential Floyd-Warshall
 // of Venkataraman et al. used both as the diagonal-block solver and as the
 // single-core reference (T1) for weak-scaling efficiency.
+//
+// Every entry point dispatches through the process-global kernel registry
+// (linalg/kernel_registry.h): the naive scalar loops, the cache-tiled fused
+// loops, or the tiled loops fanned out on the host ThreadPool. The tiled
+// kernels reorder only the (min, +) reduction — candidates a_ik + b_kj are
+// computed identically — so every variant produces bitwise-identical
+// min-plus products. ReferenceFloydWarshall / MinPlusAccumulateRawNaive are
+// fixed scalar implementations that never dispatch; tests use them as
+// oracles.
 //
 // All kernels propagate phantom blocks: if any operand is phantom, the result
 // is a phantom of the correct shape and no arithmetic is performed (cost
@@ -15,22 +24,25 @@
 #include <cstdint>
 
 #include "linalg/dense_block.h"
+#include "linalg/kernel_registry.h"
 
 namespace apspark::linalg {
 
 /// C = A (min,+) B. Requires a.cols() == b.rows().
 DenseBlock MinPlusProduct(const DenseBlock& a, const DenseBlock& b);
 
-/// c = min(c, A (min,+) B) element-wise, in place.
+/// Fused update: c = min(c, A (min,+) B) element-wise, in place — the hot
+/// path of every blocked solver. One pass, no intermediate product block.
 /// Requires c.rows() == a.rows(), c.cols() == b.cols(), a.cols() == b.rows().
-void MinPlusAccumulate(const DenseBlock& a, const DenseBlock& b, DenseBlock& c);
+void MinPlusUpdate(const DenseBlock& a, const DenseBlock& b, DenseBlock& c);
 
 /// Element-wise minimum (the paper's MatMin).
 DenseBlock ElementMin(const DenseBlock& a, const DenseBlock& b);
 void ElementMinInPlace(DenseBlock& a, const DenseBlock& b);
 
 /// In-place Floyd-Warshall over a square block: closes paths through the
-/// block's own vertices (the paper's FloydWarshall building block).
+/// block's own vertices (the paper's FloydWarshall building block). Tiled
+/// variants run the 3-phase blocked decomposition at tuning.fw_block.
 void FloydWarshallInPlace(DenseBlock& a);
 
 /// a_ij = min(a_ij, u_i + v_j) where u is a rows x 1 and v a cols x 1 vector
@@ -39,20 +51,41 @@ void OuterSumMinUpdate(DenseBlock& a, const DenseBlock& u, const DenseBlock& v);
 
 /// Sequential cache-blocked Floyd-Warshall (Venkataraman et al. [23]) over a
 /// full n x n matrix, tile size `block_size`. This is the "efficient
-/// sequential Floyd-Warshall as implemented in SciPy" used for T1.
+/// sequential Floyd-Warshall as implemented in SciPy" used for T1. Under
+/// kTiledParallel the phase-2/phase-3 tile updates fan out on the host pool.
 void BlockedFloydWarshall(DenseBlock& a, std::int64_t block_size);
 
-/// Plain textbook k-i-j Floyd-Warshall (reference for tests).
-void NaiveFloydWarshall(DenseBlock& a);
+/// Plain textbook k-i-j Floyd-Warshall. Never dispatches through the
+/// registry — this is the fixed scalar oracle tests compare against.
+void ReferenceFloydWarshall(DenseBlock& a);
 
-// --- Raw strided kernels (used by the blocked solver; exposed for tests) ---
+// --- Raw strided kernels (used by the blocked solvers; exposed for tests) --
 
-/// C[mxn] = min(C, A[mxk] (min,+) B[kxn]) with leading dimensions lda/ldb/ldc.
+/// C[mxn] = min(C, A[mxk] (min,+) B[kxn]) with leading dimensions
+/// lda/ldb/ldc. Dispatches on the registry variant. In-place aliasing of C
+/// with A or B rows is supported (the blocked Floyd-Warshall phases rely on
+/// it).
 void MinPlusAccumulateRaw(std::int64_t m, std::int64_t n, std::int64_t k,
                           const double* a, std::int64_t lda, const double* b,
                           std::int64_t ldb, double* c, std::int64_t ldc);
 
-/// In-place FW on an n x n tile with leading dimension lda.
+/// Fixed scalar i-k-j implementation (the seed's original loop): baseline
+/// for benchmarks and oracle for tests.
+void MinPlusAccumulateRawNaive(std::int64_t m, std::int64_t n, std::int64_t k,
+                               const double* a, std::int64_t lda,
+                               const double* b, std::int64_t ldb, double* c,
+                               std::int64_t ldc);
+
+/// Register/cache-tiled micro-kernel: k and j are tiled so one B panel stays
+/// L2-resident and one C/B row segment L1-resident; the isinf guard is
+/// hoisted out of the vectorizable inner loop. `parallel` additionally
+/// splits the m rows into stripes on the host pool.
+void MinPlusAccumulateRawTiled(std::int64_t m, std::int64_t n, std::int64_t k,
+                               const double* a, std::int64_t lda,
+                               const double* b, std::int64_t ldb, double* c,
+                               std::int64_t ldc, bool parallel = false);
+
+/// In-place FW on an n x n tile with leading dimension lda (dispatches).
 void FloydWarshallRaw(std::int64_t n, double* a, std::int64_t lda);
 
 }  // namespace apspark::linalg

@@ -30,7 +30,8 @@ std::string ClusterConfig::Summary() const {
   out << nodes << " nodes x " << cores_per_node << " cores, "
       << FormatBytes(executor_memory_bytes) << " RAM/node, "
       << FormatBytes(local_storage_bytes) << " local storage/node, net "
-      << FormatRate(network.bandwidth_bytes_per_sec);
+      << FormatRate(network.bandwidth_bytes_per_sec) << ", kernels "
+      << linalg::KernelVariantName(kernel_variant);
   return out.str();
 }
 

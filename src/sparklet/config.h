@@ -11,6 +11,7 @@
 #include <string>
 
 #include "common/bytes.h"
+#include "linalg/kernel_registry.h"
 
 namespace apspark::sparklet {
 
@@ -52,6 +53,12 @@ struct ClusterConfig {
   /// How many times a failed task is retried before the job aborts
   /// (spark.task.maxFailures defaults to 4).
   int max_task_failures = 4;
+  /// Which linalg kernel implementation the solvers select before running
+  /// (see linalg/kernel_registry.h). Host-side only: virtual-cluster time is
+  /// always charged from the calibrated cost model, so changing the variant
+  /// changes how fast real blocks are crunched on this machine, never the
+  /// modelled cluster seconds.
+  linalg::KernelVariant kernel_variant = linalg::KernelVariant::kTiled;
   /// Serialization/deserialization cost per byte crossing a process
   /// boundary (pySpark pickling is slow, ~300 MB/s per core).
   double serde_seconds_per_byte = 3e-9;

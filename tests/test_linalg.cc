@@ -2,6 +2,9 @@
 // Floyd-Warshall variants, phantom propagation, serialization, cost model.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstring>
+
 #include "common/rng.h"
 #include "linalg/cost_model.h"
 #include "linalg/dense_block.h"
@@ -142,12 +145,12 @@ TEST(Kernels, MinPlusWithIdentityIsNoWorse) {
   EXPECT_TRUE(MinPlusProduct(id, a).ApproxEquals(a));
 }
 
-TEST(Kernels, MinPlusAccumulateOnlyImproves) {
+TEST(Kernels, MinPlusUpdateOnlyImproves) {
   const DenseBlock a = RandomBlock(6, 6, 6);
   const DenseBlock b = RandomBlock(6, 6, 7);
   DenseBlock c = RandomBlock(6, 6, 8);
   const DenseBlock before = c;
-  MinPlusAccumulate(a, b, c);
+  MinPlusUpdate(a, b, c);
   for (std::int64_t i = 0; i < c.size(); ++i) {
     EXPECT_LE(c.data()[i], before.data()[i]);
   }
@@ -210,6 +213,175 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(Kernels, FloydWarshallRequiresSquare) {
   DenseBlock rect(3, 4, 1.0);
   EXPECT_THROW(FloydWarshallInPlace(rect), std::invalid_argument);
+  EXPECT_THROW(ReferenceFloydWarshall(rect), std::invalid_argument);
+}
+
+// --- kernel variant properties ------------------------------------------
+//
+// Every registry variant must agree with the fixed scalar reference. The
+// min-plus kernels must agree *bitwise*: tiling and striping only reorder
+// the (min) reduction, candidates a_ik + b_kj are computed identically.
+
+// Pins a kernel variant for one test, restoring the previous tuning
+// afterwards so test order cannot leak configuration.
+using ScopedVariant = ScopedKernelVariant;
+
+const KernelVariant kAllVariants[] = {KernelVariant::kNaive,
+                                      KernelVariant::kTiled,
+                                      KernelVariant::kTiledParallel};
+
+bool BitwiseEqual(const DenseBlock& a, const DenseBlock& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  for (std::int64_t i = 0; i < a.size(); ++i) {
+    const double x = a.data()[i];
+    const double y = b.data()[i];
+    if (std::isinf(x) || std::isinf(y)) {
+      if (x != y) return false;
+    } else if (std::memcmp(&x, &y, sizeof(double)) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(KernelVariants, MinPlusUpdateBitwiseEqualAcrossVariants) {
+  // Rectangular shapes, including dims that do not divide the tile sizes.
+  const struct {
+    std::int64_t m, n, k;
+  } shapes[] = {{1, 1, 1},   {5, 3, 9},    {64, 64, 64},
+                {63, 65, 31}, {130, 70, 33}, {97, 201, 129}};
+  for (const auto& s : shapes) {
+    for (double inf_fraction : {0.0, 0.3, 0.95}) {
+      const DenseBlock a =
+          RandomBlock(s.m, s.k, 1000 + static_cast<std::uint64_t>(s.m),
+                      inf_fraction);
+      const DenseBlock b =
+          RandomBlock(s.k, s.n, 2000 + static_cast<std::uint64_t>(s.n),
+                      inf_fraction);
+      const DenseBlock c0 =
+          RandomBlock(s.m, s.n, 3000 + static_cast<std::uint64_t>(s.k),
+                      inf_fraction);
+      DenseBlock expected = c0;
+      MinPlusAccumulateRawNaive(s.m, s.n, s.k, a.data(), s.k, b.data(), s.n,
+                                expected.mutable_data(), s.n);
+      for (KernelVariant v : kAllVariants) {
+        ScopedVariant scope(v);
+        DenseBlock c = c0;
+        MinPlusUpdate(a, b, c);
+        EXPECT_TRUE(BitwiseEqual(c, expected))
+            << KernelVariantName(v) << " m=" << s.m << " n=" << s.n
+            << " k=" << s.k << " inf=" << inf_fraction;
+      }
+    }
+  }
+}
+
+TEST(KernelVariants, MinPlusProductBitwiseEqualAcrossVariants) {
+  const DenseBlock a = RandomBlock(150, 90, 41, 0.25);
+  const DenseBlock b = RandomBlock(90, 170, 42, 0.25);
+  const DenseBlock expected = [&] {
+    ScopedVariant scope(KernelVariant::kNaive);
+    return MinPlusProduct(a, b);
+  }();
+  EXPECT_TRUE(expected.ApproxEquals(NaiveMinPlus(a, b)));
+  for (KernelVariant v : kAllVariants) {
+    ScopedVariant scope(v);
+    EXPECT_TRUE(BitwiseEqual(MinPlusProduct(a, b), expected))
+        << KernelVariantName(v);
+  }
+}
+
+TEST(KernelVariants, TinyTileSizesStayCorrect) {
+  // Degenerate tiling parameters must not change results.
+  KernelTuning tuning;
+  tuning.variant = KernelVariant::kTiled;
+  tuning.tile_j = 1;
+  tuning.tile_k = 1;
+  tuning.fw_block = 1;
+  const KernelTuning saved = GetKernelTuning();
+  SetKernelTuning(tuning);
+  const DenseBlock a = RandomBlock(17, 13, 51, 0.2);
+  const DenseBlock b = RandomBlock(13, 19, 52, 0.2);
+  DenseBlock c = RandomBlock(17, 19, 53, 0.2);
+  DenseBlock expected = c;
+  MinPlusAccumulateRawNaive(17, 19, 13, a.data(), 13, b.data(), 19,
+                            expected.mutable_data(), 19);
+  MinPlusUpdate(a, b, c);
+  SetKernelTuning(saved);
+  EXPECT_TRUE(BitwiseEqual(c, expected));
+}
+
+DenseBlock RandomGraphMatrix(std::int64_t n, std::uint64_t seed, bool directed,
+                             double inf_fraction) {
+  DenseBlock adj = RandomBlock(n, n, seed, inf_fraction);
+  for (std::int64_t i = 0; i < n; ++i) adj.Set(i, i, 0.0);
+  if (!directed) {
+    for (std::int64_t i = 0; i < n; ++i) {
+      for (std::int64_t j = i + 1; j < n; ++j) adj.Set(j, i, adj.At(i, j));
+    }
+  }
+  return adj;
+}
+
+TEST(KernelVariants, FloydWarshallMatchesReferenceOracle) {
+  for (bool directed : {false, true}) {
+    for (double inf_fraction : {0.3, 0.7}) {
+      // n chosen to not divide the fw tile below.
+      const DenseBlock adj = RandomGraphMatrix(
+          101, directed ? 61u : 62u, directed, inf_fraction);
+      DenseBlock expected = adj;
+      ReferenceFloydWarshall(expected);
+      KernelTuning tuning;
+      tuning.fw_block = 16;  // force multiple ragged tiles
+      for (KernelVariant v : kAllVariants) {
+        const KernelTuning saved = GetKernelTuning();
+        tuning.variant = v;
+        SetKernelTuning(tuning);
+        DenseBlock fw = adj;
+        FloydWarshallInPlace(fw);
+        SetKernelTuning(saved);
+        EXPECT_TRUE(fw.ApproxEquals(expected, 1e-9))
+            << KernelVariantName(v) << " directed=" << directed
+            << " inf=" << inf_fraction;
+      }
+    }
+  }
+}
+
+TEST(KernelVariants, BlockedFloydWarshallAllVariantsAllTiles) {
+  const DenseBlock adj = RandomGraphMatrix(53, 77, /*directed=*/true, 0.5);
+  DenseBlock expected = adj;
+  ReferenceFloydWarshall(expected);
+  for (KernelVariant v : kAllVariants) {
+    for (std::int64_t tile : {1, 7, 16, 53, 64}) {
+      ScopedVariant scope(v);
+      DenseBlock blocked = adj;
+      BlockedFloydWarshall(blocked, tile);
+      EXPECT_TRUE(blocked.ApproxEquals(expected, 1e-9))
+          << KernelVariantName(v) << " tile=" << tile;
+    }
+  }
+}
+
+TEST(KernelVariants, PhantomPropagationIndependentOfVariant) {
+  for (KernelVariant v : kAllVariants) {
+    ScopedVariant scope(v);
+    DenseBlock c = DenseBlock::Phantom(4, 6);
+    MinPlusUpdate(DenseBlock::Phantom(4, 5), DenseBlock::Phantom(5, 6), c);
+    EXPECT_TRUE(c.is_phantom());
+    DenseBlock fw = DenseBlock::Phantom(32, 32);
+    FloydWarshallInPlace(fw);
+    EXPECT_TRUE(fw.is_phantom());
+  }
+}
+
+TEST(KernelVariants, ParseAndNameRoundTrip) {
+  for (KernelVariant v : kAllVariants) {
+    const auto parsed = ParseKernelVariant(KernelVariantName(v));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, v);
+  }
+  EXPECT_FALSE(ParseKernelVariant("gpu").has_value());
 }
 
 // --- phantom propagation -----------------------------------------------

@@ -4,6 +4,7 @@
 //                  [--solver rs|fw2d|im|cb] [--block B] [--partitioner md|ph]
 //                  [--cores C] [--directed] [--output <distances.txt>]
 //                  [--checkpoint-every K]
+//                  [--kernel naive|tiled|tiled_parallel]  host kernel engine
 //   apspark plan   --n N [--cores C] [--fault-tolerant]   recommend a config
 //   apspark model  --n N [--cores C] [--solver ...] [--block B] [--rounds R]
 //                  paper-scale phantom run, projected time + metrics
@@ -18,6 +19,7 @@
 #include "common/time_utils.h"
 #include "graph/generators.h"
 #include "graph/io.h"
+#include "linalg/kernel_registry.h"
 
 namespace {
 
@@ -37,6 +39,7 @@ struct Args {
   std::int64_t checkpoint_every = 0;
   bool directed = false;
   bool fault_tolerant = false;
+  std::string kernel = "tiled";
 };
 
 int Usage() {
@@ -46,6 +49,7 @@ int Usage() {
                "        [--solver rs|fw2d|im|cb] [--block B]\n"
                "        [--partitioner md|ph] [--cores C] [--directed]\n"
                "        [--output FILE] [--checkpoint-every K]\n"
+               "        [--kernel naive|tiled|tiled_parallel]\n"
                "  plan  --n N [--cores C] [--fault-tolerant]\n"
                "  model --n N [--cores C] [--solver ...] [--block B]"
                " [--rounds R]\n");
@@ -100,6 +104,10 @@ bool ParseArgs(int argc, char** argv, Args& args) {
       const char* v = next();
       if (!v) return false;
       args.checkpoint_every = std::atoll(v);
+    } else if (flag == "--kernel") {
+      const char* v = next();
+      if (!v) return false;
+      args.kernel = v;
     } else if (flag == "--directed") {
       args.directed = true;
     } else if (flag == "--fault-tolerant") {
@@ -153,6 +161,12 @@ int RunSolve(const Args& args) {
   cluster.nodes = std::max(1, args.cores / 2);
   cluster.cores_per_node = 2;
   cluster.local_storage_bytes = 64ULL * kGiB;
+  const auto kernel = linalg::ParseKernelVariant(args.kernel);
+  if (!kernel.has_value()) {
+    std::fprintf(stderr, "unknown kernel variant '%s'\n", args.kernel.c_str());
+    return 1;
+  }
+  cluster.kernel_variant = *kernel;
 
   auto solver = apsp::MakeSolver(*kind);
   std::printf("solving %s with %s (b = %lld)\n", g.Summary().c_str(),
