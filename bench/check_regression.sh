@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Bench-regression gate: compares a fresh bench_fig2_kernels run against the
+# committed BENCH_kernels.json and fails on a tiled min-plus regression at
+# b = 1024 (the ROADMAP perf-trajectory tracker).
+#
+# Usage: check_regression.sh <measured.json> <baseline.json> [--metric M]
+#   M = gops     absolute tiled min-plus Gops (default; meaningful when the
+#                baseline was produced on comparable hardware)
+#   M = speedup  tiled speedup over naive measured in the same run — the
+#                machine-normalized metric CI uses, since hosted runners
+#                differ from the machine that produced the committed file
+#
+# Env: APSPARK_BENCH_TOLERANCE  allowed fractional regression (default 0.10)
+set -euo pipefail
+
+if [[ $# -lt 2 ]]; then
+  echo "usage: $0 <measured.json> <baseline.json> [--metric gops|speedup]" >&2
+  exit 2
+fi
+measured="$1"
+baseline="$2"
+metric="gops"
+if [[ "${3:-}" == "--metric" ]]; then
+  metric="${4:?--metric needs a value}"
+fi
+case "$metric" in
+  gops) field="gops" ;;
+  speedup) field="speedup_vs_naive" ;;
+  *) echo "unknown metric '$metric'" >&2; exit 2 ;;
+esac
+tolerance="${APSPARK_BENCH_TOLERANCE:-0.10}"
+
+# The bench writes one result object per line, so the tiled min-plus b=1024
+# record is greppable without a JSON parser. The '|| true' keeps a missing
+# record from tripping set -e inside the command substitution, so the
+# explicit FAIL diagnostic below can fire.
+extract() {
+  { grep '"kernel": "minplus"' "$1" \
+      | grep '"variant": "tiled"' \
+      | grep '"b": 1024' \
+      | grep -oE "\"$field\": [0-9.eE+-]+" \
+      | head -1 | awk '{print $2}'; } || true
+}
+
+measured_value="$(extract "$measured")"
+baseline_value="$(extract "$baseline")"
+if [[ -z "$measured_value" || -z "$baseline_value" ]]; then
+  echo "FAIL: tiled minplus b=1024 record missing" \
+       "(measured='$measured_value' baseline='$baseline_value')" >&2
+  exit 1
+fi
+
+echo "tiled minplus b=1024 $metric: measured $measured_value," \
+     "baseline $baseline_value, tolerance $tolerance"
+if awk -v m="$measured_value" -v b="$baseline_value" -v t="$tolerance" \
+     'BEGIN { exit !(m >= b * (1 - t)) }'; then
+  echo "OK: within tolerance"
+else
+  echo "FAIL: tiled minplus $metric regressed more than ${tolerance} vs" \
+       "committed baseline" >&2
+  exit 1
+fi

@@ -37,6 +37,10 @@ struct BlockKey {
 /// Plain matrix-block record: ((I,J), A_IJ).
 using BlockRecord = std::pair<BlockKey, linalg::BlockPtr>;
 
+/// Frontier panel record of a batched k-source solve: (row-block index I,
+/// b_I x k panel of the resident n x k frontier).
+using PanelRecord = std::pair<std::int64_t, linalg::BlockPtr>;
+
 /// Role of a block travelling through the Blocked In-Memory combine steps.
 enum class BlockRole : std::uint8_t {
   kOriginal = 0,  // the resident A_IJ

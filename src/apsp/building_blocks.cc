@@ -76,6 +76,16 @@ BlockPtr MinPlus(const BlockPtr& a, const BlockPtr& b,
   return MinPlusInto(a, a, b, tc);
 }
 
+BlockPtr MinPlusRect(const BlockPtr& base, const BlockPtr& a,
+                     const BlockPtr& panel, sparklet::TaskContext& tc) {
+  tc.ChargeCompute(
+      tc.cost_model().MinPlusSeconds(a->rows(), panel->cols(), a->cols()) +
+      tc.cost_model().ElementwiseSeconds(base->size()));
+  DenseBlock out = *base;
+  linalg::MinPlusUpdateRect(*a, *panel, out);
+  return linalg::MakeBlock(std::move(out));
+}
+
 BlockPtr FloydWarshall(const BlockPtr& a, sparklet::TaskContext& tc) {
   tc.ChargeCompute(tc.cost_model().FloydWarshallSeconds(a->rows()));
   DenseBlock closed = *a;

@@ -48,6 +48,15 @@ linalg::BlockPtr MinPlusInto(const linalg::BlockPtr& base,
                              const linalg::BlockPtr& b,
                              sparklet::TaskContext& tc);
 
+/// MinPlusRect: panel' = min(base, A (min,+) panel) in one fused pass via
+/// the rectangular panel kernel (linalg::MinPlusUpdateRect) — the hot kernel
+/// of the batched k-source frontier sweep. Charges the same modelled time as
+/// MatProd followed by MatMin on the panel shape.
+linalg::BlockPtr MinPlusRect(const linalg::BlockPtr& base,
+                             const linalg::BlockPtr& a,
+                             const linalg::BlockPtr& panel,
+                             sparklet::TaskContext& tc);
+
 /// FloydWarshall: closes a diagonal block with the sequential solver.
 linalg::BlockPtr FloydWarshall(const linalg::BlockPtr& a,
                                sparklet::TaskContext& tc);

@@ -1,56 +1,18 @@
 #include "apsp/solvers/blocked_collect_broadcast.h"
 
-#include <unordered_map>
-
 #include "apsp/building_blocks.h"
 #include "apsp/checkpoint.h"
-#include "common/serial.h"
+#include "apsp/solvers/staging.h"
 
 namespace apspark::apsp {
 
 using linalg::BlockPtr;
-using linalg::DenseBlock;
 using sparklet::RddPtr;
-using sparklet::SparkletAbort;
 using sparklet::TaskContext;
-
-namespace {
-
-std::string DiagKey(std::int64_t i) {
-  return "cb/" + std::to_string(i) + "/diag";
-}
-
-std::string LeftKey(std::int64_t i, std::int64_t x) {
-  return "cb/" + std::to_string(i) + "/L/" + std::to_string(x);
-}
-
-std::string RightKey(std::int64_t i, std::int64_t x) {
-  return "cb/" + std::to_string(i) + "/R/" + std::to_string(x);
-}
-
-void StageBlock(sparklet::SparkletContext& ctx, const std::string& key,
-                const DenseBlock& block) {
-  BinaryWriter writer;
-  block.Serialize(writer);
-  ctx.DriverWriteShared(key, std::move(writer).TakeBuffer(),
-                        block.SerializedBytes());
-}
-
-BlockPtr ReadBlock(std::unordered_map<std::string, BlockPtr>& cache,
-                   const std::string& key, TaskContext& tc) {
-  auto it = cache.find(key);
-  if (it != cache.end()) return it->second;
-  auto obj = tc.ReadShared(key);
-  if (!obj.ok()) throw SparkletAbort(obj.status());
-  BinaryReader reader(*obj->payload);
-  auto block = DenseBlock::Deserialize(reader);
-  if (!block.ok()) throw SparkletAbort(block.status());
-  BlockPtr ptr = linalg::MakeBlock(std::move(block).value());
-  cache.emplace(key, ptr);
-  return ptr;
-}
-
-}  // namespace
+using staging::BlockCache;
+using staging::ReadPhase3Factors;
+using staging::ReadStagedBlock;
+using staging::StagingKeys;
 
 RddPtr<BlockRecord> BlockedCollectBroadcastSolver::RunRounds(
     sparklet::SparkletContext& ctx, const BlockLayout& layout,
@@ -59,6 +21,7 @@ RddPtr<BlockRecord> BlockedCollectBroadcastSolver::RunRounds(
   RddPtr<BlockRecord> current = std::move(a);
   const bool directed = layout.directed();
   const std::int64_t first = opts.start_round;
+  const StagingKeys keys("cb");
 
   for (std::int64_t i = first; i < first + rounds_to_run; ++i) {
     // --- Phase 1 (Alg. 4 lines 2-3): close the diagonal block, bring it to
@@ -73,7 +36,7 @@ RddPtr<BlockRecord> BlockedCollectBroadcastSolver::RunRounds(
                                          FloydWarshall(rec.second, tc)};
                     });
     for (const auto& [key, block] : diag->Collect()) {
-      StageBlock(ctx, DiagKey(i), *block);
+      staging::StageBlock(ctx, keys.Diag(i), *block);
     }
 
     // --- Phase 2 (line 5): update the cross blocks against the staged
@@ -86,13 +49,14 @@ RddPtr<BlockRecord> BlockedCollectBroadcastSolver::RunRounds(
                                })
                       ->MapPartitions<BlockRecord>(
                           "cb-phase2",
-                          [i](std::vector<BlockRecord>&& part,
-                              TaskContext& tc) {
-                            std::unordered_map<std::string, BlockPtr> cache;
+                          [i, keys](std::vector<BlockRecord>&& part,
+                                    TaskContext& tc) {
+                            BlockCache cache;
                             std::vector<BlockRecord> out;
                             out.reserve(part.size());
                             for (const auto& [key, block] : part) {
-                              BlockPtr d = ReadBlock(cache, DiagKey(i), tc);
+                              BlockPtr d =
+                                  ReadStagedBlock(cache, keys.Diag(i), tc);
                               BlockPtr prod = key.J == i
                                                   ? MatProd(block, d, tc)
                                                   : MatProd(d, block, tc);
@@ -102,19 +66,7 @@ RddPtr<BlockRecord> BlockedCollectBroadcastSolver::RunRounds(
                           });
 
     // Lines 6-7: collect the updated cross and stage the oriented factors.
-    for (const auto& [key, block] : rowcol->Collect()) {
-      const std::int64_t x = key.I == i ? key.J : key.I;
-      if (key.J == i) {
-        StageBlock(ctx, LeftKey(i, x), *block);  // A_xi (left factor)
-        if (!directed) continue;
-      } else {
-        StageBlock(ctx, RightKey(i, x), *block);  // A_ix (right factor)
-        if (!directed) {
-          // Symmetric storage keeps (i, x): its transpose is the left factor.
-          StageBlock(ctx, LeftKey(i, x), block->Transposed());
-        }
-      }
-    }
+    staging::StageCrossFactors(ctx, keys, i, rowcol->Collect(), directed);
 
     // --- Phase 3 (line 9): update every remaining block against the staged
     // factors: A_UV = min(A_UV, A_Ui (min,+) A_iV).
@@ -126,28 +78,14 @@ RddPtr<BlockRecord> BlockedCollectBroadcastSolver::RunRounds(
                      })
             ->MapPartitions<BlockRecord>(
                 "cb-phase3",
-                [i, directed](std::vector<BlockRecord>&& part,
-                              TaskContext& tc) {
-                  std::unordered_map<std::string, BlockPtr> cache;
+                [i, directed, keys](std::vector<BlockRecord>&& part,
+                                    TaskContext& tc) {
+                  BlockCache cache;
                   std::vector<BlockRecord> out;
                   out.reserve(part.size());
                   for (const auto& [key, block] : part) {
-                    BlockPtr left = ReadBlock(cache, LeftKey(i, key.I), tc);
-                    BlockPtr right;
-                    if (directed) {
-                      right = ReadBlock(cache, RightKey(i, key.J), tc);
-                    } else {
-                      // A_iV = (A_Vi)^T; cache the transpose too.
-                      const std::string tkey = RightKey(i, key.J);
-                      auto it = cache.find(tkey);
-                      if (it != cache.end()) {
-                        right = it->second;
-                      } else {
-                        right = Transpose(
-                            ReadBlock(cache, LeftKey(i, key.J), tc), tc);
-                        cache.emplace(tkey, right);
-                      }
-                    }
+                    auto [left, right] = ReadPhase3Factors(
+                        keys, cache, i, key, directed, tc);
                     BlockPtr prod = MatProd(left, right, tc);
                     out.push_back({key, MatMin(block, prod, tc)});
                   }

@@ -1,0 +1,259 @@
+#include "apsp/solvers/ksource_blocked.h"
+
+#include <utility>
+
+#include "apsp/building_blocks.h"
+#include "apsp/solvers/staging.h"
+#include "linalg/kernel_registry.h"
+
+namespace apspark::apsp {
+
+using linalg::BlockPtr;
+using linalg::DenseBlock;
+using sparklet::RddPtr;
+using sparklet::SparkletAbort;
+using sparklet::TaskContext;
+using staging::BlockCache;
+using staging::ReadPhase3Factors;
+using staging::ReadStagedBlock;
+using staging::StagingKeys;
+
+std::vector<PanelRecord> DecomposeFrontier(const BlockLayout& layout,
+                                           const linalg::DenseBlock& frontier) {
+  std::vector<PanelRecord> panels;
+  panels.reserve(static_cast<std::size_t>(layout.q()));
+  for (std::int64_t i = 0; i < layout.q(); ++i) {
+    const std::int64_t r0 = i * layout.block_size();
+    panels.push_back(
+        {i, linalg::MakeBlock(frontier.RowPanel(r0, layout.BlockDim(i)))});
+  }
+  return panels;
+}
+
+KsourceResult KsourceBlockedSolver::SolveGraph(
+    const graph::Graph& graph, const std::vector<graph::VertexId>& sources,
+    const KsourceOptions& opts, const sparklet::ClusterConfig& cluster,
+    const linalg::CostModel& model) {
+  KsourceResult result;
+  const std::int64_t n = graph.num_vertices();
+  if (sources.empty()) {
+    result.status = InvalidArgumentError("ksource: no sources given");
+    return result;
+  }
+  for (graph::VertexId s : sources) {
+    if (s < 0 || s >= n) {
+      result.status = InvalidArgumentError("ksource: source " +
+                                           std::to_string(s) +
+                                           " out of range");
+      return result;
+    }
+  }
+  const bool directed = opts.directed || graph.directed();
+  DenseBlock adjacency = graph.ToDenseAdjacency();
+  // The sweep computes F = A* (min,+) F_0, i.e. distances *to* the frontier
+  // columns; sweeping the reversed graph roots them at the sources instead.
+  if (directed) adjacency = adjacency.Transposed();
+  KsourceOptions run_opts = opts;
+  run_opts.directed = directed;
+  const BlockLayout layout(n, opts.block_size, directed);
+  const DenseBlock frontier = linalg::FrontierPanel(
+      n, std::vector<std::int64_t>(sources.begin(), sources.end()));
+  sparklet::SparkletContext ctx(cluster, model);
+  return Solve(ctx, layout, layout.Decompose(adjacency),
+               DecomposeFrontier(layout, frontier), run_opts);
+}
+
+KsourceResult KsourceBlockedSolver::SolveModel(
+    std::int64_t n, std::int64_t num_sources, const KsourceOptions& opts,
+    const sparklet::ClusterConfig& cluster, const linalg::CostModel& model) {
+  KsourceResult result;
+  if (num_sources <= 0) {
+    result.status = InvalidArgumentError("ksource: no sources given");
+    return result;
+  }
+  const BlockLayout layout(n, opts.block_size, opts.directed);
+  std::vector<PanelRecord> panels;
+  panels.reserve(static_cast<std::size_t>(layout.q()));
+  for (std::int64_t i = 0; i < layout.q(); ++i) {
+    panels.push_back({i, linalg::MakeBlock(DenseBlock::Phantom(
+                             layout.BlockDim(i), num_sources))});
+  }
+  sparklet::SparkletContext ctx(cluster, model);
+  return Solve(ctx, layout, layout.DecomposePhantom(), panels, opts);
+}
+
+KsourceResult KsourceBlockedSolver::Solve(
+    sparklet::SparkletContext& ctx, const BlockLayout& layout,
+    const std::vector<BlockRecord>& blocks,
+    const std::vector<PanelRecord>& frontier, const KsourceOptions& opts) {
+  // Host kernel selection for this run, exactly like ApspSolver::Solve.
+  linalg::ScopedKernelVariant kernel_scope(ctx.config().kernel_variant);
+  KsourceResult result;
+  const std::int64_t q = layout.q();
+  result.rounds_total = q;
+  const std::int64_t rounds_to_run =
+      opts.max_rounds > 0 ? std::min(opts.max_rounds, q) : q;
+  const bool directed = layout.directed();
+
+  const int num_partitions =
+      std::max(1, opts.partitions_per_core * ctx.config().total_cores());
+  auto block_part =
+      MakeBlockPartitioner(opts.partitioner, layout, num_partitions);
+  auto panel_part = sparklet::MakePortableHash<std::int64_t>(
+      std::min<int>(num_partitions, static_cast<int>(q)));
+
+  auto a = ctx.ParallelizePartitioned("ksA", blocks, block_part);
+  auto f = ctx.ParallelizePartitioned("ksF", frontier, panel_part);
+  // Populating the RDDs is free, consistent with the APSP solvers.
+  ctx.cluster().Reset();
+  const StagingKeys keys("ks");
+
+  try {
+    for (std::int64_t t = 0; t < rounds_to_run; ++t) {
+      // --- Phase 1: close the pivot diagonal and stage it.
+      auto diag = a->Filter("ks-diag",
+                            [t](const BlockRecord& rec) {
+                              return OnDiagonal(rec.first, t);
+                            })
+                      ->Map("ks-fw",
+                            [](const BlockRecord& rec, TaskContext& tc) {
+                              return BlockRecord{rec.first,
+                                                 FloydWarshall(rec.second, tc)};
+                            });
+      for (const auto& [key, block] : diag->Collect()) {
+        staging::StageBlock(ctx, keys.Diag(t), *block);
+      }
+
+      // --- Pivot panel: P_t = min(F_t, A*_tt (min,+) F_t), staged for the
+      // frontier sweep below.
+      auto pivot_panel =
+          f->Filter("ks-pivot",
+                    [t](const PanelRecord& rec) { return rec.first == t; })
+              ->Map("ks-pivot-update",
+                    [t, keys](const PanelRecord& rec, TaskContext& tc) {
+                      BlockCache cache;
+                      BlockPtr d = ReadStagedBlock(cache, keys.Diag(t), tc);
+                      return PanelRecord{
+                          rec.first, MinPlusRect(rec.second, d, rec.second, tc)};
+                    });
+      for (const auto& [idx, panel] : pivot_panel->Collect()) {
+        staging::StageBlock(ctx, keys.Panel(t), *panel);
+      }
+
+      // --- Phase 2: update the column/row cross of the matrix against the
+      // staged diagonal and stage the oriented factors (Alg. 4 lines 5-7).
+      auto rowcol =
+          a->Filter("ks-rowcol",
+                    [&layout, t](const BlockRecord& rec) {
+                      return layout.InCross(rec.first, t) &&
+                             !OnDiagonal(rec.first, t);
+                    })
+              ->MapPartitions<BlockRecord>(
+                  "ks-phase2",
+                  [t, keys](std::vector<BlockRecord>&& part, TaskContext& tc) {
+                    BlockCache cache;
+                    std::vector<BlockRecord> out;
+                    out.reserve(part.size());
+                    for (const auto& [key, block] : part) {
+                      BlockPtr d = ReadStagedBlock(cache, keys.Diag(t), tc);
+                      out.push_back({key, key.J == t
+                                              ? MinPlusInto(block, block, d, tc)
+                                              : MinPlusInto(block, d, block, tc)});
+                    }
+                    return out;
+                  });
+      staging::StageCrossFactors(ctx, keys, t, rowcol->Collect(), directed);
+
+      // --- Phase 3: remaining matrix blocks through the staged factors.
+      auto offcol =
+          a->Filter("ks-offcol",
+                    [&layout, t](const BlockRecord& rec) {
+                      return !layout.InCross(rec.first, t);
+                    })
+              ->MapPartitions<BlockRecord>(
+                  "ks-phase3",
+                  [t, directed, keys](std::vector<BlockRecord>&& part,
+                                      TaskContext& tc) {
+                    BlockCache cache;
+                    std::vector<BlockRecord> out;
+                    out.reserve(part.size());
+                    for (const auto& [key, block] : part) {
+                      auto [left, right] = ReadPhase3Factors(
+                          keys, cache, t, key, directed, tc);
+                      out.push_back({key, MinPlusInto(block, left, right, tc)});
+                    }
+                    return out;
+                  });
+
+      // --- Frontier sweep: every panel through the pivot's column factors.
+      // F_I = min(F_I, A_It (min,+) P_t); the pivot panel becomes P_t.
+      auto f_prev = f;
+      f = f->MapPartitions<PanelRecord>(
+               "ks-frontier",
+               [t, keys](std::vector<PanelRecord>&& part, TaskContext& tc) {
+                 BlockCache cache;
+                 std::vector<PanelRecord> out;
+                 out.reserve(part.size());
+                 for (const auto& [idx, panel] : part) {
+                   if (idx == t) {
+                     out.push_back(
+                         {idx, ReadStagedBlock(cache, keys.Panel(t), tc)});
+                     continue;
+                   }
+                   BlockPtr left =
+                       ReadStagedBlock(cache, keys.Left(t, idx), tc);
+                   BlockPtr pivot =
+                       ReadStagedBlock(cache, keys.Panel(t), tc);
+                   out.push_back({idx, MinPlusRect(panel, left, pivot, tc)});
+                 }
+                 return out;
+               })
+              ->Persist();
+      f->EnsureMaterialized();
+      f_prev->Unpersist();
+
+      // --- Rebuild A for the next pivot (Alg. 4 lines 11-12).
+      auto a_prev = a;
+      a = sparklet::PartitionBy(
+              ctx.Union("ks-union", {diag, rowcol, offcol}), block_part,
+              "ks-repartition")
+              ->Persist();
+      a->EnsureMaterialized();
+      a_prev->Unpersist();
+      result.rounds_executed = t + 1;
+    }
+    result.status = Status::Ok();
+  } catch (const SparkletAbort& abort) {
+    result.status = abort.status();
+  }
+
+  result.sim_seconds = ctx.now_seconds();
+  result.metrics = ctx.metrics();
+  if (result.rounds_executed > 0) {
+    result.projected_seconds =
+        result.sim_seconds * static_cast<double>(q) /
+        static_cast<double>(result.rounds_executed);
+  }
+
+  if (result.status.ok() && result.rounds_executed == q) {
+    const bool phantom =
+        !frontier.empty() && frontier.front().second->is_phantom();
+    if (!phantom) {
+      try {
+        const auto panels = f->Collect();
+        const std::int64_t k =
+            panels.empty() ? 0 : panels.front().second->cols();
+        DenseBlock out(layout.n(), k, linalg::kInf);
+        for (const auto& [idx, panel] : panels) {
+          out.PasteRowPanel(idx * layout.block_size(), *panel);
+        }
+        result.distances = std::move(out);
+      } catch (const SparkletAbort& abort) {
+        result.status = abort.status();
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace apspark::apsp

@@ -1,0 +1,105 @@
+// Batched k-source shortest paths (KSSP) on the kernel registry.
+//
+// The paper's building blocks solve APSP; the same blocked min-plus algebra
+// solves the far more common k-source problem as a rectangular n x k
+// frontier F, F(v, j) = dist(sources[j] -> v). The solver sweeps the blocked
+// Floyd-Warshall pivots of A exactly like Algorithm 4 (collect/broadcast)
+// and, per pivot t, folds the pivot's column factors into a *resident*
+// frontier with two rectangular updates:
+//
+//   P_t  = min(F_t, A*_tt (min,+) F_t)        (pivot panel through the
+//                                              closed diagonal)
+//   F_I  = min(F_I, A_It  (min,+) P_t)        (every panel through the
+//                                              phase-2-updated column cross)
+//
+// Invariant (same induction as blocked FW): after pivot t, F(v, j) is the
+// shortest v -> sources[j] distance using intermediates from block rows
+// 0..t; after the last pivot F = A* (min,+) F_0 exactly. Directed inputs
+// are swept on the transposed adjacency so columns come out source-rooted.
+//
+// Like Blocked-CB the solver is impure: pivot blocks, column factors, and
+// the pivot panel travel through shared persistent storage, and every
+// kernel/transfer charges the calibrated cost model.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "apsp/block_key.h"
+#include "apsp/block_layout.h"
+#include "apsp/partitioners.h"
+#include "graph/graph.h"
+#include "linalg/cost_model.h"
+#include "sparklet/rdd.h"
+
+namespace apspark::apsp {
+
+struct KsourceOptions {
+  /// Decomposition parameter b; q = ceil(n/b).
+  std::int64_t block_size = 256;
+  PartitionerKind partitioner = PartitionerKind::kMultiDiagonal;
+  /// Spark's over-decomposition factor B: RDD partitions per core.
+  int partitions_per_core = 2;
+  /// 0 = sweep all q pivots. Otherwise run this many pivots and project the
+  /// total (paper-scale model runs, same methodology as ApspOptions).
+  std::int64_t max_rounds = 0;
+  bool directed = false;
+};
+
+struct KsourceResult {
+  Status status;
+
+  /// n x k distance panel (real-data runs only): distances->At(v, j) is the
+  /// length of the shortest path from sources[j] to vertex v (+inf if
+  /// unreachable).
+  std::optional<linalg::DenseBlock> distances;
+
+  sparklet::SimMetrics metrics;
+  double sim_seconds = 0;  // modelled cluster time of the executed pivots
+  std::int64_t rounds_executed = 0;
+  std::int64_t rounds_total = 0;  // == q
+  /// sim_seconds scaled to all pivots (equals sim_seconds for full sweeps).
+  double projected_seconds = 0;
+};
+
+/// Blocked k-source solver over the sparklet engine. Reuses the registry
+/// kernel variant selected by ClusterConfig::kernel_variant, so the same
+/// naive / tiled / tiled_parallel selection that drives APSP drives KSSP.
+class KsourceBlockedSolver {
+ public:
+  std::string name() const { return "Ksource-Blocked"; }
+  /// Impure in the paper's sense: stages pivot data in shared persistent
+  /// storage outside the RDD lineage, like Blocked Collect/Broadcast.
+  bool pure() const noexcept { return false; }
+
+  /// Full-fidelity run on real data. `sources` must be non-empty vertex ids
+  /// of `graph`; duplicates are allowed (k may exceed n).
+  KsourceResult SolveGraph(const graph::Graph& graph,
+                           const std::vector<graph::VertexId>& sources,
+                           const KsourceOptions& opts,
+                           const sparklet::ClusterConfig& cluster,
+                           const linalg::CostModel& model = {});
+
+  /// Paper-scale model run on phantom blocks and panels: executes the whole
+  /// control path (staging, shuffles, storage accounting) without payloads.
+  KsourceResult SolveModel(std::int64_t n, std::int64_t num_sources,
+                           const KsourceOptions& opts,
+                           const sparklet::ClusterConfig& cluster,
+                           const linalg::CostModel& model = {});
+
+  /// Core loop on a caller-owned context (exposed for engine-level tests).
+  /// `frontier` holds one PanelRecord per block row of `layout`.
+  KsourceResult Solve(sparklet::SparkletContext& ctx,
+                      const BlockLayout& layout,
+                      const std::vector<BlockRecord>& blocks,
+                      const std::vector<PanelRecord>& frontier,
+                      const KsourceOptions& opts);
+};
+
+/// Decomposes a full n x k frontier into per-block-row panel records for
+/// `layout` (the inverse of the assembly KsourceResult performs).
+std::vector<PanelRecord> DecomposeFrontier(const BlockLayout& layout,
+                                           const linalg::DenseBlock& frontier);
+
+}  // namespace apspark::apsp

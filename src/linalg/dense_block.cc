@@ -114,6 +114,28 @@ DenseBlock DenseBlock::SubBlock(std::int64_t r0, std::int64_t c0,
   return out;
 }
 
+DenseBlock DenseBlock::RowPanel(std::int64_t r0, std::int64_t h) const {
+  if (r0 < 0 || h < 0 || r0 + h > rows_) {
+    throw std::invalid_argument("RowPanel: row range out of bounds");
+  }
+  if (phantom_) return Phantom(h, cols_);
+  DenseBlock out(h, cols_, 0.0);
+  std::memcpy(out.mutable_data(), Row(r0),
+              static_cast<std::size_t>(h * cols_) * sizeof(double));
+  return out;
+}
+
+void DenseBlock::PasteRowPanel(std::int64_t r0, const DenseBlock& panel) {
+  if (panel.cols() != cols_ || r0 < 0 || r0 + panel.rows() > rows_) {
+    throw std::invalid_argument("PasteRowPanel: panel does not fit");
+  }
+  if (phantom_ || panel.is_phantom()) {
+    throw std::invalid_argument("PasteRowPanel: phantom operand");
+  }
+  std::memcpy(MutableRow(r0), panel.data(),
+              static_cast<std::size_t>(panel.size()) * sizeof(double));
+}
+
 bool DenseBlock::ApproxEquals(const DenseBlock& other, double tol) const {
   if (rows_ != other.rows_ || cols_ != other.cols_) return false;
   if (phantom_ || other.phantom_) return phantom_ == other.phantom_;
@@ -134,6 +156,19 @@ double DenseBlock::MaxAbsDiff(const DenseBlock& other) const {
     max_diff = std::max(max_diff, std::fabs(a - b));
   }
   return max_diff;
+}
+
+DenseBlock FrontierPanel(std::int64_t rows,
+                         const std::vector<std::int64_t>& unit_rows) {
+  DenseBlock out(rows, static_cast<std::int64_t>(unit_rows.size()), kInf);
+  for (std::size_t j = 0; j < unit_rows.size(); ++j) {
+    const std::int64_t r = unit_rows[j];
+    if (r < 0 || r >= rows) {
+      throw std::invalid_argument("FrontierPanel: unit row out of range");
+    }
+    out.Set(r, static_cast<std::int64_t>(j), 0.0);
+  }
+  return out;
 }
 
 }  // namespace apspark::linalg

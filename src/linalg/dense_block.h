@@ -94,6 +94,14 @@ class DenseBlock {
   DenseBlock SubBlock(std::int64_t r0, std::int64_t c0, std::int64_t h,
                       std::int64_t w) const;
 
+  /// Horizontal panel copy: rows [r0, r0+h) at full width — the unit a
+  /// blocked k-source frontier is decomposed into (one panel per block row).
+  DenseBlock RowPanel(std::int64_t r0, std::int64_t h) const;
+
+  /// Writes `panel` (h x cols()) back over rows [r0, r0+h): reassembles a
+  /// full frontier from its per-block-row panels. Materialized blocks only.
+  void PasteRowPanel(std::int64_t r0, const DenseBlock& panel);
+
   /// True if every finite entry matches `other` within `tol` and the
   /// infinity patterns agree. Phantom blocks compare by shape only.
   bool ApproxEquals(const DenseBlock& other, double tol = 1e-9) const;
@@ -113,5 +121,12 @@ class DenseBlock {
 inline BlockPtr MakeBlock(DenseBlock block) {
   return std::make_shared<const DenseBlock>(std::move(block));
 }
+
+/// n x k source frontier for batched k-source sweeps: column j carries the
+/// semiring one (0) at row unit_rows[j] and +inf everywhere else — the
+/// identity columns selecting the sources. Duplicate rows are allowed (the
+/// same source may be asked for more than once, e.g. when k > n).
+DenseBlock FrontierPanel(std::int64_t rows,
+                         const std::vector<std::int64_t>& unit_rows);
 
 }  // namespace apspark::linalg

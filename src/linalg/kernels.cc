@@ -110,6 +110,45 @@ void MinPlusTiledRows(std::int64_t i0, std::int64_t i1, std::int64_t n,
   }
 }
 
+/// Widest C row segment the panel micro-kernel holds in a local accumulator.
+/// 32 doubles fill four AVX-512 (eight AVX2) registers — enough to vectorize
+/// while leaving room for the B row and the candidate sums.
+constexpr std::int64_t kPanelAccWidth = 32;
+
+/// Panels at most this wide take the accumulator micro-kernel; wider ones
+/// fall back to the square-tiled path (whose tile_j/tile_k blocking wins once
+/// the B panel no longer fits low cache levels).
+constexpr std::int64_t kPanelNarrowWidth = 64;
+
+/// Sequential body of the panel micro-kernel over a row range [i0, i1): the
+/// C row segment lives in `acc` across the whole k reduction, so C traffic
+/// drops to one load and one store per row. Candidates are applied in the
+/// same ascending-k, keep-on-tie order as the scalar loop — bitwise equal.
+void MinPlusPanelRows(std::int64_t i0, std::int64_t i1, std::int64_t n,
+                      std::int64_t k, const double* a, std::int64_t lda,
+                      const double* b, std::int64_t ldb, double* c,
+                      std::int64_t ldc) {
+  double acc[kPanelAccWidth];
+  for (std::int64_t j0 = 0; j0 < n; j0 += kPanelAccWidth) {
+    const std::int64_t jn = std::min(kPanelAccWidth, n - j0);
+    for (std::int64_t i = i0; i < i1; ++i) {
+      const double* ai = a + i * lda;
+      double* ci = c + i * ldc + j0;
+      for (std::int64_t j = 0; j < jn; ++j) acc[j] = ci[j];
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        const double aik = ai[kk];
+        if (std::isinf(aik)) continue;  // no path through kk
+        const double* bk = b + kk * ldb + j0;
+        for (std::int64_t j = 0; j < jn; ++j) {
+          const double via = aik + bk[j];
+          acc[j] = via < acc[j] ? via : acc[j];
+        }
+      }
+      for (std::int64_t j = 0; j < jn; ++j) ci[j] = acc[j];
+    }
+  }
+}
+
 /// Blocked 3-phase Floyd-Warshall over a raw n x n matrix with leading
 /// dimension lda. Phase-2/phase-3 tile updates reuse the min-plus
 /// micro-kernel; with `parallel` they fan out on the host pool (tiles write
@@ -167,6 +206,21 @@ void BlockedFloydWarshallRaw(std::int64_t n, double* a, std::int64_t lda,
   }
 }
 
+/// True when operand [p .. p + (rows-1)*ld + cols) overlaps the output
+/// region of C — row striping across host threads is unsafe then (in-place
+/// Kleene and phase updates alias operands with their output).
+bool OverlapsOutput(const double* p, std::int64_t rows, std::int64_t ld,
+                    std::int64_t cols, const double* c, std::int64_t m,
+                    std::int64_t ldc, std::int64_t n) {
+  const auto lo = reinterpret_cast<std::uintptr_t>(p);
+  const auto hi =
+      lo + static_cast<std::uintptr_t>((rows - 1) * ld + cols) * sizeof(double);
+  const auto clo = reinterpret_cast<std::uintptr_t>(c);
+  const auto chi =
+      clo + static_cast<std::uintptr_t>((m - 1) * ldc + n) * sizeof(double);
+  return lo < chi && clo < hi;
+}
+
 }  // namespace
 
 void MinPlusAccumulateRawNaive(std::int64_t m, std::int64_t n, std::int64_t k,
@@ -199,17 +253,8 @@ void MinPlusAccumulateRawTiled(std::int64_t m, std::int64_t n, std::int64_t k,
   // Row striping is only safe when no stripe's C rows are another stripe's
   // A/B input (the in-place Kleene and phase updates alias them); overlap
   // forces the sequential path.
-  const auto overlaps = [&](const double* p, std::int64_t rows,
-                            std::int64_t ld, std::int64_t cols) {
-    const auto lo = reinterpret_cast<std::uintptr_t>(p);
-    const auto hi = lo + static_cast<std::uintptr_t>((rows - 1) * ld + cols) *
-                             sizeof(double);
-    const auto clo = reinterpret_cast<std::uintptr_t>(c);
-    const auto chi = clo + static_cast<std::uintptr_t>((m - 1) * ldc + n) *
-                               sizeof(double);
-    return lo < chi && clo < hi;
-  };
-  if (parallel && (overlaps(a, m, lda, k) || overlaps(b, k, ldb, n))) {
+  if (parallel && (OverlapsOutput(a, m, lda, k, c, m, ldc, n) ||
+                   OverlapsOutput(b, k, ldb, n, c, m, ldc, n))) {
     parallel = false;
   }
   const std::int64_t stripes = parallel ? ParallelStripes(m, n, tuning) : 1;
@@ -225,6 +270,38 @@ void MinPlusAccumulateRawTiled(std::int64_t m, std::int64_t n, std::int64_t k,
         const std::int64_t i1 = std::min(m, i0 + rows_per_stripe);
         if (i0 < i1) {
           MinPlusTiledRows(i0, i1, n, k, a, lda, b, ldb, c, ldc, tuning);
+        }
+      });
+}
+
+void MinPlusPanelRawTiled(std::int64_t m, std::int64_t n, std::int64_t k,
+                          const double* a, std::int64_t lda, const double* b,
+                          std::int64_t ldb, double* c, std::int64_t ldc,
+                          bool parallel) {
+  if (n > kPanelNarrowWidth) {
+    // Wide panel: the square-tiled kernel's cache blocking is the better
+    // shape (and stays bitwise-equal — same ascending-k candidate order).
+    MinPlusAccumulateRawTiled(m, n, k, a, lda, b, ldb, c, ldc, parallel);
+    return;
+  }
+  if (parallel && (OverlapsOutput(a, m, lda, k, c, m, ldc, n) ||
+                   OverlapsOutput(b, k, ldb, n, c, m, ldc, n))) {
+    parallel = false;
+  }
+  const KernelTuning tuning = GetKernelTuning();
+  const std::int64_t stripes = parallel ? ParallelStripes(m, n, tuning) : 1;
+  if (stripes <= 1) {
+    MinPlusPanelRows(0, m, n, k, a, lda, b, ldb, c, ldc);
+    return;
+  }
+  const std::int64_t rows_per_stripe = (m + stripes - 1) / stripes;
+  KernelThreadPool().ParallelFor(
+      static_cast<std::size_t>(stripes), [&](std::size_t s) {
+        const std::int64_t i0 =
+            static_cast<std::int64_t>(s) * rows_per_stripe;
+        const std::int64_t i1 = std::min(m, i0 + rows_per_stripe);
+        if (i0 < i1) {
+          MinPlusPanelRows(i0, i1, n, k, a, lda, b, ldb, c, ldc);
         }
       });
 }
@@ -269,6 +346,35 @@ void MinPlusUpdate(const DenseBlock& a, const DenseBlock& b, DenseBlock& c) {
   }
   MinPlusAccumulateRaw(a.rows(), b.cols(), a.cols(), a.data(), a.cols(),
                        b.data(), b.cols(), c.mutable_data(), c.cols());
+}
+
+void MinPlusUpdateRect(const DenseBlock& a, const DenseBlock& p,
+                       DenseBlock& c) {
+  CheckProductShapes(a, p);
+  if (c.rows() != a.rows() || c.cols() != p.cols()) {
+    throw std::invalid_argument("min-plus rect update: output shape mismatch");
+  }
+  if (a.is_phantom() || p.is_phantom() || c.is_phantom()) {
+    c = DenseBlock::Phantom(a.rows(), p.cols());
+    return;
+  }
+  switch (GetKernelVariant()) {
+    case KernelVariant::kNaive:
+      MinPlusAccumulateRawNaive(a.rows(), p.cols(), a.cols(), a.data(),
+                                a.cols(), p.data(), p.cols(),
+                                c.mutable_data(), c.cols());
+      return;
+    case KernelVariant::kTiled:
+      MinPlusPanelRawTiled(a.rows(), p.cols(), a.cols(), a.data(), a.cols(),
+                           p.data(), p.cols(), c.mutable_data(), c.cols(),
+                           /*parallel=*/false);
+      return;
+    case KernelVariant::kTiledParallel:
+      MinPlusPanelRawTiled(a.rows(), p.cols(), a.cols(), a.data(), a.cols(),
+                           p.data(), p.cols(), c.mutable_data(), c.cols(),
+                           /*parallel=*/true);
+      return;
+  }
 }
 
 DenseBlock ElementMin(const DenseBlock& a, const DenseBlock& b) {

@@ -36,6 +36,19 @@ DenseBlock MinPlusProduct(const DenseBlock& a, const DenseBlock& b);
 /// Requires c.rows() == a.rows(), c.cols() == b.cols(), a.cols() == b.rows().
 void MinPlusUpdate(const DenseBlock& a, const DenseBlock& b, DenseBlock& c);
 
+/// Rectangular frontier update: c[m x w] = min(c, A[m x k] (min,+) P[k x w])
+/// where w — the panel width, i.e. the source count of a batched k-source
+/// solve — is typically far smaller than the block size. Dispatches through
+/// the registry like MinPlusUpdate; the tiled variants switch to a panel
+/// micro-kernel that keeps each C row segment register-resident across the
+/// whole (min, +) reduction when the panel is narrow. All variants apply
+/// candidates in the same ascending-k order, so results are bitwise
+/// identical across the registry — provided c does not alias a or p: the
+/// panel kernel defers C-row writes to an accumulator, so an in-place
+/// c == p call would observe different intermediate values per variant
+/// (compute into a copy instead, as apsp::MinPlusRect does).
+void MinPlusUpdateRect(const DenseBlock& a, const DenseBlock& p, DenseBlock& c);
+
 /// Element-wise minimum (the paper's MatMin).
 DenseBlock ElementMin(const DenseBlock& a, const DenseBlock& b);
 void ElementMinInPlace(DenseBlock& a, const DenseBlock& b);
@@ -84,6 +97,17 @@ void MinPlusAccumulateRawTiled(std::int64_t m, std::int64_t n, std::int64_t k,
                                const double* a, std::int64_t lda,
                                const double* b, std::int64_t ldb, double* c,
                                std::int64_t ldc, bool parallel = false);
+
+/// Panel kernel behind MinPlusUpdateRect: C[m x n] = min(C, A (min,+) B)
+/// where n is a narrow panel width. Each C row segment is held in a local
+/// accumulator across the entire k reduction (one load + one store of C per
+/// row instead of one per k tile), and the k x n B panel stays cache-hot.
+/// Falls back to the square-tiled kernel when n is wide. `parallel` stripes
+/// the m rows over the host pool.
+void MinPlusPanelRawTiled(std::int64_t m, std::int64_t n, std::int64_t k,
+                          const double* a, std::int64_t lda, const double* b,
+                          std::int64_t ldb, double* c, std::int64_t ldc,
+                          bool parallel = false);
 
 /// In-place FW on an n x n tile with leading dimension lda (dispatches).
 void FloydWarshallRaw(std::int64_t n, double* a, std::int64_t lda);

@@ -1,0 +1,364 @@
+// Batched k-source shortest paths: every kernel variant's n x k panel is
+// locked to the scalar oracle (columns of ReferenceFloydWarshall).
+//
+// Oracle strategy: the randomized sweeps draw graphs with *integer* weights,
+// where every path sum is exact in double precision — so the blocked frontier
+// sweep must agree with the textbook Floyd-Warshall not just approximately
+// but bit for bit, in all three registry variants. A separate suite with
+// fractional weights checks the registry's cross-variant bitwise guarantee
+// plus tolerance-level agreement with the oracle (different algorithms may
+// associate FP sums differently in the last ulp).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <optional>
+#include <vector>
+
+#include "apsp/solvers/ksource_blocked.h"
+#include "common/rng.h"
+#include "graph/shortest_paths.h"
+#include "linalg/kernels.h"
+#include "test_support.h"
+
+namespace apspark {
+namespace {
+
+using apsp::KsourceBlockedSolver;
+using apsp::KsourceOptions;
+using graph::Graph;
+using graph::VertexId;
+using linalg::DenseBlock;
+using linalg::KernelVariant;
+using linalg::kInf;
+using test::ExpectBitwiseEqual;
+using test::RandomGraphOptions;
+using test::RandomTestGraph;
+using test::TestCluster;
+
+constexpr KernelVariant kVariants[] = {KernelVariant::kNaive,
+                                       KernelVariant::kTiled,
+                                       KernelVariant::kTiledParallel};
+
+/// Scalar oracle: full textbook Floyd-Warshall, then the k-source panel is
+/// read off as oracle(v, j) = dist(sources[j] -> v).
+DenseBlock OraclePanel(const Graph& g, const std::vector<VertexId>& sources) {
+  DenseBlock d = g.ToDenseAdjacency();
+  linalg::ReferenceFloydWarshall(d);
+  DenseBlock out(g.num_vertices(), static_cast<std::int64_t>(sources.size()),
+                 kInf);
+  for (std::int64_t v = 0; v < g.num_vertices(); ++v) {
+    for (std::size_t j = 0; j < sources.size(); ++j) {
+      out.Set(v, static_cast<std::int64_t>(j), d.At(sources[j], v));
+    }
+  }
+  return out;
+}
+
+apsp::KsourceResult RunKsource(const Graph& g,
+                               const std::vector<VertexId>& sources,
+                               std::int64_t block_size,
+                               KernelVariant variant) {
+  KsourceOptions opts;
+  opts.block_size = block_size;
+  auto cluster = TestCluster();
+  cluster.kernel_variant = variant;
+  KsourceBlockedSolver solver;
+  return solver.SolveGraph(g, sources, opts, cluster);
+}
+
+// --- rectangular kernel, all variants ------------------------------------
+
+TEST(KsourceKernel, RectUpdateBitwiseAcrossVariantsRandomized) {
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    APSPARK_SEEDED_CASE(seed);
+    Xoshiro256 rng(seed);
+    const std::int64_t m = 1 + static_cast<std::int64_t>(rng.NextBounded(90));
+    const std::int64_t kk = 1 + static_cast<std::int64_t>(rng.NextBounded(90));
+    // Panel widths straddle the accumulator width (32) and the narrow/wide
+    // crossover (64), including non-multiples of both.
+    const std::int64_t w = 1 + static_cast<std::int64_t>(rng.NextBounded(100));
+    DenseBlock a(m, kk, 0.0);
+    DenseBlock p(kk, w, 0.0);
+    DenseBlock base(m, w, 0.0);
+    for (double& v : a) v = rng.NextDouble() < 0.25 ? kInf : rng.NextDouble(0, 9);
+    for (double& v : p) v = rng.NextDouble() < 0.25 ? kInf : rng.NextDouble(0, 9);
+    for (double& v : base) {
+      v = rng.NextDouble() < 0.25 ? kInf : rng.NextDouble(0, 20);
+    }
+
+    DenseBlock reference = base;
+    linalg::MinPlusAccumulateRawNaive(m, w, kk, a.data(), kk, p.data(), w,
+                                      reference.mutable_data(), w);
+    for (KernelVariant variant : kVariants) {
+      linalg::ScopedKernelVariant scope(variant);
+      DenseBlock c = base;
+      linalg::MinPlusUpdateRect(a, p, c);
+      ExpectBitwiseEqual(c, reference,
+                         std::string("variant ") +
+                             linalg::KernelVariantName(variant) + " m=" +
+                             std::to_string(m) + " k=" + std::to_string(kk) +
+                             " w=" + std::to_string(w));
+    }
+  }
+}
+
+TEST(KsourceKernel, RectUpdatePropagatesPhantoms) {
+  const DenseBlock a = DenseBlock::Phantom(8, 8);
+  const DenseBlock p(8, 3, 1.0);
+  DenseBlock c(8, 3, 2.0);
+  linalg::MinPlusUpdateRect(a, p, c);
+  EXPECT_TRUE(c.is_phantom());
+  EXPECT_EQ(c.rows(), 8);
+  EXPECT_EQ(c.cols(), 3);
+}
+
+// --- solver vs scalar oracle, randomized ----------------------------------
+
+TEST(KsourceSolver, MatchesOracleBitwiseOnRandomizedIntegerGraphs) {
+  // >= 20 randomized graph/k combinations x all three variants, bitwise.
+  RandomGraphOptions graph_opts;
+  graph_opts.integer_weights = true;
+  graph_opts.max_vertices = 72;
+  int combos = 0;
+  for (std::uint64_t seed = 100; seed < 122; ++seed) {
+    APSPARK_SEEDED_CASE(seed);
+    Xoshiro256 rng(seed);
+    const Graph g = RandomTestGraph(rng, graph_opts);
+    const std::int64_t n = g.num_vertices();
+    // k spans 1 .. beyond n (duplicate sources), deliberately including
+    // widths that are not multiples of the panel tile width.
+    const std::int64_t k =
+        1 + static_cast<std::int64_t>(rng.NextBounded(
+                static_cast<std::uint64_t>(n + n / 2 + 2)));
+    std::vector<VertexId> sources;
+    sources.reserve(static_cast<std::size_t>(k));
+    for (std::int64_t j = 0; j < k; ++j) {
+      sources.push_back(
+          static_cast<VertexId>(rng.NextBounded(static_cast<std::uint64_t>(n))));
+    }
+    const std::int64_t block_size =
+        1 + static_cast<std::int64_t>(rng.NextBounded(
+                static_cast<std::uint64_t>(n + 4)));
+    const DenseBlock oracle = OraclePanel(g, sources);
+    for (KernelVariant variant : kVariants) {
+      auto result = RunKsource(g, sources, block_size, variant);
+      ASSERT_TRUE(result.status.ok())
+          << linalg::KernelVariantName(variant) << ": "
+          << result.status.ToString();
+      ASSERT_TRUE(result.distances.has_value());
+      ExpectBitwiseEqual(*result.distances, oracle,
+                         std::string(linalg::KernelVariantName(variant)) +
+                             " n=" + std::to_string(n) + " k=" +
+                             std::to_string(k) + " b=" +
+                             std::to_string(block_size) +
+                             (g.directed() ? " directed" : " undirected"));
+    }
+    ++combos;
+  }
+  EXPECT_GE(combos, 20);
+}
+
+TEST(KsourceSolver, FractionalWeightsVariantsAgreeBitwiseAndMatchOracle) {
+  // With fractional weights different algorithms may differ in the last ulp
+  // from the oracle, but the three registry variants must still be bitwise
+  // identical to each other (block_size <= fw_block keeps the diagonal close
+  // on the identical scalar path in every variant).
+  RandomGraphOptions graph_opts;
+  graph_opts.integer_weights = false;
+  graph_opts.max_vertices = 64;
+  for (std::uint64_t seed = 300; seed < 306; ++seed) {
+    APSPARK_SEEDED_CASE(seed);
+    Xoshiro256 rng(seed);
+    const Graph g = RandomTestGraph(rng, graph_opts);
+    const std::int64_t n = g.num_vertices();
+    const std::int64_t k =
+        1 + static_cast<std::int64_t>(rng.NextBounded(
+                static_cast<std::uint64_t>(n)));
+    std::vector<VertexId> sources;
+    for (std::int64_t j = 0; j < k; ++j) {
+      sources.push_back(
+          static_cast<VertexId>(rng.NextBounded(static_cast<std::uint64_t>(n))));
+    }
+    const std::int64_t block_size =
+        1 + static_cast<std::int64_t>(rng.NextBounded(24));
+    const DenseBlock oracle = OraclePanel(g, sources);
+    std::optional<DenseBlock> naive_panel;
+    for (KernelVariant variant : kVariants) {
+      auto result = RunKsource(g, sources, block_size, variant);
+      ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+      ASSERT_TRUE(result.distances.has_value());
+      EXPECT_TRUE(result.distances->ApproxEquals(oracle, 1e-9))
+          << linalg::KernelVariantName(variant) << ": max diff "
+          << result.distances->MaxAbsDiff(oracle);
+      if (!naive_panel.has_value()) {
+        naive_panel = *result.distances;
+      } else {
+        ExpectBitwiseEqual(*result.distances, *naive_panel,
+                           linalg::KernelVariantName(variant));
+      }
+    }
+  }
+}
+
+// --- deliberate edge shapes ------------------------------------------------
+
+TEST(KsourceSolver, SingleSourceMatchesDijkstra) {
+  // Dijkstra associates FP path sums differently, so compare within
+  // tolerance (the bitwise suites above pin the exact-arithmetic cases).
+  const Graph g = graph::PaperErdosRenyi(60, 17);
+  const auto truth = graph::DijkstraAllPairs(g);
+  for (KernelVariant variant : kVariants) {
+    auto result = RunKsource(g, {42}, 16, variant);
+    ASSERT_TRUE(result.status.ok());
+    const DenseBlock& panel = *result.distances;
+    ASSERT_EQ(panel.cols(), 1);
+    for (std::int64_t v = 0; v < 60; ++v) {
+      if (std::isinf(truth.At(42, v))) {
+        EXPECT_TRUE(std::isinf(panel.At(v, 0))) << "v=" << v;
+      } else {
+        EXPECT_NEAR(panel.At(v, 0), truth.At(42, v), 1e-9) << "v=" << v;
+      }
+    }
+  }
+}
+
+TEST(KsourceSolver, MoreSourcesThanVerticesWithDuplicates) {
+  const Graph g = graph::CycleGraph(6, 2.0);
+  std::vector<VertexId> sources = {0, 1, 2, 3, 4, 5, 0, 3, 3};  // k = 9 > n
+  const DenseBlock oracle = OraclePanel(g, sources);
+  for (KernelVariant variant : kVariants) {
+    auto result = RunKsource(g, sources, 4, variant);
+    ASSERT_TRUE(result.status.ok());
+    ExpectBitwiseEqual(*result.distances, oracle,
+                       linalg::KernelVariantName(variant));
+  }
+}
+
+TEST(KsourceSolver, PanelWidthNotDivisibleByTileWidth) {
+  // 33 columns straddles the 32-wide accumulator; 65 straddles the
+  // narrow/wide crossover at 64. Integer weights keep the oracle bitwise.
+  RandomGraphOptions graph_opts;
+  graph_opts.integer_weights = true;
+  graph_opts.allow_directed = false;
+  graph_opts.min_vertices = 70;
+  graph_opts.max_vertices = 70;
+  for (std::int64_t k : {33, 65}) {
+    Xoshiro256 rng(static_cast<std::uint64_t>(k) * 31 + 7);
+    const Graph g = RandomTestGraph(rng, graph_opts);
+    std::vector<VertexId> sources;
+    for (std::int64_t j = 0; j < k; ++j) {
+      sources.push_back(static_cast<VertexId>(
+          rng.NextBounded(static_cast<std::uint64_t>(g.num_vertices()))));
+    }
+    const DenseBlock oracle = OraclePanel(g, sources);
+    for (KernelVariant variant : kVariants) {
+      auto result = RunKsource(g, sources, 16, variant);
+      ASSERT_TRUE(result.status.ok());
+      ExpectBitwiseEqual(*result.distances, oracle,
+                         std::string(linalg::KernelVariantName(variant)) +
+                             " k=" + std::to_string(k));
+    }
+  }
+}
+
+TEST(KsourceSolver, SingleNodeGraph) {
+  const Graph g(1);
+  for (KernelVariant variant : kVariants) {
+    auto result = RunKsource(g, {0, 0, 0}, 4, variant);
+    ASSERT_TRUE(result.status.ok());
+    const DenseBlock& panel = *result.distances;
+    EXPECT_EQ(panel.rows(), 1);
+    EXPECT_EQ(panel.cols(), 3);
+    for (std::int64_t j = 0; j < 3; ++j) EXPECT_EQ(panel.At(0, j), 0.0);
+  }
+}
+
+TEST(KsourceSolver, DirectedDistancesAreSourceRooted) {
+  // 0 -> 1 -> 2 -> 3 path digraph: distances from 0 grow along the chain;
+  // nothing reaches 0 back.
+  Graph g(4, /*directed=*/true);
+  g.AddEdge(0, 1, 1.0).CheckOk();
+  g.AddEdge(1, 2, 1.0).CheckOk();
+  g.AddEdge(2, 3, 1.0).CheckOk();
+  for (KernelVariant variant : kVariants) {
+    auto result = RunKsource(g, {0, 3}, 2, variant);
+    ASSERT_TRUE(result.status.ok());
+    const DenseBlock& panel = *result.distances;
+    EXPECT_EQ(panel.At(0, 0), 0.0);
+    EXPECT_EQ(panel.At(1, 0), 1.0);
+    EXPECT_EQ(panel.At(2, 0), 2.0);
+    EXPECT_EQ(panel.At(3, 0), 3.0);
+    EXPECT_TRUE(std::isinf(panel.At(0, 1)));  // 3 reaches nothing
+    EXPECT_TRUE(std::isinf(panel.At(2, 1)));
+    EXPECT_EQ(panel.At(3, 1), 0.0);
+  }
+}
+
+TEST(KsourceSolver, DisconnectedPairsStayInfinite) {
+  const Graph g = test::TwoComponentGraph(16, 5, 6);
+  std::vector<VertexId> sources = {0, 20};
+  const DenseBlock oracle = OraclePanel(g, sources);
+  auto result = RunKsource(g, sources, 8, KernelVariant::kTiled);
+  ASSERT_TRUE(result.status.ok());
+  const DenseBlock& panel = *result.distances;
+  EXPECT_TRUE(panel.ApproxEquals(oracle, 1e-9));
+  // Cross-component distances are +inf by construction.
+  EXPECT_TRUE(std::isinf(panel.At(20, 0)));
+  EXPECT_TRUE(std::isinf(panel.At(0, 1)));
+}
+
+// --- engine-level properties ----------------------------------------------
+
+TEST(KsourceSolver, PhantomRunChargesSameTimeAsRealRun) {
+  // The virtual clock must not depend on payload materialization, the same
+  // invariant the APSP solvers keep (it justifies paper-scale projections).
+  const Graph g = graph::PaperErdosRenyi(48, 23);
+  KsourceOptions opts;
+  opts.block_size = 12;
+  std::vector<VertexId> sources = {1, 9, 17, 33, 41};
+  KsourceBlockedSolver solver;
+  auto real = solver.SolveGraph(g, sources, opts, TestCluster());
+  auto phantom = solver.SolveModel(
+      48, static_cast<std::int64_t>(sources.size()), opts, TestCluster());
+  ASSERT_TRUE(real.status.ok());
+  ASSERT_TRUE(phantom.status.ok());
+  EXPECT_FALSE(phantom.distances.has_value());
+  EXPECT_NEAR(real.sim_seconds, phantom.sim_seconds,
+              real.sim_seconds * 1e-9 + 1e-12);
+  EXPECT_EQ(real.metrics.shuffle_bytes, phantom.metrics.shuffle_bytes);
+  EXPECT_EQ(real.metrics.tasks, phantom.metrics.tasks);
+}
+
+TEST(KsourceSolver, ProjectionApproximatesFullRun) {
+  KsourceOptions full_opts;
+  full_opts.block_size = 16;
+  KsourceBlockedSolver solver;
+  auto full = solver.SolveModel(96, 8, full_opts, TestCluster());
+  ASSERT_TRUE(full.status.ok());
+  EXPECT_EQ(full.rounds_executed, full.rounds_total);
+  KsourceOptions partial_opts = full_opts;
+  partial_opts.max_rounds = 2;
+  auto partial = solver.SolveModel(96, 8, partial_opts, TestCluster());
+  ASSERT_TRUE(partial.status.ok());
+  EXPECT_EQ(partial.rounds_executed, 2);
+  EXPECT_NEAR(partial.projected_seconds, full.sim_seconds,
+              full.sim_seconds * 0.25);
+}
+
+TEST(KsourceSolver, RejectsInvalidSources) {
+  const Graph g = graph::PathGraph(5);
+  KsourceBlockedSolver solver;
+  KsourceOptions opts;
+  opts.block_size = 2;
+  EXPECT_EQ(solver.SolveGraph(g, {}, opts, TestCluster()).status.code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(solver.SolveGraph(g, {5}, opts, TestCluster()).status.code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(solver.SolveGraph(g, {-1}, opts, TestCluster()).status.code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(solver.SolveModel(5, 0, opts, TestCluster()).status.code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace apspark

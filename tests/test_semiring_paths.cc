@@ -3,12 +3,14 @@
 
 #include <cmath>
 
+#include "apsp/solvers/ksource_blocked.h"
 #include "common/rng.h"
 #include "graph/generators.h"
 #include "graph/path_reconstruction.h"
 #include "graph/shortest_paths.h"
 #include "linalg/kernels.h"
 #include "linalg/semiring.h"
+#include "test_support.h"
 
 namespace apspark {
 namespace {
@@ -100,6 +102,80 @@ TEST(Paths, ReconstructedPathsAreShortestAndConsistent) {
         total += w;
       }
       EXPECT_NEAR(total, apsp.distances.At(s, t), 1e-9);
+    }
+  }
+}
+
+TEST(Paths, KsourcePanelDistancesAreRealizedByReconstructedPaths) {
+  // Distances computed by the batched k-source sweep must be *realizable*:
+  // for every (source, target) pair, the successor-matrix reconstruction
+  // yields an actual walk in the graph whose edge weights sum to the panel
+  // entry. Ties the KSSP workload to the path-reconstruction extension.
+  const std::uint64_t seed = 12;
+  APSPARK_SEEDED_CASE(seed);
+  const graph::Graph g = graph::PaperErdosRenyi(56, seed);
+  const std::vector<graph::VertexId> sources = {0, 7, 23, 41, 55};
+  apsp::KsourceOptions opts;
+  opts.block_size = 16;
+  apsp::KsourceBlockedSolver solver;
+  auto result = solver.SolveGraph(g, sources, opts, test::TestCluster());
+  ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+  ASSERT_TRUE(result.distances.has_value());
+  const auto& panel = *result.distances;
+
+  const auto apsp = graph::FloydWarshallWithPaths(g);
+  const auto adjacency = g.ToDenseAdjacency();
+  for (std::size_t j = 0; j < sources.size(); ++j) {
+    const graph::VertexId s = sources[j];
+    for (graph::VertexId t = 0; t < g.num_vertices(); t += 3) {
+      const double dist = panel.At(t, static_cast<std::int64_t>(j));
+      if (std::isinf(dist)) {
+        EXPECT_FALSE(graph::ExtractPath(apsp, s, t).ok());
+        continue;
+      }
+      auto path = graph::ExtractPath(apsp, s, t);
+      ASSERT_TRUE(path.ok()) << s << "->" << t;
+      ASSERT_GE(path->size(), 1u);
+      EXPECT_EQ(path->front(), s);
+      EXPECT_EQ(path->back(), t);
+      double total = 0;
+      for (std::size_t i = 0; i + 1 < path->size(); ++i) {
+        const double w = adjacency.At((*path)[i], (*path)[i + 1]);
+        ASSERT_FALSE(std::isinf(w)) << "path uses a non-edge";
+        total += w;
+      }
+      EXPECT_NEAR(total, dist, 1e-9)
+          << "source " << s << " -> " << t << " via panel column " << j;
+    }
+  }
+}
+
+TEST(Paths, DirectedKsourcePanelRealizedOnDigraph) {
+  // Same realizability check on a digraph: panel columns are source-rooted
+  // (dist(s -> v)), so reconstruction must follow edge orientation.
+  const graph::Graph g = graph::ErdosRenyi(30, 0.2, {1.0, 5.0}, /*seed=*/9,
+                                           /*directed=*/true);
+  const std::vector<graph::VertexId> sources = {3, 11, 28};
+  apsp::KsourceOptions opts;
+  opts.block_size = 8;
+  apsp::KsourceBlockedSolver solver;
+  auto result = solver.SolveGraph(g, sources, opts, test::TestCluster());
+  ASSERT_TRUE(result.status.ok());
+  const auto& panel = *result.distances;
+  const auto apsp = graph::FloydWarshallWithPaths(g);
+  const auto adjacency = g.ToDenseAdjacency();
+  for (std::size_t j = 0; j < sources.size(); ++j) {
+    const graph::VertexId s = sources[j];
+    for (graph::VertexId t = 0; t < g.num_vertices(); ++t) {
+      const double dist = panel.At(t, static_cast<std::int64_t>(j));
+      if (std::isinf(dist)) continue;
+      auto path = graph::ExtractPath(apsp, s, t);
+      ASSERT_TRUE(path.ok()) << s << "->" << t;
+      double total = 0;
+      for (std::size_t i = 0; i + 1 < path->size(); ++i) {
+        total += adjacency.At((*path)[i], (*path)[i + 1]);
+      }
+      EXPECT_NEAR(total, dist, 1e-9) << s << "->" << t;
     }
   }
 }

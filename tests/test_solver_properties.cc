@@ -8,6 +8,7 @@
 #include "common/rng.h"
 #include "graph/generators.h"
 #include "graph/shortest_paths.h"
+#include "test_support.h"
 
 namespace apspark {
 namespace {
@@ -17,12 +18,7 @@ using apsp::BlockLayout;
 using apsp::MakeSolver;
 using apsp::PartitionerKind;
 using apsp::SolverKind;
-
-sparklet::ClusterConfig TestCluster() {
-  auto cfg = sparklet::ClusterConfig::TinyTest();
-  cfg.local_storage_bytes = 16ULL * kGiB;
-  return cfg;
-}
+using test::TestCluster;
 
 TEST(SolverMeta, PurityFlagsMatchPaper) {
   EXPECT_FALSE(MakeSolver(SolverKind::kRepeatedSquaring)->pure());
@@ -62,6 +58,7 @@ class SolverProperties : public ::testing::TestWithParam<PropertyCase> {};
 
 TEST_P(SolverProperties, OutputIsAMetricAndMatchesReference) {
   const auto c = GetParam();
+  APSPARK_SEEDED_CASE(c.seed);
   const graph::Graph g = graph::PaperErdosRenyi(c.n, c.seed);
   ApspOptions opts;
   opts.block_size = c.b;

@@ -6,6 +6,7 @@
 #include "apsp/solver.h"
 #include "graph/generators.h"
 #include "graph/shortest_paths.h"
+#include "test_support.h"
 
 namespace apspark {
 namespace {
@@ -16,12 +17,7 @@ using apsp::MakeSolver;
 using apsp::PartitionerKind;
 using apsp::SolverKind;
 using graph::Graph;
-
-sparklet::ClusterConfig TestCluster() {
-  auto cfg = sparklet::ClusterConfig::TinyTest();
-  cfg.local_storage_bytes = 16ULL * kGiB;  // ample for correctness tests
-  return cfg;
-}
+using test::TestCluster;
 
 void ExpectMatchesDijkstra(const Graph& g, const ApspRunResult& result,
                            const std::string& label) {
@@ -55,13 +51,7 @@ TEST_P(SolverCorrectness, DisconnectedGraph) {
   const Case c = GetParam();
   // Two ER components with no inter-component edges: distances across must
   // stay +inf.
-  Graph g(40);
-  const Graph a = graph::PaperErdosRenyi(20, 3);
-  for (const auto& e : a.edges()) g.AddEdge(e.u, e.v, e.weight).CheckOk();
-  const Graph b = graph::PaperErdosRenyi(20, 4);
-  for (const auto& e : b.edges()) {
-    g.AddEdge(e.u + 20, e.v + 20, e.weight).CheckOk();
-  }
+  const Graph g = test::TwoComponentGraph(20, /*seed_a=*/3, /*seed_b=*/4);
   ApspOptions opts;
   opts.block_size = c.block_size;
   opts.partitioner = c.partitioner;

@@ -4,9 +4,12 @@
 //                  [--solver rs|fw2d|im|cb] [--block B] [--partitioner md|ph]
 //                  [--cores C] [--directed] [--output <distances.txt>]
 //                  [--checkpoint-every K]
+//                  [--sources K]  batched k-source mode: sweep a rectangular
+//                                 n x K frontier instead of full APSP
 //                  [--kernel naive|tiled|tiled_parallel]  host kernel engine
 //   apspark plan   --n N [--cores C] [--fault-tolerant]   recommend a config
 //   apspark model  --n N [--cores C] [--solver ...] [--block B] [--rounds R]
+//                  [--sources K]
 //                  paper-scale phantom run, projected time + metrics
 #include <cstdio>
 #include <cstdlib>
@@ -15,6 +18,7 @@
 #include <string>
 
 #include "apsp/solver.h"
+#include "apsp/solvers/ksource_blocked.h"
 #include "apsp/tuner.h"
 #include "common/time_utils.h"
 #include "graph/generators.h"
@@ -36,6 +40,7 @@ struct Args {
   std::int64_t block = 0;  // 0 = auto
   int cores = 4;
   std::int64_t rounds = 0;
+  std::int64_t sources = 0;  // > 0 selects the batched k-source workload
   std::int64_t checkpoint_every = 0;
   bool directed = false;
   bool fault_tolerant = false;
@@ -49,10 +54,11 @@ int Usage() {
                "        [--solver rs|fw2d|im|cb] [--block B]\n"
                "        [--partitioner md|ph] [--cores C] [--directed]\n"
                "        [--output FILE] [--checkpoint-every K]\n"
+               "        [--sources K]  k-source mode (n x K frontier)\n"
                "        [--kernel naive|tiled|tiled_parallel]\n"
                "  plan  --n N [--cores C] [--fault-tolerant]\n"
                "  model --n N [--cores C] [--solver ...] [--block B]"
-               " [--rounds R]\n");
+               " [--rounds R] [--sources K]\n");
   return 2;
 }
 
@@ -100,6 +106,10 @@ bool ParseArgs(int argc, char** argv, Args& args) {
       const char* v = next();
       if (!v) return false;
       args.rounds = std::atoll(v);
+    } else if (flag == "--sources") {
+      const char* v = next();
+      if (!v) return false;
+      args.sources = std::atoll(v);
     } else if (flag == "--checkpoint-every") {
       const char* v = next();
       if (!v) return false;
@@ -118,6 +128,32 @@ bool ParseArgs(int argc, char** argv, Args& args) {
     }
   }
   return true;
+}
+
+/// Writes a matrix/panel as whitespace-separated rows with full double
+/// precision (the --output format of both the APSP and k-source modes).
+bool WriteDenseBlock(const std::string& path, const linalg::DenseBlock& d) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  out.precision(17);
+  for (std::int64_t i = 0; i < d.rows(); ++i) {
+    for (std::int64_t j = 0; j < d.cols(); ++j) {
+      out << d.At(i, j) << (j + 1 == d.cols() ? '\n' : ' ');
+    }
+  }
+  return true;
+}
+
+/// Deterministic source set for --sources K: evenly spread over the vertex
+/// range (duplicates appear when K > n, which the solver permits).
+std::vector<graph::VertexId> PickSources(std::int64_t n, std::int64_t k) {
+  std::vector<graph::VertexId> sources;
+  sources.reserve(static_cast<std::size_t>(k));
+  for (std::int64_t j = 0; j < k; ++j) sources.push_back(j * n / k);
+  return sources;
 }
 
 Result<apsp::SolverKind> ParseSolver(const std::string& name) {
@@ -168,6 +204,37 @@ int RunSolve(const Args& args) {
   }
   cluster.kernel_variant = *kernel;
 
+  if (args.sources > 0) {
+    // Batched k-source mode: rectangular n x K frontier on the kernel
+    // registry instead of the full APSP matrix.
+    apsp::KsourceOptions kopts;
+    kopts.block_size = options.block_size;
+    kopts.partitioner = options.partitioner;
+    kopts.directed = args.directed;
+    apsp::KsourceBlockedSolver ksolver;
+    const auto sources = PickSources(g.num_vertices(), args.sources);
+    std::printf("solving %s k-source (k = %lld) with %s (b = %lld)\n",
+                g.Summary().c_str(), static_cast<long long>(args.sources),
+                ksolver.name().c_str(),
+                static_cast<long long>(kopts.block_size));
+    auto kresult = ksolver.SolveGraph(g, sources, kopts, cluster);
+    if (!kresult.status.ok()) {
+      std::fprintf(stderr, "solve failed: %s\n",
+                   kresult.status.ToString().c_str());
+      return 1;
+    }
+    std::printf("done: %lld pivots, simulated cluster time %s\n",
+                static_cast<long long>(kresult.rounds_executed),
+                FormatDuration(kresult.sim_seconds).c_str());
+    std::printf("engine: %s\n", kresult.metrics.Summary().c_str());
+    if (!args.output.empty()) {
+      if (!WriteDenseBlock(args.output, *kresult.distances)) return 1;
+      std::printf("distance panel (n x k) written to %s\n",
+                  args.output.c_str());
+    }
+    return 0;
+  }
+
   auto solver = apsp::MakeSolver(*kind);
   std::printf("solving %s with %s (b = %lld)\n", g.Summary().c_str(),
               solver->name().c_str(),
@@ -183,18 +250,7 @@ int RunSolve(const Args& args) {
               FormatDuration(result.sim_seconds).c_str());
   std::printf("engine: %s\n", result.metrics.Summary().c_str());
   if (!args.output.empty()) {
-    std::ofstream out(args.output);
-    if (!out) {
-      std::fprintf(stderr, "cannot write %s\n", args.output.c_str());
-      return 1;
-    }
-    const auto& d = *result.distances;
-    out.precision(17);
-    for (std::int64_t i = 0; i < d.rows(); ++i) {
-      for (std::int64_t j = 0; j < d.cols(); ++j) {
-        out << d.At(i, j) << (j + 1 == d.cols() ? '\n' : ' ');
-      }
-    }
+    if (!WriteDenseBlock(args.output, *result.distances)) return 1;
     std::printf("distances written to %s\n", args.output.c_str());
   }
   return 0;
@@ -221,6 +277,28 @@ int RunPlan(const Args& args) {
 
 int RunModel(const Args& args) {
   if (args.n <= 1) return Usage();
+  if (args.sources > 0) {
+    apsp::KsourceOptions kopts;
+    kopts.block_size = args.block > 0 ? args.block : 1024;
+    kopts.max_rounds = args.rounds > 0 ? args.rounds : 1;
+    kopts.directed = args.directed;
+    auto cluster = sparklet::ClusterConfig::PaperWithCores(
+        args.cores > 4 ? args.cores : 1024);
+    apsp::KsourceBlockedSolver solver;
+    auto result =
+        solver.SolveModel(args.n, args.sources, kopts, cluster);
+    std::printf("%s, n = %lld, k = %lld, b = %lld on %s\n",
+                solver.name().c_str(), static_cast<long long>(args.n),
+                static_cast<long long>(args.sources),
+                static_cast<long long>(kopts.block_size),
+                cluster.Summary().c_str());
+    std::printf("pivots: %lld of %lld, projected %s\n",
+                static_cast<long long>(result.rounds_executed),
+                static_cast<long long>(result.rounds_total),
+                FormatDuration(result.projected_seconds).c_str());
+    std::printf("engine: %s\n", result.metrics.Summary().c_str());
+    return result.status.ok() ? 0 : 1;
+  }
   auto kind = ParseSolver(args.solver);
   if (!kind.ok()) {
     std::fprintf(stderr, "%s\n", kind.status().ToString().c_str());
