@@ -20,11 +20,17 @@
 #include <string>
 #include <vector>
 
+// Section 3 races the work-stealing block-task scheduler on one task
+// batch's worth of independent block updates (q^2 updates at b = 128, the
+// small-block layout that row striping alone cannot scale) and gates the
+// speedup on multi-core hosts.
 #include "bench_util.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "common/time_utils.h"
 #include "linalg/cost_model.h"
 #include "linalg/dense_block.h"
+#include "linalg/kernel_registry.h"
 #include "linalg/kernels.h"
 
 namespace {
@@ -194,6 +200,85 @@ std::vector<KernelResult> RunKernelComparison(std::int64_t max_b) {
   return results;
 }
 
+/// Section 3: one sparklet task batch's independent block updates
+/// C_uv = min(C_uv, A_u (min,+) B_v) — q^2 updates at a small block size.
+/// "row_stripe" runs the updates sequentially with only each update's rows
+/// striped over the pool (the pre-scheduler behavior); "work_steal" makes
+/// every block update a stealable task (the production path of the batch
+/// unpackers). Both run under kTiledParallel and must stay bitwise-equal to
+/// the sequential scalar loop.
+std::vector<KernelResult> RunSchedulerComparison() {
+  constexpr std::int64_t kB = 128;
+  constexpr std::int64_t kQ = 8;
+  bench::PrintHeader(
+      "Block-task scheduler — 64 independent 128x128 block updates\n"
+      "(row striping within one update vs work-stealing across updates)");
+  std::vector<KernelResult> results;
+
+  std::vector<linalg::DenseBlock> lhs;
+  std::vector<linalg::DenseBlock> rhs;
+  std::vector<linalg::DenseBlock> base;
+  for (std::int64_t i = 0; i < kQ; ++i) {
+    lhs.push_back(RandomBlock(kB, 100 + static_cast<std::uint64_t>(i)));
+    rhs.push_back(RandomBlock(kB, 200 + static_cast<std::uint64_t>(i)));
+  }
+  for (std::int64_t u = 0; u < kQ * kQ; ++u) {
+    base.push_back(RandomBlock(kB, 300 + static_cast<std::uint64_t>(u)));
+  }
+  // Scalar oracle, sequential.
+  std::vector<linalg::DenseBlock> reference = base;
+  for (std::int64_t u = 0; u < kQ * kQ; ++u) {
+    linalg::MinPlusAccumulateRawNaive(
+        kB, kB, kB, lhs[static_cast<std::size_t>(u / kQ)].data(), kB,
+        rhs[static_cast<std::size_t>(u % kQ)].data(), kB,
+        reference[static_cast<std::size_t>(u)].mutable_data(), kB);
+  }
+
+  const double ops = static_cast<double>(kQ) * kQ * kB * kB * kB;
+  linalg::ScopedKernelVariant scope(linalg::KernelVariant::kTiledParallel);
+  auto run_update = [&](std::vector<linalg::DenseBlock>& out, std::size_t u) {
+    linalg::MinPlusUpdate(lhs[u / static_cast<std::size_t>(kQ)],
+                          rhs[u % static_cast<std::size_t>(kQ)], out[u]);
+  };
+
+  std::printf("%16s %8s %16s %10s %10s  %s\n", "mode", "b", "time", "Gops",
+              "speedup", "exact");
+  double stripe_seconds = 0;
+  for (const char* mode : {"row_stripe", "work_steal"}) {
+    std::vector<linalg::DenseBlock> out;
+    KernelResult r;
+    r.kernel = "sched_batch";
+    r.variant = mode;
+    r.b = kB;
+    r.seconds = BestOf(7, [&] {
+      out = base;
+      if (std::string(mode) == "row_stripe") {
+        for (std::size_t u = 0; u < static_cast<std::size_t>(kQ * kQ); ++u) {
+          run_update(out, u);
+        }
+      } else {
+        linalg::KernelThreadPool().ParallelForTasks(
+            static_cast<std::size_t>(kQ * kQ),
+            [&](std::size_t u) { run_update(out, u); });
+      }
+    });
+    if (std::string(mode) == "row_stripe") stripe_seconds = r.seconds;
+    r.gops = ops / r.seconds / 1e9;
+    r.speedup = stripe_seconds / r.seconds;
+    r.bitwise_equal = true;
+    for (std::size_t u = 0; u < static_cast<std::size_t>(kQ * kQ); ++u) {
+      r.bitwise_equal =
+          r.bitwise_equal && BitwiseEqual(out[u], reference[u]);
+    }
+    std::printf("%16s %8lld %16s %10.3f %9.2fx  %s\n", r.variant.c_str(),
+                static_cast<long long>(r.b),
+                FormatSeconds(r.seconds, 3).c_str(), r.gops, r.speedup,
+                r.bitwise_equal ? "yes" : "NO");
+    results.push_back(r);
+  }
+  return results;
+}
+
 }  // namespace
 
 int main() {
@@ -250,7 +335,9 @@ int main() {
               FormatSeconds(model.FloydWarshallSeconds(256), 3).c_str(),
               FormatDuration(model.FloydWarshallSeconds(10000)).c_str());
 
-  const auto results = RunKernelComparison(max_measured);
+  auto results = RunKernelComparison(max_measured);
+  const auto sched_results = RunSchedulerComparison();
+  results.insert(results.end(), sched_results.begin(), sched_results.end());
   const char* json_path = std::getenv("APSPARK_BENCH_JSON");
   WriteJson(results, json_path != nullptr ? json_path : "BENCH_kernels.json");
 
@@ -284,6 +371,35 @@ int main() {
     std::printf("note: perf gate NOT evaluated (b=1024 not measured; "
                 "APSPARK_FIG2_MAX_B=%lld)\n",
                 static_cast<long long>(max_measured));
+  }
+
+  // Scheduler gate (ISSUE 3 acceptance): work stealing across a task
+  // batch's block updates must beat row-striping-only at b = 128, q >= 8 on
+  // a multi-core host — on a single-core host both modes degenerate to the
+  // same sequential execution and the ratio is meaningless. Bitwise
+  // equality is gated unconditionally.
+  double sched_min_speedup = 1.3;
+  if (const char* env = std::getenv("APSPARK_GATE_SCHED_SPEEDUP")) {
+    sched_min_speedup = std::atof(env);
+  }
+  for (const KernelResult& r : results) {
+    if (r.kernel != "sched_batch") continue;
+    if (!r.bitwise_equal) {
+      std::fprintf(stderr, "FAIL: sched_batch %s b=%lld not bitwise equal\n",
+                   r.variant.c_str(), static_cast<long long>(r.b));
+      return 1;
+    }
+    if (r.variant != "work_steal") continue;
+    if (linalg::KernelThreadPool().num_threads() <= 1) {
+      std::printf("note: scheduler gate NOT evaluated (single-core host)\n");
+    } else if (r.speedup < sched_min_speedup) {
+      std::fprintf(stderr,
+                   "FAIL: work-stealing speedup %.2fx < %.2fx over "
+                   "row striping (b=%lld, q=8)\n",
+                   r.speedup, sched_min_speedup,
+                   static_cast<long long>(r.b));
+      return 1;
+    }
   }
   return 0;
 }

@@ -1,62 +1,88 @@
 #!/usr/bin/env bash
-# Bench-regression gate: compares a fresh bench_fig2_kernels run against the
-# committed BENCH_kernels.json and fails on a tiled min-plus regression at
-# b = 1024 (the ROADMAP perf-trajectory tracker).
+# Bench-regression gate: compares a fresh bench run against the committed
+# baseline JSON and fails on a regression of the tracked record (the ROADMAP
+# perf-trajectory tracker).
 #
-# Usage: check_regression.sh <measured.json> <baseline.json> [--metric M]
-#   M = gops     absolute tiled min-plus Gops (default; meaningful when the
-#                baseline was produced on comparable hardware)
-#   M = speedup  tiled speedup over naive measured in the same run — the
+# Usage: check_regression.sh <measured.json> <baseline.json>
+#                            [--metric M] [--bench B]
+#   M = gops     absolute Gops of the tracked record (default; meaningful
+#                when the baseline was produced on comparable hardware)
+#   M = speedup  speedup over naive measured in the same run — the
 #                machine-normalized metric CI uses, since hosted runners
 #                differ from the machine that produced the committed file
+#   B = fig2     tracked record: tiled min-plus at b = 1024 from
+#                bench_fig2_kernels / BENCH_kernels.json (default)
+#   B = ksource  tracked record: tiled rect kernel at b = 1024, k = 64 from
+#                bench_ksource / BENCH_ksource.json
 #
 # Env: APSPARK_BENCH_TOLERANCE  allowed fractional regression (default 0.10)
 set -euo pipefail
 
 if [[ $# -lt 2 ]]; then
-  echo "usage: $0 <measured.json> <baseline.json> [--metric gops|speedup]" >&2
+  echo "usage: $0 <measured.json> <baseline.json> [--metric gops|speedup]" \
+       "[--bench fig2|ksource]" >&2
   exit 2
 fi
 measured="$1"
 baseline="$2"
+shift 2
 metric="gops"
-if [[ "${3:-}" == "--metric" ]]; then
-  metric="${4:?--metric needs a value}"
-fi
+bench="fig2"
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --metric) metric="${2:?--metric needs a value}"; shift 2 ;;
+    --bench) bench="${2:?--bench needs a value}"; shift 2 ;;
+    *) echo "unknown argument '$1'" >&2; exit 2 ;;
+  esac
+done
 case "$metric" in
   gops) field="gops" ;;
   speedup) field="speedup_vs_naive" ;;
   *) echo "unknown metric '$metric'" >&2; exit 2 ;;
 esac
+case "$bench" in
+  fig2) what="tiled minplus b=1024" ;;
+  ksource) what="tiled rect_kernel b=1024 k=64" ;;
+  *) echo "unknown bench '$bench'" >&2; exit 2 ;;
+esac
 tolerance="${APSPARK_BENCH_TOLERANCE:-0.10}"
 
-# The bench writes one result object per line, so the tiled min-plus b=1024
-# record is greppable without a JSON parser. The '|| true' keeps a missing
-# record from tripping set -e inside the command substitution, so the
-# explicit FAIL diagnostic below can fire.
+# The benches write one result object per line, so the tracked record is
+# greppable without a JSON parser. The '|| true' keeps a missing record from
+# tripping set -e inside the command substitution, so the explicit FAIL
+# diagnostic below can fire.
 extract() {
-  { grep '"kernel": "minplus"' "$1" \
-      | grep '"variant": "tiled"' \
-      | grep '"b": 1024' \
-      | grep -oE "\"$field\": [0-9.eE+-]+" \
-      | head -1 | awk '{print $2}'; } || true
+  if [[ "$bench" == "fig2" ]]; then
+    { grep '"kernel": "minplus"' "$1" \
+        | grep '"variant": "tiled"' \
+        | grep '"b": 1024' \
+        | grep -oE "\"$field\": [0-9.eE+-]+" \
+        | head -1 | awk '{print $2}'; } || true
+  else
+    { grep '"section": "rect_kernel"' "$1" \
+        | grep '"variant": "tiled"' \
+        | grep '"b": 1024' \
+        | grep '"k": 64' \
+        | grep -oE "\"$field\": [0-9.eE+-]+" \
+        | head -1 | awk '{print $2}'; } || true
+  fi
 }
 
 measured_value="$(extract "$measured")"
 baseline_value="$(extract "$baseline")"
 if [[ -z "$measured_value" || -z "$baseline_value" ]]; then
-  echo "FAIL: tiled minplus b=1024 record missing" \
+  echo "FAIL: $what record missing" \
        "(measured='$measured_value' baseline='$baseline_value')" >&2
   exit 1
 fi
 
-echo "tiled minplus b=1024 $metric: measured $measured_value," \
+echo "$what $metric: measured $measured_value," \
      "baseline $baseline_value, tolerance $tolerance"
 if awk -v m="$measured_value" -v b="$baseline_value" -v t="$tolerance" \
      'BEGIN { exit !(m >= b * (1 - t)) }'; then
   echo "OK: within tolerance"
 else
-  echo "FAIL: tiled minplus $metric regressed more than ${tolerance} vs" \
+  echo "FAIL: $what $metric regressed more than ${tolerance} vs" \
        "committed baseline" >&2
   exit 1
 fi

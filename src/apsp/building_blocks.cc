@@ -46,13 +46,27 @@ struct FusedUpdate {
   BlockPtr right;
 };
 
-/// Charges exactly what the unfused MatProd + MatMin pair charged, so the
-/// modelled cluster time is unchanged by fusion.
+/// Modelled seconds of one fused update: exactly what the unfused MatProd +
+/// MatMin pair charged, so the modelled cluster time is unchanged by fusion.
+double FusedChargeSeconds(const FusedUpdate& u, sparklet::TaskContext& tc) {
+  return tc.cost_model().MinPlusSeconds(u.left->rows(), u.right->cols(),
+                                        u.left->cols()) +
+         tc.cost_model().ElementwiseSeconds(u.base->size());
+}
+
 void ChargeFused(const FusedUpdate& u, sparklet::TaskContext& tc) {
-  tc.ChargeCompute(
-      tc.cost_model().MinPlusSeconds(u.left->rows(), u.right->cols(),
-                                     u.left->cols()) +
-      tc.cost_model().ElementwiseSeconds(u.base->size()));
+  tc.ChargeCompute(FusedChargeSeconds(u, tc));
+}
+
+/// Charges one task's independent kernel pieces: the ordered sequential sum
+/// when intra_task_cores == 1 (bitwise identical to the historical
+/// per-update charging), the LPT intra-task makespan otherwise.
+void ChargeIntraTask(std::vector<double>&& pieces, sparklet::TaskContext& tc) {
+  if (tc.cost_model().intra_task_cores <= 1) {
+    for (double piece : pieces) tc.ChargeCompute(piece);
+    return;
+  }
+  tc.ChargeCompute(tc.cost_model().IntraTaskSpan(std::move(pieces)));
 }
 
 /// Pure numeric part (no TaskContext): safe to run on any host thread.
@@ -60,6 +74,19 @@ BlockPtr RunFused(const FusedUpdate& u) {
   DenseBlock out = *u.base;
   linalg::MinPlusUpdate(*u.left, *u.right, out);
   return linalg::MakeBlock(std::move(out));
+}
+
+/// Runs `count` independent numeric updates: as stealable block tasks on the
+/// host pool under kTiledParallel, sequentially otherwise (naive / tiled are
+/// single-threaded baselines by contract: their solver-level timings must
+/// not be silently multithreaded).
+void RunStealableTasks(std::size_t count,
+                       const std::function<void(std::size_t)>& run_one) {
+  if (linalg::GetKernelVariant() == linalg::KernelVariant::kTiledParallel) {
+    linalg::KernelThreadPool().ParallelForTasks(count, run_one);
+  } else {
+    for (std::size_t i = 0; i < count; ++i) run_one(i);
+  }
 }
 
 }  // namespace
@@ -84,6 +111,43 @@ BlockPtr MinPlusRect(const BlockPtr& base, const BlockPtr& a,
   DenseBlock out = *base;
   linalg::MinPlusUpdateRect(*a, *panel, out);
   return linalg::MakeBlock(std::move(out));
+}
+
+namespace {
+
+/// Shared body of the fused-triple batches: charge every update through the
+/// intra-task schedule (the same formula as FusedChargeSeconds), then run
+/// `kernel(left, right, c)` per triple as stealable tasks.
+std::vector<BlockPtr> RunTripleBatch(
+    std::vector<FusedTriple>&& updates, sparklet::TaskContext& tc,
+    void (*kernel)(const DenseBlock&, const DenseBlock&, DenseBlock&)) {
+  std::vector<double> pieces;
+  pieces.reserve(updates.size());
+  for (const FusedTriple& u : updates) {
+    pieces.push_back(
+        FusedChargeSeconds(FusedUpdate{BlockKey{}, u.base, u.left, u.right},
+                           tc));
+  }
+  ChargeIntraTask(std::move(pieces), tc);
+  std::vector<BlockPtr> out(updates.size());
+  RunStealableTasks(updates.size(), [&](std::size_t i) {
+    DenseBlock c = *updates[i].base;
+    kernel(*updates[i].left, *updates[i].right, c);
+    out[i] = linalg::MakeBlock(std::move(c));
+  });
+  return out;
+}
+
+}  // namespace
+
+std::vector<BlockPtr> MinPlusIntoBatch(std::vector<FusedTriple>&& updates,
+                                       sparklet::TaskContext& tc) {
+  return RunTripleBatch(std::move(updates), tc, linalg::MinPlusUpdate);
+}
+
+std::vector<BlockPtr> MinPlusRectBatch(std::vector<FusedTriple>&& updates,
+                                       sparklet::TaskContext& tc) {
+  return RunTripleBatch(std::move(updates), tc, linalg::MinPlusUpdateRect);
 }
 
 BlockPtr FloydWarshall(const BlockPtr& a, sparklet::TaskContext& tc) {
@@ -154,6 +218,29 @@ BlockRecord FloydWarshallUpdate(
     sparklet::TaskContext& tc) {
   return FloydWarshallUpdate(layout, record, column_segments, column_segments,
                              tc);
+}
+
+std::vector<BlockRecord> FloydWarshallUpdateBatch(
+    std::vector<BlockRecord>&& records,
+    const std::vector<linalg::BlockPtr>& column_segments,
+    const std::vector<linalg::BlockPtr>& row_segments,
+    sparklet::TaskContext& tc) {
+  std::vector<double> pieces;
+  pieces.reserve(records.size());
+  for (const auto& [key, block] : records) {
+    pieces.push_back(tc.cost_model().ElementwiseSeconds(block->size()));
+  }
+  ChargeIntraTask(std::move(pieces), tc);
+  std::vector<BlockRecord> out(records.size());
+  RunStealableTasks(records.size(), [&](std::size_t r) {
+    const auto& [key, block] = records[r];
+    const BlockPtr& u = column_segments[static_cast<std::size_t>(key.I)];
+    const BlockPtr& v = row_segments[static_cast<std::size_t>(key.J)];
+    DenseBlock updated = *block;
+    linalg::OuterSumMinUpdate(updated, *u, *v);
+    out[r] = {key, linalg::MakeBlock(std::move(updated))};
+  });
+  return out;
 }
 
 void CopyDiag(const BlockLayout& layout, std::int64_t i,
@@ -242,31 +329,28 @@ std::optional<FusedUpdate> PlanPhase3(std::int64_t /*i*/,
 using PlanFn = std::optional<FusedUpdate> (*)(std::int64_t, const ListRecord&,
                                               BlockRecord&);
 
-/// Shared batch driver: plan + charge sequentially (TaskContext is not
-/// thread-safe), then run the fused numeric updates on the host pool.
+/// Shared batch driver: plan sequentially, charge through the intra-task
+/// schedule (TaskContext is not thread-safe, so all charging stays on the
+/// calling thread), then run the fused numeric updates as stealable tasks.
 std::vector<BlockRecord> UnpackBatch(std::vector<ListRecord>&& records,
                                      sparklet::TaskContext& tc,
                                      PlanFn plan, std::int64_t i) {
   std::vector<BlockRecord> out(records.size());
   std::vector<std::pair<std::size_t, FusedUpdate>> pending;
   pending.reserve(records.size());
+  std::vector<double> pieces;
+  pieces.reserve(records.size());
   for (std::size_t r = 0; r < records.size(); ++r) {
     if (auto update = plan(i, records[r], out[r])) {
-      ChargeFused(*update, tc);
+      pieces.push_back(FusedChargeSeconds(*update, tc));
       pending.emplace_back(r, std::move(*update));
     }
   }
-  auto run_one = [&](std::size_t p) {
+  ChargeIntraTask(std::move(pieces), tc);
+  RunStealableTasks(pending.size(), [&](std::size_t p) {
     out[pending[p].first] = {pending[p].second.key,
                              RunFused(pending[p].second)};
-  };
-  if (linalg::GetKernelVariant() == linalg::KernelVariant::kTiledParallel) {
-    linalg::KernelThreadPool().ParallelFor(pending.size(), run_one);
-  } else {
-    // naive / tiled are single-threaded baselines by contract: their
-    // solver-level timings must not be silently multithreaded.
-    for (std::size_t p = 0; p < pending.size(); ++p) run_one(p);
-  }
+  });
   return out;
 }
 

@@ -57,6 +57,30 @@ linalg::BlockPtr MinPlusRect(const linalg::BlockPtr& base,
                              const linalg::BlockPtr& panel,
                              sparklet::TaskContext& tc);
 
+/// One planned fused block update min(base, left ⊗ right) — the unit the
+/// batch entry points below decompose a sparklet task into.
+struct FusedTriple {
+  linalg::BlockPtr base;
+  linalg::BlockPtr left;
+  linalg::BlockPtr right;
+};
+
+/// Batched fused updates: charges each update's modelled kernel time into
+/// the task through the cost model's intra-task schedule
+/// (CostModel::IntraTaskSpan — the ordered sum when intra_task_cores == 1),
+/// then runs the independent numeric updates as stealable block tasks on the
+/// host pool under kTiledParallel (sequentially under naive/tiled, whose
+/// solver-level timings stay single-threaded by contract). Returns the
+/// updated blocks in input order.
+std::vector<linalg::BlockPtr> MinPlusIntoBatch(
+    std::vector<FusedTriple>&& updates, sparklet::TaskContext& tc);
+
+/// Rect-kernel batch: min(base, left ⊗ right-panel) per item via
+/// linalg::MinPlusUpdateRect, with the same charge/execute split as
+/// MinPlusIntoBatch. The hot path of the k-source frontier sweep.
+std::vector<linalg::BlockPtr> MinPlusRectBatch(
+    std::vector<FusedTriple>&& updates, sparklet::TaskContext& tc);
+
 /// FloydWarshall: closes a diagonal block with the sequential solver.
 linalg::BlockPtr FloydWarshall(const linalg::BlockPtr& a,
                                sparklet::TaskContext& tc);
@@ -96,6 +120,16 @@ BlockRecord FloydWarshallUpdate(
 BlockRecord FloydWarshallUpdate(
     const BlockLayout& layout, const BlockRecord& record,
     const std::vector<linalg::BlockPtr>& column_segments,
+    sparklet::TaskContext& tc);
+
+/// Partition-at-a-time FloydWarshallUpdate: identical records and identical
+/// virtual-cluster charges (modulo the intra-task schedule) as mapping the
+/// per-record form, with the independent outer-sum updates fanned out as
+/// stealable tasks under kTiledParallel.
+std::vector<BlockRecord> FloydWarshallUpdateBatch(
+    std::vector<BlockRecord>&& records,
+    const std::vector<linalg::BlockPtr>& column_segments,
+    const std::vector<linalg::BlockPtr>& row_segments,
     sparklet::TaskContext& tc);
 
 // --- Blocked In-Memory combine-step helpers ------------------------------

@@ -51,16 +51,26 @@ RddPtr<BlockRecord> BlockedCollectBroadcastSolver::RunRounds(
                           "cb-phase2",
                           [i, keys](std::vector<BlockRecord>&& part,
                                     TaskContext& tc) {
+                            // One task's independent cross updates become one
+                            // stealable batch; the fused form charges exactly
+                            // the MatProd + MatMin pair it replaces.
                             BlockCache cache;
-                            std::vector<BlockRecord> out;
-                            out.reserve(part.size());
+                            std::vector<FusedTriple> updates;
+                            updates.reserve(part.size());
                             for (const auto& [key, block] : part) {
                               BlockPtr d =
                                   ReadStagedBlock(cache, keys.Diag(i), tc);
-                              BlockPtr prod = key.J == i
-                                                  ? MatProd(block, d, tc)
-                                                  : MatProd(d, block, tc);
-                              out.push_back({key, MatMin(block, prod, tc)});
+                              updates.push_back(
+                                  key.J == i ? FusedTriple{block, block, d}
+                                             : FusedTriple{block, d, block});
+                            }
+                            auto blocks =
+                                MinPlusIntoBatch(std::move(updates), tc);
+                            std::vector<BlockRecord> out;
+                            out.reserve(part.size());
+                            for (std::size_t r = 0; r < part.size(); ++r) {
+                              out.push_back(
+                                  {part[r].first, std::move(blocks[r])});
                             }
                             return out;
                           });
@@ -81,13 +91,18 @@ RddPtr<BlockRecord> BlockedCollectBroadcastSolver::RunRounds(
                 [i, directed, keys](std::vector<BlockRecord>&& part,
                                     TaskContext& tc) {
                   BlockCache cache;
-                  std::vector<BlockRecord> out;
-                  out.reserve(part.size());
+                  std::vector<FusedTriple> updates;
+                  updates.reserve(part.size());
                   for (const auto& [key, block] : part) {
                     auto [left, right] = ReadPhase3Factors(
                         keys, cache, i, key, directed, tc);
-                    BlockPtr prod = MatProd(left, right, tc);
-                    out.push_back({key, MatMin(block, prod, tc)});
+                    updates.push_back({block, left, right});
+                  }
+                  auto blocks = MinPlusIntoBatch(std::move(updates), tc);
+                  std::vector<BlockRecord> out;
+                  out.reserve(part.size());
+                  for (std::size_t r = 0; r < part.size(); ++r) {
+                    out.push_back({part[r].first, std::move(blocks[r])});
                   }
                   return out;
                 });

@@ -66,14 +66,19 @@ RddPtr<BlockRecord> FloydWarshall2dSolver::RunRounds(
       ctx.Broadcast(static_cast<std::uint64_t>(layout.n()) * sizeof(double));
     }
 
-    // Line 10: the Floyd-Warshall update phase — a pure narrow map.
+    // Line 10: the Floyd-Warshall update phase — a pure narrow map, executed
+    // partition-at-a-time so one task's independent outer-sum updates are
+    // charged through the intra-task schedule and fanned out as stealable
+    // tasks on the host pool.
     current =
         current
-            ->Map("fw2d-update",
-                  [&layout, column, row](const BlockRecord& rec,
-                                         TaskContext& tc) {
-                    return FloydWarshallUpdate(layout, rec, *column, *row, tc);
-                  })
+            ->MapPartitions<BlockRecord>(
+                "fw2d-update",
+                [column, row](std::vector<BlockRecord>&& part,
+                              TaskContext& tc) {
+                  return FloydWarshallUpdateBatch(std::move(part), *column,
+                                                 *row, tc);
+                })
             ->Persist();
     current->EnsureMaterialized();
   }

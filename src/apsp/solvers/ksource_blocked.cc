@@ -151,14 +151,23 @@ KsourceResult KsourceBlockedSolver::Solve(
               ->MapPartitions<BlockRecord>(
                   "ks-phase2",
                   [t, keys](std::vector<BlockRecord>&& part, TaskContext& tc) {
+                    // Staged reads and charges stay sequential (TaskContext
+                    // is driver-thread state); the independent block updates
+                    // then run as one stealable intra-task batch.
                     BlockCache cache;
-                    std::vector<BlockRecord> out;
-                    out.reserve(part.size());
+                    std::vector<FusedTriple> updates;
+                    updates.reserve(part.size());
                     for (const auto& [key, block] : part) {
                       BlockPtr d = ReadStagedBlock(cache, keys.Diag(t), tc);
-                      out.push_back({key, key.J == t
-                                              ? MinPlusInto(block, block, d, tc)
-                                              : MinPlusInto(block, d, block, tc)});
+                      updates.push_back(key.J == t
+                                            ? FusedTriple{block, block, d}
+                                            : FusedTriple{block, d, block});
+                    }
+                    auto blocks = MinPlusIntoBatch(std::move(updates), tc);
+                    std::vector<BlockRecord> out;
+                    out.reserve(part.size());
+                    for (std::size_t r = 0; r < part.size(); ++r) {
+                      out.push_back({part[r].first, std::move(blocks[r])});
                     }
                     return out;
                   });
@@ -175,12 +184,18 @@ KsourceResult KsourceBlockedSolver::Solve(
                   [t, directed, keys](std::vector<BlockRecord>&& part,
                                       TaskContext& tc) {
                     BlockCache cache;
-                    std::vector<BlockRecord> out;
-                    out.reserve(part.size());
+                    std::vector<FusedTriple> updates;
+                    updates.reserve(part.size());
                     for (const auto& [key, block] : part) {
                       auto [left, right] = ReadPhase3Factors(
                           keys, cache, t, key, directed, tc);
-                      out.push_back({key, MinPlusInto(block, left, right, tc)});
+                      updates.push_back({block, left, right});
+                    }
+                    auto blocks = MinPlusIntoBatch(std::move(updates), tc);
+                    std::vector<BlockRecord> out;
+                    out.reserve(part.size());
+                    for (std::size_t r = 0; r < part.size(); ++r) {
+                      out.push_back({part[r].first, std::move(blocks[r])});
                     }
                     return out;
                   });
@@ -192,19 +207,29 @@ KsourceResult KsourceBlockedSolver::Solve(
                "ks-frontier",
                [t, keys](std::vector<PanelRecord>&& part, TaskContext& tc) {
                  BlockCache cache;
-                 std::vector<PanelRecord> out;
-                 out.reserve(part.size());
-                 for (const auto& [idx, panel] : part) {
+                 std::vector<PanelRecord> out(part.size());
+                 std::vector<FusedTriple> updates;
+                 std::vector<std::size_t> slots;
+                 updates.reserve(part.size());
+                 slots.reserve(part.size());
+                 for (std::size_t r = 0; r < part.size(); ++r) {
+                   const auto& [idx, panel] = part[r];
                    if (idx == t) {
-                     out.push_back(
-                         {idx, ReadStagedBlock(cache, keys.Panel(t), tc)});
+                     out[r] = {idx,
+                               ReadStagedBlock(cache, keys.Panel(t), tc)};
                      continue;
                    }
                    BlockPtr left =
                        ReadStagedBlock(cache, keys.Left(t, idx), tc);
                    BlockPtr pivot =
                        ReadStagedBlock(cache, keys.Panel(t), tc);
-                   out.push_back({idx, MinPlusRect(panel, left, pivot, tc)});
+                   updates.push_back({panel, left, pivot});
+                   slots.push_back(r);
+                 }
+                 auto panels = MinPlusRectBatch(std::move(updates), tc);
+                 for (std::size_t p = 0; p < slots.size(); ++p) {
+                   out[slots[p]] = {part[slots[p]].first,
+                                    std::move(panels[p])};
                  }
                  return out;
                })

@@ -1,7 +1,11 @@
 // Small arithmetic helpers shared across modules.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
 
 namespace apspark {
 
@@ -25,6 +29,34 @@ constexpr int CeilLog2(std::int64_t n) noexcept {
     ++k;
   }
   return k;
+}
+
+/// Longest-processing-time list scheduling of `piece_seconds` onto `machines`
+/// identical machines; returns the makespan. With machines <= 1 the pieces
+/// are summed in their given order (so a sequential charge loop and a
+/// one-machine schedule produce bitwise-identical totals). Used both by the
+/// virtual cluster's stage scheduler and by the cost model's intra-task
+/// parallelism dimension.
+inline double LptMakespan(std::vector<double> piece_seconds, int machines) {
+  if (piece_seconds.empty()) return 0.0;
+  if (machines <= 1) {
+    double total = 0;
+    for (double t : piece_seconds) total += t;
+    return total;
+  }
+  std::sort(piece_seconds.begin(), piece_seconds.end(), std::greater<>());
+  // Min-heap of machine finish times.
+  std::priority_queue<double, std::vector<double>, std::greater<>> finish;
+  for (int m = 0; m < machines; ++m) finish.push(0.0);
+  double makespan = 0.0;
+  for (double t : piece_seconds) {
+    const double start = finish.top();
+    finish.pop();
+    const double end = start + t;
+    finish.push(end);
+    makespan = std::max(makespan, end);
+  }
+  return makespan;
 }
 
 }  // namespace apspark

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/math_utils.h"
 #include "common/rng.h"
 #include "common/time_utils.h"
 #include "linalg/dense_block.h"
@@ -41,6 +42,10 @@ double CostModel::ElementwiseSeconds(std::int64_t elems) const noexcept {
 double CostModel::SequentialGops(std::int64_t n) const noexcept {
   const double nd = static_cast<double>(n);
   return nd * nd * nd / FloydWarshallSeconds(n) / 1e9;
+}
+
+double CostModel::IntraTaskSpan(std::vector<double> piece_seconds) const {
+  return apspark::LptMakespan(std::move(piece_seconds), intra_task_cores);
 }
 
 namespace {

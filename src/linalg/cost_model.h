@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 namespace apspark::linalg {
 
@@ -27,6 +28,13 @@ struct CostModel {
   // from 1.0 to cache_penalty across one octave of block size.
   double cache_knee_elems = 1810.0 * 1810.0;  // paper: b=1810 fills L3
   double cache_penalty = 1.25;  // tiled kernels degrade mildly past the knee
+  // Intra-task parallelism: cores of one executor cooperating on one task's
+  // blocks. 1 (the default) charges every task sequentially — the classic
+  // Spark executor model. Stamped from ClusterConfig::intra_task_cores by
+  // the engine; individual kernels still charge their sequential time, but
+  // a task's *batch* of independent block updates is scheduled onto this
+  // many virtual cores via IntraTaskSpan.
+  int intra_task_cores = 1;
 
   /// Multiplier applied to O(b^3) kernels for a block of `elems` elements.
   double CacheFactor(double elems) const noexcept;
@@ -45,6 +53,13 @@ struct CostModel {
   /// Effective sequential Gops (n^3 / FloydWarshallSeconds(n)) — the paper's
   /// performance metric.
   double SequentialGops(std::int64_t n) const noexcept;
+
+  /// Modelled time of one task that performs `piece_seconds` independent
+  /// block updates with intra_task_cores cores cooperating on them (LPT list
+  /// schedule — the same discipline the virtual cluster applies across
+  /// tasks). With intra_task_cores == 1 this is the plain ordered sum, so
+  /// sequential charging is reproduced bitwise.
+  double IntraTaskSpan(std::vector<double> piece_seconds) const;
 
   /// Re-fits fw_op_seconds / minplus_op_seconds / elementwise_op_seconds by
   /// timing the real kernels on this host at block size `b` (materialized

@@ -7,10 +7,12 @@
 //                    a measured baseline and as the dispatch target when a
 //                    caller wants zero tiling machinery.
 //   kTiled         — cache-tiled, fused, vectorizable loops (the default).
-//   kTiledParallel — kTiled with row stripes / phase tiles fanned out on the
-//                    host ThreadPool. Only host wall time changes: virtual
-//                    cluster accounting always charges the calibrated cost
-//                    model, never host threads.
+//   kTiledParallel — kTiled with independent block updates scheduled as
+//                    stealable tasks on the host ThreadPool's work-stealing
+//                    deques (row stripes nest through the same scheduler).
+//                    Only host wall time changes: virtual cluster accounting
+//                    always charges the calibrated cost model, never host
+//                    threads.
 //
 // The active variant and its tuning parameters are process-global: the
 // engine executes all record processing from the driver thread (see

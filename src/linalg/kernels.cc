@@ -191,14 +191,33 @@ void BlockedFloydWarshallRaw(std::int64_t n, double* a, std::int64_t lda,
         update(bi, dim(j), bt, tile(i, t), tile(t, j), tile(i, j));
       }
     };
-    if (parallel && q > 2) {
+    if (parallel && q > 1) {
+      // Every independent block update of the pivot step is its own
+      // stealable task: 2(q-1) row/column panels in phase 2, (q-1)^2 outer
+      // blocks in phase 3 — not just q row-level stripes. Small-block
+      // layouts (q large, b small) expose q^2 units of work to the pool
+      // instead of q, which is what lets them scale.
       ThreadPool& pool = KernelThreadPool();
-      pool.ParallelFor(static_cast<std::size_t>(q), [&](std::size_t j) {
-        phase2(static_cast<std::int64_t>(j));
-      });
-      pool.ParallelFor(static_cast<std::size_t>(q), [&](std::size_t i) {
-        phase3(static_cast<std::int64_t>(i));
-      });
+      pool.ParallelForTasks(
+          static_cast<std::size_t>(2 * q), [&](std::size_t s) {
+            const std::int64_t j = static_cast<std::int64_t>(s) / 2;
+            if (j == t) return;
+            const std::int64_t bj = dim(j);
+            if ((s & 1) == 0) {
+              // Row tile through the diagonal.
+              update(bt, bj, bt, tile(t, t), tile(t, j), tile(t, j));
+            } else {
+              // Column tile through the diagonal.
+              update(bj, bt, bt, tile(j, t), tile(t, t), tile(j, t));
+            }
+          });
+      pool.ParallelForTasks(
+          static_cast<std::size_t>(q * q), [&](std::size_t s) {
+            const std::int64_t i = static_cast<std::int64_t>(s) / q;
+            const std::int64_t j = static_cast<std::int64_t>(s) % q;
+            if (i == t || j == t) return;
+            update(dim(i), dim(j), bt, tile(i, t), tile(t, j), tile(i, j));
+          });
     } else {
       for (std::int64_t j = 0; j < q; ++j) phase2(j);
       for (std::int64_t i = 0; i < q; ++i) phase3(i);

@@ -32,6 +32,10 @@ std::string ClusterConfig::Summary() const {
       << FormatBytes(local_storage_bytes) << " local storage/node, net "
       << FormatRate(network.bandwidth_bytes_per_sec) << ", kernels "
       << linalg::KernelVariantName(kernel_variant);
+  if (intra_task_cores > 1) {
+    out << ", " << intra_task_cores << " cores/task ("
+        << concurrent_task_slots() << " slots)";
+  }
   return out.str();
 }
 

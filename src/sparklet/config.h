@@ -71,7 +71,24 @@ struct ClusterConfig {
   /// stage, while B >= 2 lets the scheduler absorb stragglers (§5.3).
   double straggler_spread = 0.35;
 
+  /// Cores per executor cooperating on ONE task's blocks (intra-task
+  /// parallelism). 1 models Spark's classic one-core-per-task executors.
+  /// With c > 1, kernels charged through a task batch are scheduled onto c
+  /// virtual cores (CostModel::IntraTaskSpan) and the cluster runs
+  /// total_cores() / c concurrent task slots — per-task time shrinks, slot
+  /// count shrinks to match, so the win shows exactly where it is real:
+  /// stages with fewer tasks than cores (small q, the straggler tail).
+  int intra_task_cores = 1;
+
   int total_cores() const noexcept { return nodes * cores_per_node; }
+
+  /// Concurrent task slots the cluster schedules stages onto: each task
+  /// occupies intra_task_cores cores of its executor.
+  int concurrent_task_slots() const noexcept {
+    const int per_task = intra_task_cores < 1 ? 1 : intra_task_cores;
+    const int slots = total_cores() / per_task;
+    return slots < 1 ? 1 : slots;
+  }
 
   /// The paper's cluster: 32 nodes x 32 Skylake cores, 192 GB (180 usable),
   /// GbE, 1 TB local SSD, shared GPFS.

@@ -190,7 +190,12 @@ class SparkletContext {
  public:
   explicit SparkletContext(ClusterConfig config,
                            linalg::CostModel cost_model = {})
-      : cluster_(config), cost_model_(cost_model) {}
+      : cluster_(config), cost_model_(cost_model) {
+    // The intra-task parallelism dimension travels with the cluster shape:
+    // stamping it here keeps every ChargeCompute site and the stage slot
+    // count (VirtualCluster::RunStage) consistent by construction.
+    cost_model_.intra_task_cores = config.intra_task_cores;
+  }
 
   VirtualCluster& cluster() noexcept { return cluster_; }
   const ClusterConfig& config() const noexcept { return cluster_.config(); }
@@ -323,7 +328,7 @@ void Rdd<T>::RunStageAndCache() {
   costs.reserve(static_cast<std::size_t>(num_partitions_));
   TaskContext tc = ctx_->MakeTaskContext();
   tc.SetStageConcurrency(
-      std::min(num_partitions_, ctx_->config().total_cores()));
+      std::min(num_partitions_, ctx_->config().concurrent_task_slots()));
   for (int p = 0; p < num_partitions_; ++p) {
     if (store_[static_cast<std::size_t>(p)]) {
       costs.push_back(0.0);  // partition survived (e.g. after DropPartition)
@@ -477,7 +482,7 @@ typename Rdd<T>::Partition Rdd<T>::Collect() {
   std::uint64_t bytes = 0;
   TaskContext tc = ctx_->MakeTaskContext();
   tc.SetStageConcurrency(
-      std::min(num_partitions_, ctx_->config().total_cores()));
+      std::min(num_partitions_, ctx_->config().concurrent_task_slots()));
   for (int p = 0; p < num_partitions_; ++p) {
     tc.ResetForTask();
     Partition part = ComputeOrRead(p, tc);
@@ -634,7 +639,7 @@ std::vector<std::vector<std::pair<K, C>>> ShuffleMapSide(
       static_cast<std::size_t>(parent.num_partitions()), 0);
   TaskContext tc = ctx->MakeTaskContext();
   tc.SetStageConcurrency(
-      std::min(parent.num_partitions(), ctx->config().total_cores()));
+      std::min(parent.num_partitions(), ctx->config().concurrent_task_slots()));
   for (int p = 0; p < parent.num_partitions(); ++p) {
     tc.ResetForTask();
     std::vector<std::pair<K, V>> records = parent.ComputeOrRead(p, tc);

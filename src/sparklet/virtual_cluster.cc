@@ -2,34 +2,16 @@
 
 #include <algorithm>
 #include <cmath>
-#include <queue>
 #include <sstream>
 
 #include "common/bytes.h"
+#include "common/math_utils.h"
 #include "common/rng.h"
 
 namespace apspark::sparklet {
 
 double ListScheduleMakespan(std::vector<double> task_seconds, int machines) {
-  if (task_seconds.empty()) return 0.0;
-  if (machines <= 1) {
-    double total = 0;
-    for (double t : task_seconds) total += t;
-    return total;
-  }
-  std::sort(task_seconds.begin(), task_seconds.end(), std::greater<>());
-  // Min-heap of machine finish times.
-  std::priority_queue<double, std::vector<double>, std::greater<>> finish;
-  for (int m = 0; m < machines; ++m) finish.push(0.0);
-  double makespan = 0.0;
-  for (double t : task_seconds) {
-    const double start = finish.top();
-    finish.pop();
-    const double end = start + t;
-    finish.push(end);
-    makespan = std::max(makespan, end);
-  }
-  return makespan;
+  return LptMakespan(std::move(task_seconds), machines);
 }
 
 VirtualCluster::VirtualCluster(ClusterConfig config)
@@ -56,8 +38,13 @@ void VirtualCluster::RunStage(const std::vector<double>& task_seconds) {
         static_cast<double>(h >> 11) * 0x1.0p-53;  // uniform [0, 1)
     jittered[i] = task_seconds[i] * (1.0 + config_.straggler_spread * u);
   }
+  // Executors run one task per *slot*: with intra-task parallelism enabled
+  // (ClusterConfig::intra_task_cores > 1) each task occupies that many cores
+  // of its executor, so fewer tasks run concurrently — the per-task charges
+  // shrink (the cost model's intra-task makespan), the slot count shrinks to
+  // match, and modelled time stays honest.
   const double makespan =
-      ListScheduleMakespan(std::move(jittered), config_.total_cores());
+      ListScheduleMakespan(std::move(jittered), config_.concurrent_task_slots());
   // Task launch overhead is driver-side but overlaps executor compute
   // (Spark dispatches the next wave while the current one runs), so a stage
   // costs whichever dominates: the dispatch loop or the parallel compute.

@@ -214,6 +214,35 @@ TEST(BuildingBlocks, KernelWrappersChargeModelTime) {
   EXPECT_TRUE(prod->ApproxEquals(linalg::MinPlusProduct(*a, *b)));
 }
 
+TEST(BuildingBlocks, MinPlusIntoBatchMatchesPerRecordChargesAndValues) {
+  // One task's batch of 4 identical updates: with the default
+  // intra_task_cores = 1 the batch charges exactly 4x the single fused
+  // update; on 2 virtual cores the LPT schedule halves it. Values are
+  // identical either way.
+  TcFixture single;
+  auto base = linalg::MakeBlock(RandomSym(8, 11));
+  auto l = linalg::MakeBlock(RandomSym(8, 12));
+  auto r = linalg::MakeBlock(RandomSym(8, 13));
+  auto expected = MinPlusInto(base, l, r, single.tc);
+  const double one_charge = single.tc.task_seconds();
+  ASSERT_GT(one_charge, 0.0);
+
+  TcFixture f;
+  std::vector<FusedTriple> updates(4, FusedTriple{base, l, r});
+  auto out = MinPlusIntoBatch(std::move(updates), f.tc);
+  ASSERT_EQ(out.size(), 4u);
+  for (const auto& block : out) {
+    EXPECT_TRUE(block->ApproxEquals(*expected, 0.0));
+  }
+  EXPECT_NEAR(f.tc.task_seconds(), 4 * one_charge, 1e-15);
+
+  f.model.intra_task_cores = 2;
+  f.tc.ResetForTask();
+  std::vector<FusedTriple> again(4, FusedTriple{base, l, r});
+  MinPlusIntoBatch(std::move(again), f.tc);
+  EXPECT_NEAR(f.tc.task_seconds(), 2 * one_charge, 1e-15);
+}
+
 TEST(BuildingBlocks, MinPlusIsProductThenMin) {
   TcFixture f;
   auto a = linalg::MakeBlock(RandomSym(6, 3));

@@ -1,9 +1,13 @@
 // Unit tests for the common utilities: RNG, formatting, serialization,
-// status/result, thread pool, arithmetic helpers.
+// status/result, thread pool + work-stealing scheduler, arithmetic helpers.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <functional>
 #include <set>
+#include <string>
+#include <thread>
 
 #include "common/bytes.h"
 #include "common/math_utils.h"
@@ -12,6 +16,7 @@
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "common/time_utils.h"
+#include "test_support.h"
 
 namespace apspark {
 namespace {
@@ -212,6 +217,147 @@ TEST(ThreadPool, PropagatesExceptions) {
                std::runtime_error);
 }
 
+// --- work-stealing scheduler ----------------------------------------------
+
+TEST(WorkStealing, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kCount = 1000;
+  std::vector<std::atomic<int>> hits(kCount);
+  pool.ParallelForTasks(kCount, [&](std::size_t i) { ++hits[i]; });
+  for (std::size_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(WorkStealing, NestedParallelForInsideStolenTasks) {
+  // Each outer task — wherever it was stolen to — fans out again; the
+  // nested calls schedule through the executing thread's own deque instead
+  // of running inline.
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  pool.ParallelForTasks(8, [&](std::size_t) {
+    pool.ParallelFor(16, [&](std::size_t) { ++counter; });
+  });
+  EXPECT_EQ(counter.load(), 8 * 16);
+}
+
+TEST(WorkStealing, ThreeLevelNestingOnSmallPool) {
+  ThreadPool pool(3);
+  std::atomic<int> leaves{0};
+  pool.ParallelForTasks(4, [&](std::size_t) {
+    pool.ParallelForTasks(4, [&](std::size_t) {
+      pool.ParallelForTasks(4, [&](std::size_t) { ++leaves; });
+    });
+  });
+  EXPECT_EQ(leaves.load(), 64);
+}
+
+TEST(WorkStealing, OversubscriptionManyMoreTasksThanWorkers) {
+  ThreadPool pool(2);
+  constexpr std::int64_t kCount = 5000;
+  std::atomic<std::int64_t> sum{0};
+  pool.ParallelForTasks(static_cast<std::size_t>(kCount),
+                        [&](std::size_t i) {
+                          sum += static_cast<std::int64_t>(i);
+                        });
+  EXPECT_EQ(sum.load(), kCount * (kCount - 1) / 2);
+}
+
+TEST(WorkStealing, ConcurrentExternalSubmitters) {
+  // Two driver-side threads race batches through the injection queue; each
+  // joiner helps with whatever tasks it can take, including the other's.
+  ThreadPool pool(4);
+  std::atomic<int> a{0};
+  std::atomic<int> b{0};
+  std::thread t1([&] { pool.ParallelForTasks(300, [&](std::size_t) { ++a; }); });
+  std::thread t2([&] { pool.ParallelForTasks(300, [&](std::size_t) { ++b; }); });
+  t1.join();
+  t2.join();
+  EXPECT_EQ(a.load(), 300);
+  EXPECT_EQ(b.load(), 300);
+}
+
+TEST(WorkStealing, ExceptionFirstOneWinsAndPoolSurvives) {
+  // The thread_pool.h contract: exceptions are rethrown, first one wins;
+  // tasks of the same call that have not started are skipped.
+  ThreadPool pool(4);
+  std::atomic<int> started{0};
+  try {
+    pool.ParallelForTasks(64, [&](std::size_t i) {
+      ++started;
+      throw std::runtime_error("task " + std::to_string(i));
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_EQ(std::string(e.what()).substr(0, 5), "task ");
+  }
+  EXPECT_GE(started.load(), 1);
+  // The pool stays fully usable after a failed batch.
+  std::atomic<int> counter{0};
+  pool.ParallelForTasks(100, [&](std::size_t) { ++counter; });
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(WorkStealing, NestedExceptionPropagatesThroughOuterJoin) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.ParallelForTasks(8,
+                                     [&](std::size_t) {
+                                       pool.ParallelFor(8, [](std::size_t j) {
+                                         if (j == 3) {
+                                           throw std::logic_error("inner");
+                                         }
+                                       });
+                                     }),
+               std::logic_error);
+}
+
+namespace taskgraph {
+
+/// Sequential shadow of SpawnGraph: the expected leaf count of the random
+/// task graph rooted at (depth, seed).
+std::int64_t CountLeaves(int depth, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  const auto fanout = static_cast<std::int64_t>(1 + rng.NextBounded(5));
+  if (depth == 0) return fanout;
+  std::int64_t total = 0;
+  for (std::int64_t i = 0; i < fanout; ++i) {
+    total += CountLeaves(depth - 1,
+                         Mix64(seed ^ static_cast<std::uint64_t>(i + 1)));
+  }
+  return total;
+}
+
+/// Spawns the same random task graph on the pool: every node fans out into
+/// 1..5 stealable tasks, children derive their shape from Mix64'd seeds.
+void SpawnGraph(ThreadPool& pool, std::atomic<std::int64_t>& leaves,
+                int depth, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  const auto fanout = static_cast<std::size_t>(1 + rng.NextBounded(5));
+  if (depth == 0) {
+    leaves.fetch_add(static_cast<std::int64_t>(fanout));
+    return;
+  }
+  pool.ParallelForTasks(fanout, [&, depth, seed](std::size_t i) {
+    SpawnGraph(pool, leaves, depth - 1,
+               Mix64(seed ^ static_cast<std::uint64_t>(i + 1)));
+  });
+}
+
+}  // namespace taskgraph
+
+TEST(WorkStealing, SeededRandomTaskGraphShapes) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    APSPARK_SEEDED_CASE(seed);
+    Xoshiro256 rng(seed);
+    ThreadPool pool(2 + rng.NextBounded(4));
+    const int depth = static_cast<int>(1 + rng.NextBounded(3));
+    const std::uint64_t shape_seed = Mix64(seed * 977);
+    std::atomic<std::int64_t> leaves{0};
+    taskgraph::SpawnGraph(pool, leaves, depth, shape_seed);
+    EXPECT_EQ(leaves.load(), taskgraph::CountLeaves(depth, shape_seed));
+  }
+}
+
 // --- math ------------------------------------------------------------------
 
 TEST(MathUtils, CeilDiv) {
@@ -232,6 +378,15 @@ TEST(MathUtils, UpperTriangularCount) {
   EXPECT_EQ(UpperTriangularCount(1), 1);
   EXPECT_EQ(UpperTriangularCount(4), 10);
   EXPECT_EQ(UpperTriangularCount(1024), 524800);
+}
+
+TEST(MathUtils, LptMakespan) {
+  // One machine: the ordered sum (the sequential-charging degenerate case).
+  EXPECT_DOUBLE_EQ(LptMakespan({0.1, 0.2, 0.3}, 1), 0.1 + 0.2 + 0.3);
+  EXPECT_DOUBLE_EQ(LptMakespan({1, 1, 1, 1}, 2), 2.0);
+  EXPECT_DOUBLE_EQ(LptMakespan({2, 3, 2}, 2), 4.0);
+  EXPECT_DOUBLE_EQ(LptMakespan({10, 0.1, 0.1}, 8), 10.0);
+  EXPECT_DOUBLE_EQ(LptMakespan({}, 4), 0.0);
 }
 
 }  // namespace

@@ -365,6 +365,35 @@ TEST(Scheduler, StragglerJitterBoundsStageTime) {
   EXPECT_LE(cluster.now_seconds(), 1.5);
 }
 
+TEST(Scheduler, IntraTaskCoresShrinkSlots) {
+  auto cfg = ClusterConfig::TinyTest();  // 2 nodes x 2 cores = 4 cores
+  EXPECT_EQ(cfg.concurrent_task_slots(), 4);
+  cfg.intra_task_cores = 2;
+  EXPECT_EQ(cfg.concurrent_task_slots(), 2);
+  cfg.intra_task_cores = 64;  // more than the cluster has: one slot, never 0
+  EXPECT_EQ(cfg.concurrent_task_slots(), 1);
+  cfg.intra_task_cores = 2;
+  EXPECT_NE(cfg.Summary().find("cores/task"), std::string::npos);
+}
+
+TEST(Scheduler, IntraTaskCoresTradeSlotsForTaskSpeed) {
+  // Same per-task seconds, half the slots: the stage makespan doubles. The
+  // win must come from the per-task charges shrinking (the cost model's
+  // intra-task schedule), not from free parallelism.
+  auto cfg = ClusterConfig::TinyTest();
+  cfg.straggler_spread = 0.0;
+  cfg.stage_overhead_seconds = 0;
+  cfg.task_overhead_seconds = 0;
+  VirtualCluster four_slots(cfg);
+  cfg.intra_task_cores = 2;
+  VirtualCluster two_slots(cfg);
+  const std::vector<double> tasks(4, 1.0);
+  four_slots.RunStage(tasks);
+  two_slots.RunStage(tasks);
+  EXPECT_DOUBLE_EQ(four_slots.now_seconds(), 1.0);
+  EXPECT_DOUBLE_EQ(two_slots.now_seconds(), 2.0);
+}
+
 TEST(Cluster, BroadcastAndCollectCharges) {
   VirtualCluster cluster(ClusterConfig::Paper());
   cluster.ChargeBroadcast(10 * kMiB);

@@ -7,9 +7,11 @@
 //                  [--sources K]  batched k-source mode: sweep a rectangular
 //                                 n x K frontier instead of full APSP
 //                  [--kernel naive|tiled|tiled_parallel]  host kernel engine
+//                  [--intra-task-cores C]  model C cores of one executor
+//                                 cooperating on one task's blocks
 //   apspark plan   --n N [--cores C] [--fault-tolerant]   recommend a config
 //   apspark model  --n N [--cores C] [--solver ...] [--block B] [--rounds R]
-//                  [--sources K]
+//                  [--sources K] [--intra-task-cores C]
 //                  paper-scale phantom run, projected time + metrics
 #include <cstdio>
 #include <cstdlib>
@@ -42,6 +44,7 @@ struct Args {
   std::int64_t rounds = 0;
   std::int64_t sources = 0;  // > 0 selects the batched k-source workload
   std::int64_t checkpoint_every = 0;
+  int intra_task_cores = 1;
   bool directed = false;
   bool fault_tolerant = false;
   std::string kernel = "tiled";
@@ -56,9 +59,10 @@ int Usage() {
                "        [--output FILE] [--checkpoint-every K]\n"
                "        [--sources K]  k-source mode (n x K frontier)\n"
                "        [--kernel naive|tiled|tiled_parallel]\n"
+               "        [--intra-task-cores C]  modelled cores per task\n"
                "  plan  --n N [--cores C] [--fault-tolerant]\n"
                "  model --n N [--cores C] [--solver ...] [--block B]"
-               " [--rounds R] [--sources K]\n");
+               " [--rounds R] [--sources K] [--intra-task-cores C]\n");
   return 2;
 }
 
@@ -114,6 +118,14 @@ bool ParseArgs(int argc, char** argv, Args& args) {
       const char* v = next();
       if (!v) return false;
       args.checkpoint_every = std::atoll(v);
+    } else if (flag == "--intra-task-cores") {
+      const char* v = next();
+      if (!v) return false;
+      args.intra_task_cores = std::atoi(v);
+      if (args.intra_task_cores < 1) {
+        std::fprintf(stderr, "--intra-task-cores must be >= 1\n");
+        return false;
+      }
     } else if (flag == "--kernel") {
       const char* v = next();
       if (!v) return false;
@@ -203,6 +215,7 @@ int RunSolve(const Args& args) {
     return 1;
   }
   cluster.kernel_variant = *kernel;
+  cluster.intra_task_cores = args.intra_task_cores;
 
   if (args.sources > 0) {
     // Batched k-source mode: rectangular n x K frontier on the kernel
@@ -284,6 +297,7 @@ int RunModel(const Args& args) {
     kopts.directed = args.directed;
     auto cluster = sparklet::ClusterConfig::PaperWithCores(
         args.cores > 4 ? args.cores : 1024);
+    cluster.intra_task_cores = args.intra_task_cores;
     apsp::KsourceBlockedSolver solver;
     auto result =
         solver.SolveModel(args.n, args.sources, kopts, cluster);
@@ -309,6 +323,7 @@ int RunModel(const Args& args) {
   options.max_rounds = args.rounds > 0 ? args.rounds : 1;
   auto cluster = sparklet::ClusterConfig::PaperWithCores(
       args.cores > 4 ? args.cores : 1024);
+  cluster.intra_task_cores = args.intra_task_cores;
   auto solver = apsp::MakeSolver(*kind);
   auto result = solver->SolveModel(args.n, options, cluster);
   std::printf("%s, n = %lld, b = %lld on %s\n", solver->name().c_str(),
