@@ -67,12 +67,16 @@ double BestOf(int reps, Fn&& fn) {
 struct KsResult {
   std::string section;  // "rect_kernel" or "solve"
   std::string variant;
+  std::string data_plane = "none";  // solve section: "staged" | "shuffle"
   std::int64_t b = 0;  // block / pivot size (or solve block size)
   std::int64_t k = 0;  // panel width (source count)
   double seconds = 0;
   double gops = 0;         // min-plus ops / 1e9 / seconds
   double speedup = 1.0;    // vs naive at the same shape
   bool bitwise_equal = true;
+  /// Driver live-bytes high water of the modelled run (solve section only) —
+  /// a deterministic byte count, gated by check_regression.sh --metric peak.
+  std::uint64_t driver_peak_bytes = 0;
 };
 
 void WriteJson(const std::vector<KsResult>& results, const std::string& path) {
@@ -86,13 +90,16 @@ void WriteJson(const std::vector<KsResult>& results, const std::string& path) {
   for (std::size_t i = 0; i < results.size(); ++i) {
     const KsResult& r = results[i];
     std::fprintf(f,
-                 "    {\"section\": \"%s\", \"variant\": \"%s\", \"b\": %lld, "
+                 "    {\"section\": \"%s\", \"variant\": \"%s\", "
+                 "\"data_plane\": \"%s\", \"b\": %lld, "
                  "\"k\": %lld, \"seconds\": %.6f, \"gops\": %.3f, "
                  "\"speedup_vs_naive\": %.2f, "
+                 "\"driver_peak_bytes\": %llu, "
                  "\"bitwise_equal_to_reference\": %s}%s\n",
-                 r.section.c_str(), r.variant.c_str(),
+                 r.section.c_str(), r.variant.c_str(), r.data_plane.c_str(),
                  static_cast<long long>(r.b), static_cast<long long>(r.k),
                  r.seconds, r.gops, r.speedup,
+                 static_cast<unsigned long long>(r.driver_peak_bytes),
                  r.bitwise_equal ? "true" : "false",
                  i + 1 == results.size() ? "" : ",");
   }
@@ -157,7 +164,9 @@ std::vector<KsResult> RunRectKernelRace(std::int64_t max_b) {
 std::vector<KsResult> RunSolveRace() {
   bench::PrintHeader(
       "End-to-end Ksource-Blocked solve (host wall time, n = 512, k = 16,"
-      " b = 128)");
+      " b = 128)\nstaged data plane per kernel variant + the pure"
+      " shuffle-replicated plane;\ndriver-peak = modelled driver live-bytes"
+      " high water (zero-copy record plane)");
   std::vector<KsResult> results;
   const std::int64_t n = 512;
   const std::int64_t k = 16;
@@ -169,27 +178,46 @@ std::vector<KsResult> RunSolveRace() {
   linalg::DenseBlock oracle = g.ToDenseAdjacency();
   linalg::ReferenceFloydWarshall(oracle);
 
-  std::printf("%16s %16s %10s  %s\n", "variant", "time", "speedup", "valid");
-  double naive_seconds = 0;
+  // (kernel variant, data plane) runs: the kernel race on the staged plane,
+  // plus the pure shuffle-replicated plane on the tiled kernel.
+  struct Combo {
+    linalg::KernelVariant kernel;
+    apsp::KsourceVariant plane;
+  };
+  std::vector<Combo> combos;
   for (linalg::KernelVariant v : kVariants) {
+    combos.push_back({v, apsp::KsourceVariant::kStagedStorage});
+  }
+  combos.push_back(
+      {linalg::KernelVariant::kTiled, apsp::KsourceVariant::kShuffleReplicated});
+
+  std::printf("%16s %8s %16s %10s %14s  %s\n", "variant", "plane", "time",
+              "speedup", "driver-peak", "valid");
+  double naive_seconds = 0;
+  for (const Combo& combo : combos) {
     apsp::KsourceOptions opts;
     opts.block_size = b;
+    opts.variant = combo.plane;
     auto cluster = sparklet::ClusterConfig::TinyTest();
     cluster.local_storage_bytes = 16ULL * kGiB;
-    cluster.kernel_variant = v;
+    cluster.kernel_variant = combo.kernel;
     apsp::KsourceBlockedSolver solver;
     KsResult r;
     r.section = "solve";
-    r.variant = linalg::KernelVariantName(v);
+    r.variant = linalg::KernelVariantName(combo.kernel);
+    r.data_plane = apsp::KsourceVariantName(combo.plane);
     r.b = b;
     r.k = k;
     apsp::KsourceResult solve_result;
     r.seconds = BestOf(2, [&] {
       solve_result = solver.SolveGraph(g, sources, opts, cluster);
     });
-    if (v == linalg::KernelVariant::kNaive) naive_seconds = r.seconds;
+    if (combo.kernel == linalg::KernelVariant::kNaive) {
+      naive_seconds = r.seconds;
+    }
     r.speedup = naive_seconds / r.seconds;
     r.gops = static_cast<double>(n) * n * (n + k) / r.seconds / 1e9;
+    r.driver_peak_bytes = solve_result.metrics.driver_peak_bytes;
     bool valid = solve_result.status.ok() &&
                  solve_result.distances.has_value();
     if (valid) {
@@ -207,12 +235,15 @@ std::vector<KsResult> RunSolveRace() {
       }
     }
     r.bitwise_equal = valid;  // tolerance-validated for the e2e section
-    std::printf("%16s %16s %9.2fx  %s\n", r.variant.c_str(),
-                FormatSeconds(r.seconds, 3).c_str(), r.speedup,
+    std::printf("%16s %8s %16s %9.2fx %13.1fKiB  %s\n", r.variant.c_str(),
+                r.data_plane.c_str(), FormatSeconds(r.seconds, 3).c_str(),
+                r.speedup,
+                static_cast<double>(r.driver_peak_bytes) / 1024.0,
                 valid ? "yes" : "NO");
     if (!valid) {
-      std::fprintf(stderr, "FAIL: ksource solve (%s) diverged from oracle\n",
-                   r.variant.c_str());
+      std::fprintf(stderr,
+                   "FAIL: ksource solve (%s, %s plane) diverged from oracle\n",
+                   r.variant.c_str(), r.data_plane.c_str());
       std::exit(1);
     }
     results.push_back(r);

@@ -10,17 +10,23 @@
 #   M = speedup  speedup over naive measured in the same run — the
 #                machine-normalized metric CI uses, since hosted runners
 #                differ from the machine that produced the committed file
+#   M = peak     driver live-bytes high water (driver_peak_bytes) of the
+#                pure shuffle-replicated ksource solve — a deterministic
+#                byte count; LOWER is better, the gate fails when the
+#                measured peak exceeds baseline * (1 + tolerance). Guards
+#                the zero-copy data plane against copy regressions.
 #   B = fig2     tracked record: tiled min-plus at b = 1024 from
 #                bench_fig2_kernels / BENCH_kernels.json (default)
 #   B = ksource  tracked record: tiled rect kernel at b = 1024, k = 64 from
-#                bench_ksource / BENCH_ksource.json
+#                bench_ksource / BENCH_ksource.json (gops/speedup), or the
+#                tiled solve on the shuffle data plane (peak)
 #
 # Env: APSPARK_BENCH_TOLERANCE  allowed fractional regression (default 0.10)
 set -euo pipefail
 
 if [[ $# -lt 2 ]]; then
-  echo "usage: $0 <measured.json> <baseline.json> [--metric gops|speedup]" \
-       "[--bench fig2|ksource]" >&2
+  echo "usage: $0 <measured.json> <baseline.json>" \
+       "[--metric gops|speedup|peak] [--bench fig2|ksource]" >&2
   exit 2
 fi
 measured="$1"
@@ -38,11 +44,21 @@ done
 case "$metric" in
   gops) field="gops" ;;
   speedup) field="speedup_vs_naive" ;;
+  peak) field="driver_peak_bytes" ;;
   *) echo "unknown metric '$metric'" >&2; exit 2 ;;
 esac
+if [[ "$metric" == "peak" && "$bench" != "ksource" ]]; then
+  echo "--metric peak is only tracked for --bench ksource" >&2
+  exit 2
+fi
 case "$bench" in
   fig2) what="tiled minplus b=1024" ;;
-  ksource) what="tiled rect_kernel b=1024 k=64" ;;
+  ksource)
+    if [[ "$metric" == "peak" ]]; then
+      what="tiled ksource solve (shuffle plane) driver peak"
+    else
+      what="tiled rect_kernel b=1024 k=64"
+    fi ;;
   *) echo "unknown bench '$bench'" >&2; exit 2 ;;
 esac
 tolerance="${APSPARK_BENCH_TOLERANCE:-0.10}"
@@ -56,6 +72,12 @@ extract() {
     { grep '"kernel": "minplus"' "$1" \
         | grep '"variant": "tiled"' \
         | grep '"b": 1024' \
+        | grep -oE "\"$field\": [0-9.eE+-]+" \
+        | head -1 | awk '{print $2}'; } || true
+  elif [[ "$metric" == "peak" ]]; then
+    { grep '"section": "solve"' "$1" \
+        | grep '"variant": "tiled"' \
+        | grep '"data_plane": "shuffle"' \
         | grep -oE "\"$field\": [0-9.eE+-]+" \
         | head -1 | awk '{print $2}'; } || true
   else
@@ -78,7 +100,18 @@ fi
 
 echo "$what $metric: measured $measured_value," \
      "baseline $baseline_value, tolerance $tolerance"
-if awk -v m="$measured_value" -v b="$baseline_value" -v t="$tolerance" \
+if [[ "$metric" == "peak" ]]; then
+  # Lower is better: fail when the measured high water grew beyond the
+  # tolerance (a zero-copy regression re-materializing payloads).
+  if awk -v m="$measured_value" -v b="$baseline_value" -v t="$tolerance" \
+       'BEGIN { exit !(m <= b * (1 + t)) }'; then
+    echo "OK: within tolerance"
+  else
+    echo "FAIL: $what $metric regressed (grew) more than ${tolerance} vs" \
+         "committed baseline" >&2
+    exit 1
+  fi
+elif awk -v m="$measured_value" -v b="$baseline_value" -v t="$tolerance" \
      'BEGIN { exit !(m >= b * (1 - t)) }'; then
   echo "OK: within tolerance"
 else

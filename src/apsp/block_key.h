@@ -10,6 +10,7 @@
 #include <string>
 #include <utility>
 
+#include "linalg/block_ref.h"
 #include "linalg/dense_block.h"
 #include "sparklet/partitioner.h"
 #include "sparklet/serde.h"
@@ -34,12 +35,14 @@ struct BlockKey {
   }
 };
 
-/// Plain matrix-block record: ((I,J), A_IJ).
-using BlockRecord = std::pair<BlockKey, linalg::BlockPtr>;
+/// Plain matrix-block record: ((I,J), A_IJ). The payload is an immutable
+/// ref (see linalg/block_ref.h): records copied through shuffle buckets,
+/// partition caches, and driver collects share one block allocation.
+using BlockRecord = std::pair<BlockKey, linalg::BlockRef>;
 
 /// Frontier panel record of a batched k-source solve: (row-block index I,
 /// b_I x k panel of the resident n x k frontier).
-using PanelRecord = std::pair<std::int64_t, linalg::BlockPtr>;
+using PanelRecord = std::pair<std::int64_t, linalg::BlockRef>;
 
 /// Role of a block travelling through the Blocked In-Memory combine steps.
 enum class BlockRole : std::uint8_t {
@@ -51,12 +54,19 @@ enum class BlockRole : std::uint8_t {
 
 struct TaggedBlock {
   BlockRole role = BlockRole::kOriginal;
-  linalg::BlockPtr block;
+  linalg::BlockRef block;
 };
 
 using TaggedRecord = std::pair<BlockKey, TaggedBlock>;
 using TaggedList = std::vector<TaggedBlock>;
 using ListRecord = std::pair<BlockKey, TaggedList>;
+
+/// Tagged frontier-panel records of the pure shuffle-replicated KSSP
+/// variant: pivot factors and panel replicas keyed by target row-block
+/// index, gathered per panel with the same ListAppend combine the Blocked
+/// In-Memory solver uses for matrix blocks.
+using TaggedPanelRecord = std::pair<std::int64_t, TaggedBlock>;
+using PanelListRecord = std::pair<std::int64_t, TaggedList>;
 
 }  // namespace apspark::apsp
 
@@ -84,6 +94,13 @@ struct Serde<apspark::linalg::BlockPtr> {
 };
 
 template <>
+struct Serde<apspark::linalg::BlockRef> {
+  static std::uint64_t SizeOf(const apspark::linalg::BlockRef& b) noexcept {
+    return b.serialized_bytes();  // cached at wrap time, never re-derived
+  }
+};
+
+template <>
 struct Serde<apspark::apsp::BlockKey> {
   static std::uint64_t SizeOf(const apspark::apsp::BlockKey&) noexcept {
     return 16;
@@ -93,7 +110,7 @@ struct Serde<apspark::apsp::BlockKey> {
 template <>
 struct Serde<apspark::apsp::TaggedBlock> {
   static std::uint64_t SizeOf(const apspark::apsp::TaggedBlock& t) noexcept {
-    return 1 + (t.block ? t.block->SerializedBytes() : 0);
+    return 1 + t.block.serialized_bytes();
   }
 };
 

@@ -10,7 +10,7 @@
 
 namespace apspark::apsp {
 
-using linalg::BlockPtr;
+using linalg::BlockRef;
 using linalg::DenseBlock;
 
 bool InColumn(const BlockLayout& layout, const BlockKey& key, std::int64_t x) {
@@ -21,14 +21,14 @@ bool OnDiagonal(const BlockKey& key, std::int64_t x) {
   return key.I == x && key.J == x;
 }
 
-BlockPtr MatProd(const BlockPtr& a, const BlockPtr& b,
+BlockRef MatProd(const BlockRef& a, const BlockRef& b,
                  sparklet::TaskContext& tc) {
   tc.ChargeCompute(
       tc.cost_model().MinPlusSeconds(a->rows(), b->cols(), a->cols()));
   return linalg::MakeBlock(linalg::MinPlusProduct(*a, *b));
 }
 
-BlockPtr MatMin(const BlockPtr& a, const BlockPtr& b,
+BlockRef MatMin(const BlockRef& a, const BlockRef& b,
                 sparklet::TaskContext& tc) {
   tc.ChargeCompute(tc.cost_model().ElementwiseSeconds(a->size()));
   return linalg::MakeBlock(linalg::ElementMin(*a, *b));
@@ -41,9 +41,9 @@ namespace {
 /// cost model sequentially while fanning the arithmetic out on the pool.
 struct FusedUpdate {
   BlockKey key;
-  BlockPtr base;
-  BlockPtr left;
-  BlockPtr right;
+  BlockRef base;
+  BlockRef left;
+  BlockRef right;
 };
 
 /// Modelled seconds of one fused update: exactly what the unfused MatProd +
@@ -69,9 +69,10 @@ void ChargeIntraTask(std::vector<double>&& pieces, sparklet::TaskContext& tc) {
   tc.ChargeCompute(tc.cost_model().IntraTaskSpan(std::move(pieces)));
 }
 
-/// Pure numeric part (no TaskContext): safe to run on any host thread.
-BlockPtr RunFused(const FusedUpdate& u) {
-  DenseBlock out = *u.base;
+/// Pure numeric part (no TaskContext): safe to run on any host thread. The
+/// base copy is the data plane's sanctioned copy-on-write mutation site.
+BlockRef RunFused(const FusedUpdate& u) {
+  DenseBlock out = u.base.MutableCopy();
   linalg::MinPlusUpdate(*u.left, *u.right, out);
   return linalg::MakeBlock(std::move(out));
 }
@@ -89,26 +90,79 @@ void RunStealableTasks(std::size_t count,
   }
 }
 
+/// Adaptive task granularity: partitions [0, costs.size()) into contiguous
+/// groups whose summed modelled kernel cost reaches the dispatch-overhead
+/// floor, so tiny-b updates share one stealable task instead of paying one
+/// dispatch each. Order within a group (and across groups, per update) is
+/// the input order, so results are bitwise identical to one-task-per-update.
+std::vector<std::pair<std::size_t, std::size_t>> GrainGroups(
+    const std::vector<double>& costs) {
+  const double floor_seconds =
+      linalg::GetKernelTuning().task_grain_floor_seconds;
+  std::vector<std::pair<std::size_t, std::size_t>> groups;
+  std::size_t begin = 0;
+  double acc = 0;
+  for (std::size_t i = 0; i < costs.size(); ++i) {
+    acc += costs[i];
+    if (acc >= floor_seconds) {
+      groups.emplace_back(begin, i + 1);
+      begin = i + 1;
+      acc = 0;
+    }
+  }
+  if (begin < costs.size()) {
+    // Trailing underweight run: fold into the previous group rather than
+    // paying a dispatch for leftovers below the floor.
+    if (groups.empty()) {
+      groups.emplace_back(begin, costs.size());
+    } else {
+      groups.back().second = costs.size();
+    }
+  }
+  return groups;
+}
+
+/// RunStealableTasks with the per-update modelled costs known: merges
+/// below-floor updates into shared stealable tasks (see GrainGroups).
+void RunStealableTasksAdaptive(
+    const std::vector<double>& costs,
+    const std::function<void(std::size_t)>& run_one) {
+  if (linalg::GetKernelVariant() != linalg::KernelVariant::kTiledParallel) {
+    RunStealableTasks(costs.size(), run_one);
+    return;
+  }
+  const auto groups = GrainGroups(costs);
+  if (groups.size() == costs.size()) {  // nothing merged: skip indirection
+    RunStealableTasks(costs.size(), run_one);
+    return;
+  }
+  RunStealableTasks(groups.size(), [&](std::size_t g) {
+    for (std::size_t i = groups[g].first; i < groups[g].second; ++i) {
+      run_one(i);
+    }
+  });
+}
+
 }  // namespace
 
-BlockPtr MinPlusInto(const BlockPtr& base, const BlockPtr& a,
-                     const BlockPtr& b, sparklet::TaskContext& tc) {
+BlockRef MinPlusInto(const BlockRef& base, const BlockRef& a,
+                     const BlockRef& b, sparklet::TaskContext& tc) {
   FusedUpdate update{BlockKey{}, base, a, b};
   ChargeFused(update, tc);
   return RunFused(update);
 }
 
-BlockPtr MinPlus(const BlockPtr& a, const BlockPtr& b,
+BlockRef MinPlus(const BlockRef& a, const BlockRef& b,
                  sparklet::TaskContext& tc) {
   return MinPlusInto(a, a, b, tc);
 }
 
-BlockPtr MinPlusRect(const BlockPtr& base, const BlockPtr& a,
-                     const BlockPtr& panel, sparklet::TaskContext& tc) {
+BlockRef MinPlusRect(const BlockRef& base, const BlockRef& a,
+                     const BlockRef& panel, sparklet::TaskContext& tc) {
   tc.ChargeCompute(
       tc.cost_model().MinPlusSeconds(a->rows(), panel->cols(), a->cols()) +
       tc.cost_model().ElementwiseSeconds(base->size()));
-  DenseBlock out = *base;
+  DenseBlock out = base.MutableCopy();
   linalg::MinPlusUpdateRect(*a, *panel, out);
   return linalg::MakeBlock(std::move(out));
 }
@@ -118,7 +172,7 @@ namespace {
 /// Shared body of the fused-triple batches: charge every update through the
 /// intra-task schedule (the same formula as FusedChargeSeconds), then run
 /// `kernel(left, right, c)` per triple as stealable tasks.
-std::vector<BlockPtr> RunTripleBatch(
+std::vector<BlockRef> RunTripleBatch(
     std::vector<FusedTriple>&& updates, sparklet::TaskContext& tc,
     void (*kernel)(const DenseBlock&, const DenseBlock&, DenseBlock&)) {
   std::vector<double> pieces;
@@ -128,10 +182,10 @@ std::vector<BlockPtr> RunTripleBatch(
         FusedChargeSeconds(FusedUpdate{BlockKey{}, u.base, u.left, u.right},
                            tc));
   }
-  ChargeIntraTask(std::move(pieces), tc);
-  std::vector<BlockPtr> out(updates.size());
-  RunStealableTasks(updates.size(), [&](std::size_t i) {
-    DenseBlock c = *updates[i].base;
+  ChargeIntraTask(std::vector<double>(pieces), tc);
+  std::vector<BlockRef> out(updates.size());
+  RunStealableTasksAdaptive(pieces, [&](std::size_t i) {
+    DenseBlock c = updates[i].base.MutableCopy();
     kernel(*updates[i].left, *updates[i].right, c);
     out[i] = linalg::MakeBlock(std::move(c));
   });
@@ -140,29 +194,29 @@ std::vector<BlockPtr> RunTripleBatch(
 
 }  // namespace
 
-std::vector<BlockPtr> MinPlusIntoBatch(std::vector<FusedTriple>&& updates,
+std::vector<BlockRef> MinPlusIntoBatch(std::vector<FusedTriple>&& updates,
                                        sparklet::TaskContext& tc) {
   return RunTripleBatch(std::move(updates), tc, linalg::MinPlusUpdate);
 }
 
-std::vector<BlockPtr> MinPlusRectBatch(std::vector<FusedTriple>&& updates,
+std::vector<BlockRef> MinPlusRectBatch(std::vector<FusedTriple>&& updates,
                                        sparklet::TaskContext& tc) {
   return RunTripleBatch(std::move(updates), tc, linalg::MinPlusUpdateRect);
 }
 
-BlockPtr FloydWarshall(const BlockPtr& a, sparklet::TaskContext& tc) {
+BlockRef FloydWarshall(const BlockRef& a, sparklet::TaskContext& tc) {
   tc.ChargeCompute(tc.cost_model().FloydWarshallSeconds(a->rows()));
-  DenseBlock closed = *a;
+  DenseBlock closed = a.MutableCopy();
   linalg::FloydWarshallInPlace(closed);
   return linalg::MakeBlock(std::move(closed));
 }
 
-BlockPtr Transpose(const BlockPtr& a, sparklet::TaskContext& tc) {
+BlockRef Transpose(const BlockRef& a, sparklet::TaskContext& tc) {
   tc.ChargeCompute(tc.cost_model().ElementwiseSeconds(a->size()));
   return linalg::MakeBlock(a->Transposed());
 }
 
-std::pair<std::int64_t, BlockPtr> ExtractColSegment(
+std::pair<std::int64_t, BlockRef> ExtractColSegment(
     const BlockLayout& layout, const BlockRecord& record, std::int64_t k,
     sparklet::TaskContext& tc) {
   const std::int64_t big_k = k / layout.block_size();
@@ -183,7 +237,7 @@ std::pair<std::int64_t, BlockPtr> ExtractColSegment(
           linalg::MakeBlock(block->RowBlock(k_loc).Transposed())};
 }
 
-std::pair<std::int64_t, BlockPtr> ExtractRowSegment(
+std::pair<std::int64_t, BlockRef> ExtractRowSegment(
     const BlockLayout& layout, const BlockRecord& record, std::int64_t k,
     sparklet::TaskContext& tc) {
   const std::int64_t big_k = k / layout.block_size();
@@ -199,22 +253,22 @@ std::pair<std::int64_t, BlockPtr> ExtractRowSegment(
 
 BlockRecord FloydWarshallUpdate(
     const BlockLayout& layout, const BlockRecord& record,
-    const std::vector<linalg::BlockPtr>& column_segments,
-    const std::vector<linalg::BlockPtr>& row_segments,
+    const std::vector<linalg::BlockRef>& column_segments,
+    const std::vector<linalg::BlockRef>& row_segments,
     sparklet::TaskContext& tc) {
   (void)layout;
   const auto& [key, block] = record;
-  const BlockPtr& u = column_segments[static_cast<std::size_t>(key.I)];
-  const BlockPtr& v = row_segments[static_cast<std::size_t>(key.J)];
+  const BlockRef& u = column_segments[static_cast<std::size_t>(key.I)];
+  const BlockRef& v = row_segments[static_cast<std::size_t>(key.J)];
   tc.ChargeCompute(tc.cost_model().ElementwiseSeconds(block->size()));
-  DenseBlock updated = *block;
+  DenseBlock updated = block.MutableCopy();
   linalg::OuterSumMinUpdate(updated, *u, *v);
   return {key, linalg::MakeBlock(std::move(updated))};
 }
 
 BlockRecord FloydWarshallUpdate(
     const BlockLayout& layout, const BlockRecord& record,
-    const std::vector<linalg::BlockPtr>& column_segments,
+    const std::vector<linalg::BlockRef>& column_segments,
     sparklet::TaskContext& tc) {
   return FloydWarshallUpdate(layout, record, column_segments, column_segments,
                              tc);
@@ -222,21 +276,21 @@ BlockRecord FloydWarshallUpdate(
 
 std::vector<BlockRecord> FloydWarshallUpdateBatch(
     std::vector<BlockRecord>&& records,
-    const std::vector<linalg::BlockPtr>& column_segments,
-    const std::vector<linalg::BlockPtr>& row_segments,
+    const std::vector<linalg::BlockRef>& column_segments,
+    const std::vector<linalg::BlockRef>& row_segments,
     sparklet::TaskContext& tc) {
   std::vector<double> pieces;
   pieces.reserve(records.size());
   for (const auto& [key, block] : records) {
     pieces.push_back(tc.cost_model().ElementwiseSeconds(block->size()));
   }
-  ChargeIntraTask(std::move(pieces), tc);
+  ChargeIntraTask(std::vector<double>(pieces), tc);
   std::vector<BlockRecord> out(records.size());
-  RunStealableTasks(records.size(), [&](std::size_t r) {
+  RunStealableTasksAdaptive(pieces, [&](std::size_t r) {
     const auto& [key, block] = records[r];
-    const BlockPtr& u = column_segments[static_cast<std::size_t>(key.I)];
-    const BlockPtr& v = row_segments[static_cast<std::size_t>(key.J)];
-    DenseBlock updated = *block;
+    const BlockRef& u = column_segments[static_cast<std::size_t>(key.I)];
+    const BlockRef& v = row_segments[static_cast<std::size_t>(key.J)];
+    DenseBlock updated = block.MutableCopy();
     linalg::OuterSumMinUpdate(updated, *u, *v);
     out[r] = {key, linalg::MakeBlock(std::move(updated))};
   });
@@ -244,7 +298,7 @@ std::vector<BlockRecord> FloydWarshallUpdateBatch(
 }
 
 void CopyDiag(const BlockLayout& layout, std::int64_t i,
-              const linalg::BlockPtr& diag, std::vector<TaggedRecord>& out) {
+              const linalg::BlockRef& diag, std::vector<TaggedRecord>& out) {
   // One copy per cross key, *including* (i, i) itself: the Phase-2 update
   // min(A_ii, A_ii (min,+) D) equals D exactly (the diagonal of A_ii is 0),
   // which is how the closed diagonal block re-enters A.
@@ -256,11 +310,8 @@ void CopyDiag(const BlockLayout& layout, std::int64_t i,
   }
 }
 
-namespace {
-
-/// Finds the unique list entry with the given role, or nullptr.
-const linalg::BlockPtr* FindRole(const TaggedList& list, BlockRole role) {
-  const linalg::BlockPtr* found = nullptr;
+const linalg::BlockRef* FindRole(const TaggedList& list, BlockRole role) {
+  const linalg::BlockRef* found = nullptr;
   for (const TaggedBlock& t : list) {
     if (t.role == role) {
       if (found != nullptr) {
@@ -272,8 +323,6 @@ const linalg::BlockPtr* FindRole(const TaggedList& list, BlockRole role) {
   return found;
 }
 
-}  // namespace
-
 namespace {
 
 /// Plans one Phase-2 record: either a passthrough result or a fused update.
@@ -281,8 +330,8 @@ namespace {
 std::optional<FusedUpdate> PlanPhase2(std::int64_t i, const ListRecord& record,
                                       BlockRecord& passthrough) {
   const auto& [key, list] = record;
-  const linalg::BlockPtr* original = FindRole(list, BlockRole::kOriginal);
-  const linalg::BlockPtr* diag = FindRole(list, BlockRole::kDiag);
+  const linalg::BlockRef* original = FindRole(list, BlockRole::kOriginal);
+  const linalg::BlockRef* diag = FindRole(list, BlockRole::kDiag);
   if (original == nullptr || diag == nullptr) {
     throw std::logic_error("Phase2Unpack: expected original + diagonal copy");
   }
@@ -306,13 +355,13 @@ std::optional<FusedUpdate> PlanPhase3(std::int64_t /*i*/,
                                       const ListRecord& record,
                                       BlockRecord& passthrough) {
   const auto& [key, list] = record;
-  const linalg::BlockPtr* original = FindRole(list, BlockRole::kOriginal);
+  const linalg::BlockRef* original = FindRole(list, BlockRole::kOriginal);
   if (original == nullptr) {
     throw std::logic_error("Phase3Unpack: missing original block at " +
                            key.ToString());
   }
-  const linalg::BlockPtr* row = FindRole(list, BlockRole::kRow);
-  const linalg::BlockPtr* col = FindRole(list, BlockRole::kCol);
+  const linalg::BlockRef* row = FindRole(list, BlockRole::kRow);
+  const linalg::BlockRef* col = FindRole(list, BlockRole::kCol);
   if (row == nullptr && col == nullptr) {
     // Cross blocks were fully updated in Phase 2 and travel alone.
     passthrough = {key, *original};
@@ -346,8 +395,8 @@ std::vector<BlockRecord> UnpackBatch(std::vector<ListRecord>&& records,
       pending.emplace_back(r, std::move(*update));
     }
   }
-  ChargeIntraTask(std::move(pieces), tc);
-  RunStealableTasks(pending.size(), [&](std::size_t p) {
+  ChargeIntraTask(std::vector<double>(pieces), tc);
+  RunStealableTasksAdaptive(pieces, [&](std::size_t p) {
     out[pending[p].first] = {pending[p].second.key,
                              RunFused(pending[p].second)};
   });
@@ -403,9 +452,9 @@ void CopyCol(const BlockLayout& layout, std::int64_t i,
     return;
   }
   // Oriented factors. Stored payload is A_key.I,key.J; derive A_Xi / A_iX.
-  const BlockPtr col_side =  // A_Xi
+  const BlockRef col_side =  // A_Xi
       key.J == i ? block : Transpose(block, tc);
-  const BlockPtr row_side =  // A_iX
+  const BlockRef row_side =  // A_iX
       key.I == i ? block : Transpose(block, tc);
 
   // The updated cross block itself stays in A.

@@ -28,41 +28,43 @@ bool OnDiagonal(const BlockKey& key, std::int64_t x);
 // --- kernel wrappers (charge cost model, propagate phantoms) ------------
 
 /// MatProd: min-plus product A (min,+) B.
-linalg::BlockPtr MatProd(const linalg::BlockPtr& a, const linalg::BlockPtr& b,
+linalg::BlockRef MatProd(const linalg::BlockRef& a, const linalg::BlockRef& b,
                          sparklet::TaskContext& tc);
 
 /// MatMin: element-wise minimum.
-linalg::BlockPtr MatMin(const linalg::BlockPtr& a, const linalg::BlockPtr& b,
+linalg::BlockRef MatMin(const linalg::BlockRef& a, const linalg::BlockRef& b,
                         sparklet::TaskContext& tc);
 
 /// MinPlus: min(A (min,+) B, A) — Table 1's fused form, computed in one
 /// fused pass (no intermediate product block is materialized). Charges the
 /// same modelled time as MatProd followed by MatMin.
-linalg::BlockPtr MinPlus(const linalg::BlockPtr& a, const linalg::BlockPtr& b,
+linalg::BlockRef MinPlus(const linalg::BlockRef& a, const linalg::BlockRef& b,
                          sparklet::TaskContext& tc);
 
 /// Fused three-operand form: min(base, A (min,+) B) in one pass. The hot
 /// kernel of the blocked solvers' phase-2/phase-3 updates.
-linalg::BlockPtr MinPlusInto(const linalg::BlockPtr& base,
-                             const linalg::BlockPtr& a,
-                             const linalg::BlockPtr& b,
+linalg::BlockRef MinPlusInto(const linalg::BlockRef& base,
+                             const linalg::BlockRef& a,
+                             const linalg::BlockRef& b,
                              sparklet::TaskContext& tc);
 
 /// MinPlusRect: panel' = min(base, A (min,+) panel) in one fused pass via
 /// the rectangular panel kernel (linalg::MinPlusUpdateRect) — the hot kernel
 /// of the batched k-source frontier sweep. Charges the same modelled time as
 /// MatProd followed by MatMin on the panel shape.
-linalg::BlockPtr MinPlusRect(const linalg::BlockPtr& base,
-                             const linalg::BlockPtr& a,
-                             const linalg::BlockPtr& panel,
+linalg::BlockRef MinPlusRect(const linalg::BlockRef& base,
+                             const linalg::BlockRef& a,
+                             const linalg::BlockRef& panel,
                              sparklet::TaskContext& tc);
 
 /// One planned fused block update min(base, left ⊗ right) — the unit the
-/// batch entry points below decompose a sparklet task into.
+/// batch entry points below decompose a sparklet task into. Holds refs: the
+/// only payload duplication is the copy-on-write base copy each kernel makes
+/// before updating it in place.
 struct FusedTriple {
-  linalg::BlockPtr base;
-  linalg::BlockPtr left;
-  linalg::BlockPtr right;
+  linalg::BlockRef base;
+  linalg::BlockRef left;
+  linalg::BlockRef right;
 };
 
 /// Batched fused updates: charges each update's modelled kernel time into
@@ -70,23 +72,26 @@ struct FusedTriple {
 /// (CostModel::IntraTaskSpan — the ordered sum when intra_task_cores == 1),
 /// then runs the independent numeric updates as stealable block tasks on the
 /// host pool under kTiledParallel (sequentially under naive/tiled, whose
-/// solver-level timings stay single-threaded by contract). Returns the
-/// updated blocks in input order.
-std::vector<linalg::BlockPtr> MinPlusIntoBatch(
+/// solver-level timings stay single-threaded by contract). Updates whose
+/// modelled kernel cost sits below KernelTuning::task_grain_floor_seconds
+/// are merged into one stealable task (adaptive granularity: at tiny b the
+/// dispatch overhead would otherwise dominate). Returns the updated blocks
+/// in input order.
+std::vector<linalg::BlockRef> MinPlusIntoBatch(
     std::vector<FusedTriple>&& updates, sparklet::TaskContext& tc);
 
 /// Rect-kernel batch: min(base, left ⊗ right-panel) per item via
 /// linalg::MinPlusUpdateRect, with the same charge/execute split as
 /// MinPlusIntoBatch. The hot path of the k-source frontier sweep.
-std::vector<linalg::BlockPtr> MinPlusRectBatch(
+std::vector<linalg::BlockRef> MinPlusRectBatch(
     std::vector<FusedTriple>&& updates, sparklet::TaskContext& tc);
 
 /// FloydWarshall: closes a diagonal block with the sequential solver.
-linalg::BlockPtr FloydWarshall(const linalg::BlockPtr& a,
+linalg::BlockRef FloydWarshall(const linalg::BlockRef& a,
                                sparklet::TaskContext& tc);
 
 /// Transposition of a stored payload (the on-demand A_JI from A_IJ).
-linalg::BlockPtr Transpose(const linalg::BlockPtr& a,
+linalg::BlockRef Transpose(const linalg::BlockRef& a,
                            sparklet::TaskContext& tc);
 
 // --- 2D Floyd-Warshall helpers ------------------------------------------
@@ -94,14 +99,14 @@ linalg::BlockPtr Transpose(const linalg::BlockPtr& a,
 /// ExtractCol: from a stored block in the column-cross of K = k / b, extract
 /// the segment of global column k belonging to the block's *other* index.
 /// Returns (row_block_index, b x 1 segment).
-std::pair<std::int64_t, linalg::BlockPtr> ExtractColSegment(
+std::pair<std::int64_t, linalg::BlockRef> ExtractColSegment(
     const BlockLayout& layout, const BlockRecord& record, std::int64_t k,
     sparklet::TaskContext& tc);
 
 /// ExtractRow (directed layouts): from a stored block with I == k / b,
 /// extract the segment of global row k belonging to column-block J, stored
 /// as a b x 1 vector. Returns (col_block_index, segment).
-std::pair<std::int64_t, linalg::BlockPtr> ExtractRowSegment(
+std::pair<std::int64_t, linalg::BlockRef> ExtractRowSegment(
     const BlockLayout& layout, const BlockRecord& record, std::int64_t k,
     sparklet::TaskContext& tc);
 
@@ -112,14 +117,14 @@ std::pair<std::int64_t, linalg::BlockPtr> ExtractRowSegment(
 /// exploits).
 BlockRecord FloydWarshallUpdate(
     const BlockLayout& layout, const BlockRecord& record,
-    const std::vector<linalg::BlockPtr>& column_segments,
-    const std::vector<linalg::BlockPtr>& row_segments,
+    const std::vector<linalg::BlockRef>& column_segments,
+    const std::vector<linalg::BlockRef>& row_segments,
     sparklet::TaskContext& tc);
 
 /// Undirected convenience overload (row == column by symmetry).
 BlockRecord FloydWarshallUpdate(
     const BlockLayout& layout, const BlockRecord& record,
-    const std::vector<linalg::BlockPtr>& column_segments,
+    const std::vector<linalg::BlockRef>& column_segments,
     sparklet::TaskContext& tc);
 
 /// Partition-at-a-time FloydWarshallUpdate: identical records and identical
@@ -128,16 +133,21 @@ BlockRecord FloydWarshallUpdate(
 /// stealable tasks under kTiledParallel.
 std::vector<BlockRecord> FloydWarshallUpdateBatch(
     std::vector<BlockRecord>&& records,
-    const std::vector<linalg::BlockPtr>& column_segments,
-    const std::vector<linalg::BlockPtr>& row_segments,
+    const std::vector<linalg::BlockRef>& column_segments,
+    const std::vector<linalg::BlockRef>& row_segments,
     sparklet::TaskContext& tc);
 
 // --- Blocked In-Memory combine-step helpers ------------------------------
 
+/// Finds the unique list entry with the given role, or nullptr; throws
+/// std::logic_error on duplicates. Shared by the combine-step unpackers and
+/// the shuffle-replicated KSSP frontier update.
+const linalg::BlockRef* FindRole(const TaggedList& list, BlockRole role);
+
 /// CopyDiag: replicates the closed diagonal block D_ii to every stored key
 /// in the column/row cross of i (q-1 copies, tagged kDiag).
 void CopyDiag(const BlockLayout& layout, std::int64_t i,
-              const linalg::BlockPtr& diag, std::vector<TaggedRecord>& out);
+              const linalg::BlockRef& diag, std::vector<TaggedRecord>& out);
 
 /// Phase-2 unpack: list = {original cross block, diagonal copy}; returns the
 /// cross block updated through the diagonal (correctly oriented min-plus).

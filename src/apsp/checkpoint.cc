@@ -56,6 +56,11 @@ Result<CheckpointInfo> LoadCheckpoint(sparklet::SparkletContext& ctx,
   }
   CheckpointInfo info;
   info.next_round = *rounds;
+  // Checkpoints are the durability path: blocks really serialize on save, so
+  // the load below re-materializes payloads from bytes. That duplication is
+  // deliberate (restart-from-disk semantics) — sanction it for the zero-copy
+  // accounting.
+  linalg::CowScope durable_rematerialization;
   for (const BlockKey& key : layout.StoredKeys()) {
     auto obj = ctx.shared_storage().Get(BlockKeyName(key));
     if (!obj.ok()) {

@@ -1,0 +1,51 @@
+// Shared combine-step wiring of the shuffle-based solvers.
+//
+// Blocked In-Memory (matrix-block keys) and the shuffle-replicated KSSP
+// variant (frontier-panel keys) both gather tagged replicas per target key
+// with the same combineByKey(ListAppend) pattern and both tag resident
+// records for it. This header is the single home of that wiring so the two
+// solvers cannot drift apart (same rationale as solvers/staging.h for the
+// staged protocol).
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "apsp/block_key.h"
+#include "sparklet/rdd.h"
+
+namespace apspark::apsp {
+
+/// combineByKey(ListAppend): gathers the tagged blocks destined for one key
+/// (the paper's ListAppend combiner pattern). K is the target key type:
+/// BlockKey for matrix combine steps, std::int64_t for frontier panels.
+template <typename K>
+sparklet::RddPtr<std::pair<K, TaggedList>> GatherLists(
+    sparklet::RddPtr<std::pair<K, TaggedBlock>> rdd,
+    sparklet::PartitionerPtr<K> partitioner, std::string op_name) {
+  return sparklet::CombineByKey<K, TaggedBlock, TaggedList>(
+      std::move(rdd), std::move(partitioner), std::move(op_name),
+      [](TaggedBlock&& t) {
+        TaggedList list;
+        list.push_back(std::move(t));
+        return list;
+      },
+      [](TaggedList& list, TaggedBlock&& t, sparklet::TaskContext&) {
+        list.push_back(std::move(t));
+      },
+      [](TaggedList& list, TaggedList&& other, sparklet::TaskContext&) {
+        for (auto& t : other) list.push_back(std::move(t));
+      });
+}
+
+/// Tags resident A blocks for the combine steps.
+inline sparklet::RddPtr<TaggedRecord> TagOriginals(
+    sparklet::RddPtr<BlockRecord> rdd, std::string op_name) {
+  return rdd->Map(std::move(op_name),
+                  [](const BlockRecord& rec,
+                     sparklet::TaskContext&) -> TaggedRecord {
+                    return {rec.first, {BlockRole::kOriginal, rec.second}};
+                  });
+}
+
+}  // namespace apspark::apsp

@@ -6,7 +6,7 @@
 
 namespace apspark::apsp {
 
-using linalg::BlockPtr;
+using linalg::BlockRef;
 using sparklet::RddPtr;
 using sparklet::TaskContext;
 using staging::BlockCache;
@@ -36,7 +36,7 @@ RddPtr<BlockRecord> BlockedCollectBroadcastSolver::RunRounds(
                                          FloydWarshall(rec.second, tc)};
                     });
     for (const auto& [key, block] : diag->Collect()) {
-      staging::StageBlock(ctx, keys.Diag(i), *block);
+      staging::StageBlock(ctx, keys.Diag(i), block);
     }
 
     // --- Phase 2 (line 5): update the cross blocks against the staged
@@ -58,7 +58,7 @@ RddPtr<BlockRecord> BlockedCollectBroadcastSolver::RunRounds(
                             std::vector<FusedTriple> updates;
                             updates.reserve(part.size());
                             for (const auto& [key, block] : part) {
-                              BlockPtr d =
+                              BlockRef d =
                                   ReadStagedBlock(cache, keys.Diag(i), tc);
                               updates.push_back(
                                   key.J == i ? FusedTriple{block, block, d}

@@ -1,43 +1,12 @@
 #include "apsp/solvers/blocked_inmemory.h"
 
 #include "apsp/building_blocks.h"
+#include "apsp/combine_steps.h"
 
 namespace apspark::apsp {
 
 using sparklet::RddPtr;
 using sparklet::TaskContext;
-
-namespace {
-
-/// combineByKey(ListAppend): gather the blocks destined for one key.
-RddPtr<ListRecord> GatherLists(RddPtr<TaggedRecord> rdd,
-                               sparklet::PartitionerPtr<BlockKey> partitioner,
-                               std::string op_name) {
-  return sparklet::CombineByKey<BlockKey, TaggedBlock, TaggedList>(
-      std::move(rdd), std::move(partitioner), std::move(op_name),
-      [](TaggedBlock&& t) {
-        TaggedList list;
-        list.push_back(std::move(t));
-        return list;
-      },
-      [](TaggedList& list, TaggedBlock&& t, TaskContext&) {
-        list.push_back(std::move(t));
-      },
-      [](TaggedList& list, TaggedList&& other, TaskContext&) {
-        for (auto& t : other) list.push_back(std::move(t));
-      });
-}
-
-/// Tags resident A blocks for the combine steps.
-RddPtr<TaggedRecord> TagOriginals(RddPtr<BlockRecord> rdd,
-                                  std::string op_name) {
-  return rdd->Map(std::move(op_name),
-                  [](const BlockRecord& rec, TaskContext&) -> TaggedRecord {
-                    return {rec.first, {BlockRole::kOriginal, rec.second}};
-                  });
-}
-
-}  // namespace
 
 RddPtr<BlockRecord> BlockedInMemorySolver::RunRounds(
     sparklet::SparkletContext& ctx, const BlockLayout& layout,

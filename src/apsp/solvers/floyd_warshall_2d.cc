@@ -6,7 +6,7 @@
 
 namespace apspark::apsp {
 
-using linalg::BlockPtr;
+using linalg::BlockRef;
 using sparklet::RddPtr;
 using sparklet::TaskContext;
 
@@ -38,7 +38,7 @@ RddPtr<BlockRecord> FloydWarshall2dSolver::RunRounds(
 
     // Line 8: broadcast column k ("the memory footprint of a column is very
     // small, the operation can be performed without persistent storage").
-    auto column = std::make_shared<std::vector<BlockPtr>>(q);
+    auto column = std::make_shared<std::vector<BlockRef>>(q);
     for (auto& [row_block, segment] : segments) {
       (*column)[static_cast<std::size_t>(row_block)] = segment;
     }
@@ -59,7 +59,7 @@ RddPtr<BlockRecord> FloydWarshall2dSolver::RunRounds(
                       return ExtractRowSegment(layout, rec, k, tc);
                     })
               ->Collect();
-      row = std::make_shared<std::vector<BlockPtr>>(q);
+      row = std::make_shared<std::vector<BlockRef>>(q);
       for (auto& [col_block, segment] : row_segments) {
         (*row)[static_cast<std::size_t>(col_block)] = segment;
       }

@@ -17,13 +17,35 @@
 // 0..t; after the last pivot F = A* (min,+) F_0 exactly. Directed inputs
 // are swept on the transposed adjacency so columns come out source-rooted.
 //
-// Like Blocked-CB the solver is impure: pivot blocks, column factors, and
-// the pivot panel travel through shared persistent storage, and every
-// kernel/transfer charges the calibrated cost model.
+// Two data-movement variants implement the sweep:
+//
+//   kStagedStorage (default) — like Blocked-CB, impure: pivot blocks, column
+//   factors, and the pivot panel travel through shared persistent storage.
+//
+//   kShuffleReplicated — *pure*: no shared-storage side channel at all. The
+//   matrix phases run the Blocked In-Memory combine steps (CopyDiag /
+//   Phase2 / CopyCol / Phase3 through custom-partitioned shuffles), and the
+//   frontier factors replicate through the shuffle too: round A pairs the
+//   closed diagonal with panel t to form P_t, round B scatters P_t plus the
+//   per-panel left factors A_It to every panel and folds them in with one
+//   rectangular update. Fault-tolerant by construction (everything stays in
+//   the RDD lineage) at the price of shuffling the replicas — with the
+//   zero-copy record plane, the replicas are refs, so the driver's live-byte
+//   high water stays at the final panel collect instead of a full cross per
+//   pivot (see MemoryAccountant).
+//
+// Early-exit pivot sweep: when a pivot's cross (every stored off-diagonal
+// block of block row/column t) is all-infinite — routine for disconnected or
+// inf-heavy graphs — phases 2/3 and the frontier factor sweep are provably
+// no-ops and are skipped; only the diagonal closure and the pivot-panel
+// update run. Detection scans the cross blocks (charged like the
+// element-wise kernel it is) and never fires for phantom blocks, whose
+// structure is unknown.
 #pragma once
 
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "apsp/block_key.h"
@@ -35,6 +57,15 @@
 
 namespace apspark::apsp {
 
+/// How pivot data moves between stages of the KSSP sweep (see file comment).
+enum class KsourceVariant {
+  kStagedStorage,
+  kShuffleReplicated,
+};
+
+const char* KsourceVariantName(KsourceVariant variant) noexcept;
+std::optional<KsourceVariant> ParseKsourceVariant(std::string_view name);
+
 struct KsourceOptions {
   /// Decomposition parameter b; q = ceil(n/b).
   std::int64_t block_size = 256;
@@ -45,6 +76,13 @@ struct KsourceOptions {
   /// total (paper-scale model runs, same methodology as ApspOptions).
   std::int64_t max_rounds = 0;
   bool directed = false;
+  /// Data-movement variant (CLI: --ksource-variant staged|shuffle).
+  KsourceVariant variant = KsourceVariant::kStagedStorage;
+  /// Early-exit pivot sweep for inf-heavy graphs (see file comment). The
+  /// detection scan charges identically on real and phantom runs; only real
+  /// runs can actually skip, so disable this when comparing a disconnected
+  /// real run against its phantom projection second-for-second.
+  bool early_exit_infinite = true;
 };
 
 struct KsourceResult {
@@ -69,9 +107,14 @@ struct KsourceResult {
 class KsourceBlockedSolver {
  public:
   std::string name() const { return "Ksource-Blocked"; }
-  /// Impure in the paper's sense: stages pivot data in shared persistent
-  /// storage outside the RDD lineage, like Blocked Collect/Broadcast.
-  bool pure() const noexcept { return false; }
+  /// Whether a variant relies only on fault-tolerant Spark functionality.
+  /// kStagedStorage stages pivot data outside the RDD lineage (impure, like
+  /// Blocked Collect/Broadcast); kShuffleReplicated keeps everything in it.
+  static bool Pure(KsourceVariant variant) noexcept {
+    return variant == KsourceVariant::kShuffleReplicated;
+  }
+  /// The default variant's purity (kStagedStorage: impure).
+  bool pure() const noexcept { return Pure(KsourceVariant::kStagedStorage); }
 
   /// Full-fidelity run on real data. `sources` must be non-empty vertex ids
   /// of `graph`; duplicates are allowed (k may exceed n).

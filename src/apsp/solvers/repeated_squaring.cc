@@ -4,12 +4,11 @@
 
 #include "apsp/building_blocks.h"
 #include "common/math_utils.h"
-#include "common/serial.h"
 #include "linalg/kernels.h"
 
 namespace apspark::apsp {
 
-using linalg::BlockPtr;
+using linalg::BlockRef;
 using linalg::DenseBlock;
 using sparklet::RddPtr;
 using sparklet::SparkletAbort;
@@ -24,20 +23,17 @@ std::string ColumnKey(std::int64_t squaring, std::int64_t j,
 }
 
 /// Reads a staged column segment B_KJ, caching per task (the paper's
-/// executors deserialize each needed block once).
-BlockPtr FetchSegment(std::unordered_map<std::int64_t, BlockPtr>& cache,
+/// executors deserialize each needed block once; here the ref is shared, so
+/// the cache saves the modelled re-read charge only).
+BlockRef FetchSegment(std::unordered_map<std::int64_t, BlockRef>& cache,
                       std::int64_t squaring, std::int64_t j, std::int64_t k,
                       TaskContext& tc) {
   auto it = cache.find(k);
   if (it != cache.end()) return it->second;
-  auto obj = tc.ReadShared(ColumnKey(squaring, j, k));
-  if (!obj.ok()) throw SparkletAbort(obj.status());
-  BinaryReader reader(*obj->payload);
-  auto block = DenseBlock::Deserialize(reader);
+  auto block = tc.ReadSharedBlock(ColumnKey(squaring, j, k));
   if (!block.ok()) throw SparkletAbort(block.status());
-  BlockPtr ptr = linalg::MakeBlock(std::move(block).value());
-  cache.emplace(k, ptr);
-  return ptr;
+  cache.emplace(k, *block);
+  return *block;
 }
 
 }  // namespace
@@ -76,15 +72,13 @@ RddPtr<BlockRecord> RepeatedSquaringSolver::RunRounds(
                          return InColumn(layout, rec.first, j);
                        })
               ->Collect();
-      // ...line 4: and stage its (oriented) segments in shared storage.
+      // ...line 4: and stage its (oriented) segments in shared storage —
+      // zero-copy refs, full logical bytes charged (see staging.h).
       for (const auto& [key, block] : column) {
         const std::int64_t k = key.J == j ? key.I : key.J;
-        DenseBlock oriented = BlockLayout::Orient(key, *block, k, j);
-        const std::uint64_t logical = oriented.SerializedBytes();
-        BinaryWriter writer;
-        oriented.Serialize(writer);
-        ctx.DriverWriteShared(ColumnKey(squaring, j, k),
-                              std::move(writer).TakeBuffer(), logical);
+        ctx.DriverWriteSharedBlock(
+            ColumnKey(squaring, j, k),
+            BlockLayout::Orient(key, *block, k, j));
       }
 
       // Line 5: T[J] = A.map(MatProd).reduceByKey(MatMin) — a matrix-vector
@@ -101,11 +95,11 @@ RddPtr<BlockRecord> RepeatedSquaringSolver::RunRounds(
           "rs-matprod",
           [squaring, j, directed](std::vector<BlockRecord>&& part,
                                   TaskContext& tc) {
-            std::unordered_map<std::int64_t, BlockPtr> cache;
+            std::unordered_map<std::int64_t, BlockRef> cache;
             std::unordered_map<std::int64_t, DenseBlock> acc;
             std::vector<std::int64_t> order;  // deterministic output order
-            auto contribute = [&](std::int64_t row, const BlockPtr& lhs,
-                                  const BlockPtr& seg) {
+            auto contribute = [&](std::int64_t row, const BlockRef& lhs,
+                                  const BlockRef& seg) {
               auto it = acc.find(row);
               if (it == acc.end()) {
                 tc.ChargeCompute(tc.cost_model().MinPlusSeconds(
@@ -148,7 +142,7 @@ RddPtr<BlockRecord> RepeatedSquaringSolver::RunRounds(
           });
       auto tj = sparklet::ReduceByKey(
           partial, partitioner, "rs-matmin",
-          [](const BlockPtr& x, const BlockPtr& y, TaskContext& tc) {
+          [](const BlockRef& x, const BlockRef& y, TaskContext& tc) {
             return MatMin(x, y, tc);
           });
       // Drive the column product now: one "iteration" of the paper's

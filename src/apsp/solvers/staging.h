@@ -49,34 +49,32 @@ class StagingKeys {
   std::string prefix_;
 };
 
-/// Driver-side write of a block to shared persistent storage (charges
-/// shared-FS time; phantom blocks stage header-only but account full size).
+/// Driver-side write of a block ref to shared persistent storage: charges
+/// shared-FS time for the full logical bytes, but stores the immutable ref
+/// itself — the zero-copy path (no host-side serialization; phantom blocks
+/// carry no payload yet still account full size).
 inline void StageBlock(sparklet::SparkletContext& ctx, const std::string& key,
-                       const linalg::DenseBlock& block) {
-  BinaryWriter writer;
-  block.Serialize(writer);
-  ctx.DriverWriteShared(key, std::move(writer).TakeBuffer(),
-                        block.SerializedBytes());
+                       linalg::BlockRef block) {
+  ctx.DriverWriteSharedBlock(key, std::move(block));
 }
 
-/// Per-task cache of deserialized staged blocks.
-using BlockCache = std::unordered_map<std::string, linalg::BlockPtr>;
+/// Per-task cache of staged block refs (models the paper's executors
+/// caching deserialized column blocks; here the cache saves the modelled
+/// re-read charge, not a host-side copy).
+using BlockCache = std::unordered_map<std::string, linalg::BlockRef>;
 
-/// Executor-side read + deserialize with caching; aborts the task when the
-/// key is missing (a lost side channel — the impurity the paper flags).
-inline linalg::BlockPtr ReadStagedBlock(BlockCache& cache,
+/// Executor-side read with caching; aborts the task when the key is missing
+/// (a lost side channel — the impurity the paper flags). Returns the shared
+/// immutable ref; no deserialization copy is made.
+inline linalg::BlockRef ReadStagedBlock(BlockCache& cache,
                                         const std::string& key,
                                         sparklet::TaskContext& tc) {
   auto it = cache.find(key);
   if (it != cache.end()) return it->second;
-  auto obj = tc.ReadShared(key);
-  if (!obj.ok()) throw sparklet::SparkletAbort(obj.status());
-  BinaryReader reader(*obj->payload);
-  auto block = linalg::DenseBlock::Deserialize(reader);
+  auto block = tc.ReadSharedBlock(key);
   if (!block.ok()) throw sparklet::SparkletAbort(block.status());
-  linalg::BlockPtr ptr = linalg::MakeBlock(std::move(block).value());
-  cache.emplace(key, ptr);
-  return ptr;
+  cache.emplace(key, *block);
+  return *block;
 }
 
 /// Stages the oriented phase-3 factors of pivot t from the collected,
@@ -91,10 +89,10 @@ inline void StageCrossFactors(sparklet::SparkletContext& ctx,
   for (const auto& [key, block] : cross) {
     const std::int64_t x = key.I == t ? key.J : key.I;
     if (key.J == t) {
-      StageBlock(ctx, keys.Left(t, x), *block);
+      StageBlock(ctx, keys.Left(t, x), block);
       if (!directed) continue;
     } else {
-      StageBlock(ctx, keys.Right(t, x), *block);
+      StageBlock(ctx, keys.Right(t, x), block);
       if (!directed) {
         StageBlock(ctx, keys.Left(t, x), block->Transposed());
       }
@@ -107,17 +105,17 @@ inline void StageCrossFactors(sparklet::SparkletContext& ctx,
 /// the canonical cross, so the right side is reconstructed by transposing
 /// the left factor of key.J (cached under the right key, charged like any
 /// transpose).
-inline std::pair<linalg::BlockPtr, linalg::BlockPtr> ReadPhase3Factors(
+inline std::pair<linalg::BlockRef, linalg::BlockRef> ReadPhase3Factors(
     const StagingKeys& keys, BlockCache& cache, std::int64_t t,
     const BlockKey& key, bool directed, sparklet::TaskContext& tc) {
-  linalg::BlockPtr left = ReadStagedBlock(cache, keys.Left(t, key.I), tc);
+  linalg::BlockRef left = ReadStagedBlock(cache, keys.Left(t, key.I), tc);
   if (directed) {
     return {left, ReadStagedBlock(cache, keys.Right(t, key.J), tc)};
   }
   const std::string tkey = keys.Right(t, key.J);
   auto it = cache.find(tkey);
   if (it != cache.end()) return {left, it->second};
-  linalg::BlockPtr right =
+  linalg::BlockRef right =
       Transpose(ReadStagedBlock(cache, keys.Left(t, key.J), tc), tc);
   cache.emplace(tkey, right);
   return {left, right};

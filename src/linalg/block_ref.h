@@ -1,0 +1,75 @@
+// BlockRef: the immutable, ref-counted handle the data plane moves around.
+//
+// Every record travelling through the sparklet engine — shuffle buckets,
+// cached RDD partitions, shared-storage staging, driver collects — holds a
+// BlockRef instead of a block copy: a shared_ptr<const DenseBlock> plus the
+// serialized-size metadata byte accounting needs, captured once at wrap time
+// so size queries never re-derive it on the hot path. Copying a BlockRef is
+// a ref-count bump; the payload is shared and immutable.
+//
+// Mutation is explicit: solvers that update a block in place take a
+// copy-on-write copy through MutableCopy(), which is the *only* sanctioned
+// way block data is duplicated inside the engine (see the copy accounting in
+// dense_block.h — the zero-copy tests assert that unsanctioned deep copies
+// stay at zero across whole solves).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "linalg/dense_block.h"
+
+namespace apspark::linalg {
+
+class BlockRef {
+ public:
+  BlockRef() = default;
+
+  /// Wraps an existing shared block (implicit: MakeBlock() call sites build
+  /// records directly). Captures the serialized size once.
+  BlockRef(BlockPtr block)  // NOLINT(google-explicit-constructor)
+      : block_(std::move(block)),
+        serialized_bytes_(block_ ? block_->SerializedBytes() : 0) {}
+
+  /// Adopts a freshly produced block (no copy; the block is moved into
+  /// shared immutable ownership).
+  BlockRef(DenseBlock&& block)  // NOLINT(google-explicit-constructor)
+      : BlockRef(MakeBlock(std::move(block))) {}
+
+  const DenseBlock& operator*() const noexcept { return *block_; }
+  const DenseBlock* operator->() const noexcept { return block_.get(); }
+  explicit operator bool() const noexcept { return block_ != nullptr; }
+
+  const BlockPtr& ptr() const noexcept { return block_; }
+  const DenseBlock* get() const noexcept { return block_.get(); }
+
+  /// Exact bytes Serialize() would produce, captured at wrap time — the unit
+  /// every shuffle / storage / memory-accounting charge uses.
+  std::uint64_t serialized_bytes() const noexcept { return serialized_bytes_; }
+
+  /// How many holders share the payload (tests: proves records share).
+  long use_count() const noexcept { return block_.use_count(); }
+
+  /// Copy-on-write escape hatch: a private mutable copy of the payload,
+  /// sanctioned through CowScope so the debug copy counter attributes it to
+  /// an explicit mutation site. The shared original stays untouched.
+  DenseBlock MutableCopy() const {
+    CowScope cow;
+    return *block_;
+  }
+
+  friend bool operator==(const BlockRef& a, const BlockRef& b) noexcept {
+    return a.block_ == b.block_;
+  }
+
+ private:
+  BlockPtr block_;
+  std::uint64_t serialized_bytes_ = 0;
+};
+
+/// Convenience: wraps a freshly produced block into a record-ready ref.
+inline BlockRef MakeRef(DenseBlock block) {
+  return BlockRef(MakeBlock(std::move(block)));
+}
+
+}  // namespace apspark::linalg

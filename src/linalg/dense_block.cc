@@ -5,6 +5,62 @@
 
 namespace apspark::linalg {
 
+namespace {
+
+std::atomic<std::uint64_t> g_total_copies{0};
+std::atomic<std::uint64_t> g_sanctioned_copies{0};
+thread_local int g_cow_depth = 0;
+
+/// Counts one deep copy of a materialized payload (phantom and empty blocks
+/// carry nothing, so duplicating them is free and uncounted).
+void CountCopy(bool phantom, std::size_t payload_elems) noexcept {
+  if (phantom || payload_elems == 0) return;
+  g_total_copies.fetch_add(1, std::memory_order_relaxed);
+  if (g_cow_depth > 0) {
+    g_sanctioned_copies.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace
+
+std::uint64_t BlockCopyStats::TotalCopies() noexcept {
+  return g_total_copies.load(std::memory_order_relaxed);
+}
+
+std::uint64_t BlockCopyStats::SanctionedCopies() noexcept {
+  return g_sanctioned_copies.load(std::memory_order_relaxed);
+}
+
+std::uint64_t BlockCopyStats::UnsanctionedCopies() noexcept {
+  return TotalCopies() - SanctionedCopies();
+}
+
+void BlockCopyStats::Reset() noexcept {
+  g_total_copies.store(0, std::memory_order_relaxed);
+  g_sanctioned_copies.store(0, std::memory_order_relaxed);
+}
+
+CowScope::CowScope() noexcept { ++g_cow_depth; }
+CowScope::~CowScope() { --g_cow_depth; }
+
+DenseBlock::DenseBlock(const DenseBlock& other)
+    : rows_(other.rows_),
+      cols_(other.cols_),
+      phantom_(other.phantom_),
+      data_(other.data_) {
+  CountCopy(phantom_, data_.size());
+}
+
+DenseBlock& DenseBlock::operator=(const DenseBlock& other) {
+  if (this == &other) return *this;
+  rows_ = other.rows_;
+  cols_ = other.cols_;
+  phantom_ = other.phantom_;
+  data_ = other.data_;
+  CountCopy(phantom_, data_.size());
+  return *this;
+}
+
 DenseBlock::DenseBlock(std::int64_t rows, std::int64_t cols, double fill)
     : rows_(rows),
       cols_(cols),
@@ -66,6 +122,10 @@ Result<DenseBlock> DenseBlock::Deserialize(BinaryReader& reader) {
     if (!v.ok()) return v.status();
     data[i] = *v;
   }
+  // Materializing a payload from bytes duplicates block data just like a
+  // copy constructor would — the zero-copy data plane must not do it on hot
+  // paths, so it counts (durability paths sanction it with a CowScope).
+  CountCopy(/*phantom=*/false, count);
   return DenseBlock(*rows, *cols, std::move(data));
 }
 
@@ -134,6 +194,14 @@ void DenseBlock::PasteRowPanel(std::int64_t r0, const DenseBlock& panel) {
   }
   std::memcpy(MutableRow(r0), panel.data(),
               static_cast<std::size_t>(panel.size()) * sizeof(double));
+}
+
+bool DenseBlock::AllInfinite() const noexcept {
+  if (phantom_) return false;  // unknown structure: never licenses a skip
+  for (const double v : data_) {
+    if (!std::isinf(v)) return false;
+  }
+  return true;
 }
 
 bool DenseBlock::ApproxEquals(const DenseBlock& other, double tol) const {

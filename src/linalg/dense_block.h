@@ -13,6 +13,7 @@
 // Any kernel that touches a phantom operand yields a phantom result.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <limits>
 #include <memory>
@@ -29,6 +30,43 @@ inline constexpr double kInf = std::numeric_limits<double>::infinity();
 class DenseBlock;
 using BlockPtr = std::shared_ptr<const DenseBlock>;
 
+// ---------------------------------------------------------------------------
+// Deep-copy accounting (the zero-copy data plane's debug instrument)
+// ---------------------------------------------------------------------------
+//
+// Every duplication of a materialized block payload — copy construction,
+// copy assignment, or a Deserialize() materialization — increments a
+// process-wide counter. Copies made under a CowScope are *sanctioned*: the
+// explicit copy-on-write mutation sites (a kernel taking a private copy of
+// its base block before updating it in place, a checkpoint re-materializing
+// durable bytes). The data-plane regression tests assert that the
+// unsanctioned count stays at zero across whole solves: shuffle buckets,
+// cached partitions, staged reads, and driver collects move refs, never
+// payloads. Counting is two relaxed atomic increments per O(b^2) copy, so it
+// stays enabled in release builds too.
+
+struct BlockCopyStats {
+  /// Deep copies of materialized payloads since process start / Reset().
+  static std::uint64_t TotalCopies() noexcept;
+  /// Copies made under a CowScope (explicit copy-on-write mutation sites).
+  static std::uint64_t SanctionedCopies() noexcept;
+  /// TotalCopies() - SanctionedCopies(): must stay flat across a solve.
+  static std::uint64_t UnsanctionedCopies() noexcept;
+  /// Test hook: zeroes both counters.
+  static void Reset() noexcept;
+};
+
+/// RAII marker: block copies on *this thread* inside the scope are explicit
+/// copy-on-write mutation sites. Nests. Kernel workers open one around their
+/// base-block copy, so pool-thread copies are attributed correctly.
+class CowScope {
+ public:
+  CowScope() noexcept;
+  ~CowScope();
+  CowScope(const CowScope&) = delete;
+  CowScope& operator=(const CowScope&) = delete;
+};
+
 class DenseBlock {
  public:
   /// An empty 0x0 block.
@@ -42,6 +80,15 @@ class DenseBlock {
 
   /// Shape-only phantom block (see file comment).
   static DenseBlock Phantom(std::int64_t rows, std::int64_t cols);
+
+  // Copies of materialized payloads are counted (see BlockCopyStats above);
+  // moves stay free. Defined out of line so the accounting lives in one
+  // place.
+  DenseBlock(const DenseBlock& other);
+  DenseBlock& operator=(const DenseBlock& other);
+  DenseBlock(DenseBlock&&) noexcept = default;
+  DenseBlock& operator=(DenseBlock&&) noexcept = default;
+  ~DenseBlock() = default;
 
   std::int64_t rows() const noexcept { return rows_; }
   std::int64_t cols() const noexcept { return cols_; }
@@ -101,6 +148,11 @@ class DenseBlock {
   /// Writes `panel` (h x cols()) back over rows [r0, r0+h): reassembles a
   /// full frontier from its per-block-row panels. Materialized blocks only.
   void PasteRowPanel(std::int64_t r0, const DenseBlock& panel);
+
+  /// True when every entry is +inf — the "this block carries no path at all"
+  /// predicate behind the KSSP early-exit pivot sweep. Phantom blocks return
+  /// false: their structure is unknown, so callers must not skip work.
+  bool AllInfinite() const noexcept;
 
   /// True if every finite entry matches `other` within `tol` and the
   /// infinity patterns agree. Phantom blocks compare by shape only.

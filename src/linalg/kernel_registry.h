@@ -57,6 +57,13 @@ struct KernelTuning {
   /// Blocks smaller than this many output elements never fan out (the
   /// dispatch overhead would dominate).
   std::int64_t parallel_min_elems = 128 * 128;
+  /// Adaptive task granularity of the batch decomposition (apsp building
+  /// blocks): block updates whose modelled kernel cost is below this floor
+  /// are merged with their neighbours into one stealable task, so a q^2
+  /// batch of tiny-b updates does not pay q^2 dispatches. ~40 µs of modelled
+  /// kernel time corresponds to a b ≈ 32..48 fused update; real updates at
+  /// b >= 64 stay individually stealable. 0 disables merging.
+  double task_grain_floor_seconds = 4.0e-5;
 };
 
 const KernelTuning& GetKernelTuning() noexcept;

@@ -25,6 +25,8 @@ SimMetrics& SimMetrics::operator+=(const SimMetrics& other) noexcept {
   task_retries += other.task_retries;
   local_storage_peak_bytes =
       std::max(local_storage_peak_bytes, other.local_storage_peak_bytes);
+  driver_peak_bytes = std::max(driver_peak_bytes, other.driver_peak_bytes);
+  node_peak_bytes = std::max(node_peak_bytes, other.node_peak_bytes);
   return *this;
 }
 
@@ -39,7 +41,9 @@ std::string SimMetrics::Summary() const {
       << " sched=" << FormatDuration(scheduling_seconds) << "]"
       << " stages=" << stages << " tasks=" << tasks
       << " shuffle=" << FormatBytes(shuffle_bytes)
-      << " spill-peak/node=" << FormatBytes(local_storage_peak_bytes);
+      << " spill-peak/node=" << FormatBytes(local_storage_peak_bytes)
+      << " mem-peak[driver=" << FormatBytes(driver_peak_bytes)
+      << " node=" << FormatBytes(node_peak_bytes) << "]";
   return out.str();
 }
 

@@ -34,6 +34,12 @@ struct SimMetrics {
   // High-water mark of per-node local storage used for shuffle staging.
   std::uint64_t local_storage_peak_bytes = 0;
 
+  // Live-bytes high water from the MemoryAccountant: driver-resident data
+  // (collect results, broadcast sources, registered holdings) and the
+  // largest per-node in-memory footprint (cached RDD partitions).
+  std::uint64_t driver_peak_bytes = 0;
+  std::uint64_t node_peak_bytes = 0;
+
   double sim_seconds() const noexcept {
     return compute_seconds + shuffle_seconds + collect_seconds +
            broadcast_seconds + shared_fs_seconds + scheduling_seconds;

@@ -99,6 +99,10 @@ class Rdd final : public RddBase, public std::enable_shared_from_this<Rdd<T>> {
       ComputeFn compute, std::vector<std::shared_ptr<RddBase>> parents,
       bool cache);
 
+  /// Cached partitions release their accounted live bytes when the RDD dies
+  /// (the context always outlives its RDDs).
+  ~Rdd() override { ReleaseAllCached(); }
+
   // -- RddBase ----------------------------------------------------------
   const std::string& name() const noexcept override { return name_; }
   int id() const noexcept override { return id_; }
@@ -165,6 +169,11 @@ class Rdd final : public RddBase, public std::enable_shared_from_this<Rdd<T>> {
  private:
   void RunStageAndCache();
   Partition RunTaskWithRetries(int partition, TaskContext& tc);
+  /// Memory accounting of the partition cache: a stored partition's
+  /// serialized bytes are live on its node until dropped.
+  void ChargeCached(int partition);
+  void ReleaseCached(int partition);
+  void ReleaseAllCached();
 
   SparkletContext* ctx_;
   std::string name_;
@@ -176,6 +185,8 @@ class Rdd final : public RddBase, public std::enable_shared_from_this<Rdd<T>> {
   bool cache_;
   bool materialized_ = false;
   std::vector<std::optional<Partition>> store_;
+  /// Bytes charged to the accountant per cached partition (0 = uncharged).
+  std::vector<std::uint64_t> store_bytes_;
 
   friend class SparkletContext;
   template <typename>
@@ -245,6 +256,13 @@ class SparkletContext {
     shared_storage_.Put(key, std::move(bytes), logical_bytes);
   }
 
+  /// Zero-copy variant: stages an immutable block ref (full logical bytes
+  /// are charged, no host-side serialization happens).
+  void DriverWriteSharedBlock(const std::string& key, linalg::BlockRef block) {
+    cluster_.ChargeSharedFsWrite(block.serialized_bytes(), 1);
+    shared_storage_.PutBlock(key, std::move(block));
+  }
+
   /// Driver-side broadcast of `logical_bytes` to all executors.
   void Broadcast(std::uint64_t logical_bytes) {
     cluster_.ChargeBroadcast(logical_bytes);
@@ -288,8 +306,36 @@ Rdd<T>::Rdd(SparkletContext* ctx, std::string name, int num_partitions,
       compute_(std::move(compute)),
       parents_(std::move(parents)),
       cache_(cache),
-      store_(static_cast<std::size_t>(num_partitions)) {
+      store_(static_cast<std::size_t>(num_partitions)),
+      store_bytes_(static_cast<std::size_t>(num_partitions), 0) {
   boundary_deps_ = internal::CollectBoundaries(parents_);
+}
+
+template <typename T>
+void Rdd<T>::ChargeCached(int partition) {
+  const auto p = static_cast<std::size_t>(partition);
+  if (!store_[p] || store_bytes_[p] != 0) return;
+  std::uint64_t bytes = 0;
+  for (const T& record : *store_[p]) bytes += SerializedSizeOf(record);
+  store_bytes_[p] = bytes;
+  ctx_->cluster().accountant().ChargeNode(
+      ctx_->cluster().NodeOfPartition(partition), bytes);
+}
+
+template <typename T>
+void Rdd<T>::ReleaseCached(int partition) {
+  const auto p = static_cast<std::size_t>(partition);
+  if (store_bytes_[p] == 0) return;
+  ctx_->cluster().accountant().ReleaseNode(
+      ctx_->cluster().NodeOfPartition(partition), store_bytes_[p]);
+  store_bytes_[p] = 0;
+}
+
+template <typename T>
+void Rdd<T>::ReleaseAllCached() {
+  for (int p = 0; p < num_partitions_; ++p) {
+    if (static_cast<std::size_t>(p) < store_bytes_.size()) ReleaseCached(p);
+  }
 }
 
 template <typename T>
@@ -337,8 +383,9 @@ void Rdd<T>::RunStageAndCache() {
     tc.ResetForTask();
     store_[static_cast<std::size_t>(p)] = RunTaskWithRetries(p, tc);
     costs.push_back(tc.task_seconds());
+    ChargeCached(p);
   }
-  ctx_->cluster().RunStage(costs);
+  ctx_->cluster().RunStage(costs, name_);
 }
 
 template <typename T>
@@ -455,18 +502,21 @@ RddPtr<T> Rdd<T>::Persist() {
   cache_ = true;
   if (store_.empty() && num_partitions_ > 0) {
     store_.resize(static_cast<std::size_t>(num_partitions_));
+    store_bytes_.resize(static_cast<std::size_t>(num_partitions_), 0);
   }
   return this->shared_from_this();
 }
 
 template <typename T>
 void Rdd<T>::Unpersist() {
+  ReleaseAllCached();
   for (auto& p : store_) p.reset();
   materialized_ = false;
 }
 
 template <typename T>
 void Rdd<T>::DropPartition(int partition) {
+  ReleaseCached(partition);
   store_[static_cast<std::size_t>(partition)].reset();
   materialized_ = false;
 }
@@ -492,7 +542,7 @@ typename Rdd<T>::Partition Rdd<T>::Collect() {
       all.push_back(std::move(record));
     }
   }
-  ctx_->cluster().RunStage(costs);
+  ctx_->cluster().RunStage(costs, name_ + "-collect");
   ctx_->cluster().ChargeCollect(bytes, num_partitions_);
   // Driver deserializes the whole result single-threaded (pySpark pickle).
   const double deser =
@@ -513,7 +563,7 @@ std::int64_t Rdd<T>::Count() {
     count += static_cast<std::int64_t>(ComputeOrRead(p, tc).size());
     costs.push_back(tc.task_seconds());
   }
-  ctx_->cluster().RunStage(costs);
+  ctx_->cluster().RunStage(costs, name_ + "-count");
   ctx_->cluster().ChargeCollect(8ULL * static_cast<std::uint64_t>(
                                            num_partitions_),
                                 num_partitions_);
@@ -619,17 +669,28 @@ RddPtr<T> SparkletContext::Union(std::string name,
 
 namespace internal {
 
+/// The preserved map output of one shuffle: per-reduce-partition record
+/// buckets, shared and immutable once written — exactly Spark's preserved
+/// shuffle files. Reduce tasks (and recomputations after a lost partition)
+/// read *through* the shared ref; nothing re-copies the records.
+template <typename K, typename C>
+using ShuffleFiles =
+    std::shared_ptr<const std::vector<std::vector<std::pair<K, C>>>>;
+
 /// Runs the map side of a shuffle: computes every parent partition (fusing
 /// its narrow chain), partitions records into buckets, optionally performs
-/// map-side combine, charges spill + wire, and returns per-reduce buckets.
+/// map-side combine, charges spill + wire, and returns the preserved
+/// per-reduce buckets as one shared immutable object.
 ///
 /// CombineInit:  (V&&) -> C                        combiner from first value
 /// CombineMerge: (C&, V&&, TaskContext&) -> void   fold a value in
 template <typename K, typename V, typename C, typename CombineInit,
           typename CombineMerge>
-std::vector<std::vector<std::pair<K, C>>> ShuffleMapSide(
-    Rdd<std::pair<K, V>>& parent, const Partitioner<K>& partitioner,
-    bool map_side_combine, CombineInit init, CombineMerge merge) {
+ShuffleFiles<K, C> ShuffleMapSide(Rdd<std::pair<K, V>>& parent,
+                                  const Partitioner<K>& partitioner,
+                                  const std::string& op_name,
+                                  bool map_side_combine, CombineInit init,
+                                  CombineMerge merge) {
   SparkletContext* ctx = parent.ctx();
   const int reducers = partitioner.num_partitions();
   std::vector<std::vector<std::pair<K, C>>> buckets(
@@ -677,10 +738,11 @@ std::vector<std::vector<std::pair<K, C>>> ShuffleMapSide(
         static_cast<double>(bytes) * ctx->config().shuffle_compression /
             ctx->config().local_storage_bandwidth_bytes_per_sec);
   }
-  ctx->cluster().RunStage(costs);
+  ctx->cluster().RunStage(costs, op_name + "-map");
   Status status = ctx->cluster().ChargeShuffle(spill_bytes);
   if (!status.ok()) throw SparkletAbort(status);
-  return buckets;
+  return std::make_shared<const std::vector<std::vector<std::pair<K, C>>>>(
+      std::move(buckets));
 }
 
 }  // namespace internal
@@ -704,18 +766,20 @@ RddPtr<std::pair<K, C>> CombineByKey(RddPtr<std::pair<K, V>> parent,
   // The shuffle runs lazily on first materialization: the compute function
   // installed here performs map side + reduce side in one go, caching all
   // partitions through the store (EnsureMaterialized drives it).
-  auto state = std::make_shared<
-      std::optional<std::vector<std::vector<std::pair<K, C>>>>>();
+  auto state = std::make_shared<internal::ShuffleFiles<K, C>>();
   rdd->SetComputeForShuffle(
-      [parent, partitioner, init, merge_value, merge_comb, state, ctx](
-          int p, TaskContext& tc) -> std::vector<std::pair<K, C>> {
-        if (!state->has_value()) {
+      [parent, partitioner, op_name, init, merge_value, merge_comb, state,
+       ctx](int p, TaskContext& tc) -> std::vector<std::pair<K, C>> {
+        if (*state == nullptr) {
           *state = internal::ShuffleMapSide<K, V, C>(
-              *parent, *partitioner, /*map_side_combine=*/true, init,
+              *parent, *partitioner, op_name, /*map_side_combine=*/true, init,
               merge_value);
         }
-        // Reduce side for partition p: fetch the bucket (copied, since Spark
-        // preserves shuffle files for recomputation) and merge combiners.
+        // Reduce side for partition p: read the preserved bucket through the
+        // shared ref and merge combiners. Records hold refs, so the combiner
+        // seeds below share payloads with the shuffle files — the "copy" is
+        // a ref-count bump, never block data (the files stay pristine for
+        // recomputation either way).
         const auto& bucket = (**state)[static_cast<std::size_t>(p)];
         std::uint64_t fetch_bytes = 0;
         std::unordered_map<K, C> table;
@@ -725,8 +789,8 @@ RddPtr<std::pair<K, C>> CombineByKey(RddPtr<std::pair<K, V>> parent,
           if (it == table.end()) {
             table.emplace(rec.first, rec.second);
           } else {
-            C copy = rec.second;
-            merge_comb(it->second, std::move(copy), tc);
+            C seed = rec.second;
+            merge_comb(it->second, std::move(seed), tc);
           }
         }
         tc.ChargeCompute(static_cast<double>(fetch_bytes) *
@@ -769,19 +833,19 @@ RddPtr<std::pair<K, V>> PartitionBy(RddPtr<std::pair<K, V>> parent,
       ctx, op_name, partitioner->num_partitions(),
       typename Rdd<std::pair<K, V>>::ComputeFn{},
       std::vector<std::shared_ptr<RddBase>>{parent}, /*cache=*/true);
-  auto state = std::make_shared<
-      std::optional<std::vector<std::vector<std::pair<K, V>>>>>();
+  auto state = std::make_shared<internal::ShuffleFiles<K, V>>();
   out->SetComputeForShuffle(
-      [parent, partitioner, state, ctx](int p, TaskContext& tc)
+      [parent, partitioner, op_name, state, ctx](int p, TaskContext& tc)
           -> std::vector<std::pair<K, V>> {
-        if (!state->has_value()) {
+        if (*state == nullptr) {
           *state = internal::ShuffleMapSide<K, V, V>(
-              *parent, *partitioner, /*map_side_combine=*/false,
+              *parent, *partitioner, op_name, /*map_side_combine=*/false,
               [](V&& v) { return std::move(v); },
               [](V&, V&&, TaskContext&) {});
         }
-        // Copy (not move) from the bucket: Spark preserves shuffle files,
-        // so a lost reduce partition can be recomputed from them.
+        // The reduce output shares the preserved bucket's records (ref-count
+        // bumps, not payload copies); the files stay intact so a lost reduce
+        // partition can be recomputed from them.
         const auto& bucket = (**state)[static_cast<std::size_t>(p)];
         std::uint64_t fetch_bytes = 0;
         for (const auto& rec : bucket) fetch_bytes += SerializedSizeOf(rec);

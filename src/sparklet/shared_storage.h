@@ -1,12 +1,17 @@
 // Shared persistent storage side channel (the paper's GPFS).
 //
-// The impure solvers (Repeated Squaring, Blocked Collect/Broadcast) bypass
-// Spark's shuffle by writing blocks to a shared file system from the driver
-// and reading them back inside executor tasks ("we do not broadcast the
-// column, but rather store its blocks in a shared file system available to
-// driver and executor nodes", §4.2). This class emulates that channel:
-// objects are stored as serialized byte buffers (real data survives a
-// round-trip), and the virtual cluster is charged for the traffic.
+// The impure solvers (Repeated Squaring, Blocked Collect/Broadcast, staged
+// KSSP) bypass Spark's shuffle by writing blocks to a shared file system from
+// the driver and reading them back inside executor tasks ("we do not
+// broadcast the column, but rather store its blocks in a shared file system
+// available to driver and executor nodes", §4.2). This class emulates that
+// channel with two object kinds:
+//  * byte objects — serialized buffers (checkpoints, manifests: payloads
+//    that must survive a real durability round-trip);
+//  * block objects — immutable ref-counted BlockRefs, the zero-copy path of
+//    the staging protocol. The virtual cluster is still charged the full
+//    logical bytes the real file would occupy; only the *host-side* copy
+//    (serialize on write, deserialize per reading task) is gone.
 //
 // Because writes happen outside the RDD lineage they are side effects, which
 // is precisely what makes those solvers non-fault-tolerant; the engine tags
@@ -20,6 +25,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "linalg/block_ref.h"
 
 namespace apspark::sparklet {
 
@@ -36,8 +42,16 @@ class SharedStorage {
   void Put(const std::string& key, std::vector<std::uint8_t> bytes,
            std::uint64_t logical_bytes);
 
+  /// Stores a block as a shared immutable ref (no serialization; the
+  /// logical size is the ref's cached serialized_bytes()).
+  void PutBlock(const std::string& key, linalg::BlockRef block);
+
   /// Fetches the object stored under `key`.
   Result<Object> Get(const std::string& key) const;
+
+  /// Fetches the block stored under `key`; fails when the key is missing or
+  /// holds a byte object.
+  Result<linalg::BlockRef> GetBlock(const std::string& key) const;
 
   bool Contains(const std::string& key) const;
 
@@ -52,7 +66,11 @@ class SharedStorage {
   std::uint64_t total_logical_bytes() const noexcept { return total_bytes_; }
 
  private:
-  std::unordered_map<std::string, Object> objects_;
+  struct Entry {
+    Object object;
+    linalg::BlockRef block;
+  };
+  std::unordered_map<std::string, Entry> objects_;
   std::uint64_t total_bytes_ = 0;
 };
 

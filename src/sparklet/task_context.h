@@ -34,6 +34,11 @@ class TaskContext {
   /// transfer (per-reader slice of the shared-FS bandwidth).
   Result<SharedStorage::Object> ReadShared(const std::string& key);
 
+  /// Zero-copy block read: same charging as ReadShared (the modelled bytes
+  /// cross the shared FS either way), but returns the stored immutable ref —
+  /// no per-task deserialization copy.
+  Result<linalg::BlockRef> ReadSharedBlock(const std::string& key);
+
   /// Total modelled duration accumulated so far.
   double task_seconds() const noexcept { return task_seconds_; }
   std::uint64_t shared_read_bytes() const noexcept {
@@ -53,6 +58,9 @@ class TaskContext {
   }
 
  private:
+  /// Adds the modelled shared-FS transfer of `logical_bytes` to the task.
+  void ChargeSharedRead(std::uint64_t logical_bytes) noexcept;
+
   const linalg::CostModel* cost_model_;
   SharedStorage* storage_;
   const ClusterConfig* config_;

@@ -16,15 +16,20 @@ double ListScheduleMakespan(std::vector<double> task_seconds, int machines) {
 
 VirtualCluster::VirtualCluster(ClusterConfig config)
     : config_(config),
+      accountant_(config.nodes, &metrics_),
       node_storage_used_(static_cast<std::size_t>(config_.nodes), 0) {}
 
 void VirtualCluster::Reset() {
   clock_seconds_ = 0;
   metrics_ = SimMetrics{};
   std::fill(node_storage_used_.begin(), node_storage_used_.end(), 0);
+  // Residency survives a clock reset (solvers reset after free RDD
+  // population); only the high-water marks restart from the live set.
+  accountant_.ResetPeaks();
 }
 
-void VirtualCluster::RunStage(const std::vector<double>& task_seconds) {
+void VirtualCluster::RunStage(const std::vector<double>& task_seconds,
+                              const std::string& stage_name) {
   // Executor jitter (see ClusterConfig::straggler_spread): deterministic
   // per-(stage, task) slowdown factors. Over-decomposition (B > 1) lets the
   // list scheduler absorb stragglers; with one task per core the slowest
@@ -57,6 +62,7 @@ void VirtualCluster::RunStage(const std::vector<double>& task_seconds) {
   metrics_.compute_seconds += makespan;
   metrics_.stages += 1;
   metrics_.tasks += task_seconds.size();
+  accountant_.EndStage(stage_name);
 }
 
 Status VirtualCluster::ChargeShuffle(
@@ -105,6 +111,8 @@ Status VirtualCluster::ChargeShuffle(
 
 void VirtualCluster::ChargeCollect(std::uint64_t bytes,
                                    std::int64_t partitions) {
+  // The collected result is momentarily resident on the driver.
+  accountant_.TouchDriver(bytes);
   // All data funnels into the single driver NIC.
   const double time =
       static_cast<double>(bytes) / config_.network.bandwidth_bytes_per_sec +
@@ -115,6 +123,8 @@ void VirtualCluster::ChargeCollect(std::uint64_t bytes,
 }
 
 void VirtualCluster::ChargeBroadcast(std::uint64_t bytes) {
+  // The broadcast source lives on the driver while the torrent runs.
+  accountant_.TouchDriver(bytes);
   const double rounds =
       std::max(1.0, std::ceil(std::log2(std::max(2, config_.nodes))));
   const double time = rounds * (static_cast<double>(bytes) /

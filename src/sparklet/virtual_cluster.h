@@ -7,10 +7,12 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/status.h"
 #include "sparklet/config.h"
+#include "sparklet/memory_accountant.h"
 #include "sparklet/metrics.h"
 
 namespace apspark::sparklet {
@@ -37,10 +39,16 @@ class VirtualCluster {
     return static_cast<int>(partition % config_.nodes);
   }
 
+  /// Memory-residency accounting (driver / per-node live-bytes high water).
+  MemoryAccountant& accountant() noexcept { return accountant_; }
+  const MemoryAccountant& accountant() const noexcept { return accountant_; }
+
   /// Advances the clock by a stage of `task_seconds` (already including any
   /// per-task I/O the tasks performed), scheduled onto all cores, plus
-  /// per-task launch overhead and fixed stage overhead. Records metrics.
-  void RunStage(const std::vector<double>& task_seconds);
+  /// per-task launch overhead and fixed stage overhead. Records metrics and
+  /// closes the accountant's per-stage memory window under `stage_name`.
+  void RunStage(const std::vector<double>& task_seconds,
+                const std::string& stage_name = {});
 
   /// Charges an all-to-all shuffle write of `bytes_per_partition` map output:
   /// spill lands on each map partition's node (compressed), and the transfer
@@ -73,6 +81,7 @@ class VirtualCluster {
   ClusterConfig config_;
   double clock_seconds_ = 0;
   SimMetrics metrics_;
+  MemoryAccountant accountant_;
   std::vector<std::uint64_t> node_storage_used_;
 };
 

@@ -15,7 +15,7 @@
 namespace apspark::apsp {
 namespace {
 
-using linalg::BlockPtr;
+using linalg::BlockRef;
 using linalg::DenseBlock;
 using linalg::kInf;
 
@@ -290,7 +290,7 @@ TEST(BuildingBlocks, FloydWarshallUpdateMatchesScalarRelaxation) {
   TcFixture f;
   const std::int64_t k = 2;
   // Build the broadcast column.
-  std::vector<BlockPtr> column(static_cast<std::size_t>(layout.q()));
+  std::vector<BlockRef> column(static_cast<std::size_t>(layout.q()));
   for (const auto& rec : records) {
     if (!InColumn(layout, rec.first, k / layout.block_size())) continue;
     auto [row_block, segment] = ExtractColSegment(layout, rec, k, f.tc);
@@ -389,7 +389,7 @@ TEST(BuildingBlocks, Phase2And3UnpackReproduceBlockedFwIteration) {
   }
 
   // Engine-style: Phase 1 + CopyDiag + Phase2Unpack + CopyCol + Phase3Unpack.
-  BlockPtr closed;
+  BlockRef closed;
   for (const auto& rec : records) {
     if (OnDiagonal(rec.first, i)) closed = FloydWarshall(rec.second, f.tc);
   }

@@ -54,12 +54,13 @@ DenseBlock OraclePanel(const Graph& g, const std::vector<VertexId>& sources) {
   return out;
 }
 
-apsp::KsourceResult RunKsource(const Graph& g,
-                               const std::vector<VertexId>& sources,
-                               std::int64_t block_size,
-                               KernelVariant variant) {
+apsp::KsourceResult RunKsource(
+    const Graph& g, const std::vector<VertexId>& sources,
+    std::int64_t block_size, KernelVariant variant,
+    apsp::KsourceVariant data_plane = apsp::KsourceVariant::kStagedStorage) {
   KsourceOptions opts;
   opts.block_size = block_size;
+  opts.variant = data_plane;
   auto cluster = TestCluster();
   cluster.kernel_variant = variant;
   KsourceBlockedSolver solver;
@@ -305,6 +306,148 @@ TEST(KsourceSolver, DisconnectedPairsStayInfinite) {
   // Cross-component distances are +inf by construction.
   EXPECT_TRUE(std::isinf(panel.At(20, 0)));
   EXPECT_TRUE(std::isinf(panel.At(0, 1)));
+}
+
+// --- pure shuffle-replicated variant ---------------------------------------
+
+TEST(KsourceShuffleVariant, MatchesOracleBitwiseOnRandomizedIntegerGraphs) {
+  // The pure variant replicates pivot factors through the shuffle instead of
+  // shared storage; its panel must stay bitwise-locked to the scalar oracle
+  // on the same regimes the staged variant is locked on (directed,
+  // disconnected, duplicate sources, ragged block sizes).
+  RandomGraphOptions graph_opts;
+  graph_opts.integer_weights = true;
+  graph_opts.max_vertices = 64;
+  for (std::uint64_t seed = 500; seed < 510; ++seed) {
+    APSPARK_SEEDED_CASE(seed);
+    Xoshiro256 rng(seed);
+    const Graph g = RandomTestGraph(rng, graph_opts);
+    const std::int64_t n = g.num_vertices();
+    const std::int64_t k =
+        1 + static_cast<std::int64_t>(rng.NextBounded(
+                static_cast<std::uint64_t>(n + 2)));
+    std::vector<VertexId> sources;
+    for (std::int64_t j = 0; j < k; ++j) {
+      sources.push_back(
+          static_cast<VertexId>(rng.NextBounded(static_cast<std::uint64_t>(n))));
+    }
+    const std::int64_t block_size =
+        1 + static_cast<std::int64_t>(rng.NextBounded(
+                static_cast<std::uint64_t>(n + 4)));
+    const DenseBlock oracle = OraclePanel(g, sources);
+    for (KernelVariant variant : kVariants) {
+      auto result = RunKsource(g, sources, block_size, variant,
+                               apsp::KsourceVariant::kShuffleReplicated);
+      ASSERT_TRUE(result.status.ok())
+          << linalg::KernelVariantName(variant) << ": "
+          << result.status.ToString();
+      ASSERT_TRUE(result.distances.has_value());
+      ExpectBitwiseEqual(*result.distances, oracle,
+                         std::string("shuffle variant, kernel ") +
+                             linalg::KernelVariantName(variant) + " n=" +
+                             std::to_string(n) + " k=" + std::to_string(k) +
+                             " b=" + std::to_string(block_size));
+    }
+  }
+}
+
+TEST(KsourceShuffleVariant, UsesNoSharedStorageAndAgreesWithStaged) {
+  const Graph g = graph::PaperErdosRenyi(72, 19);
+  const std::vector<VertexId> sources = {3, 17, 41, 66};
+  auto staged = RunKsource(g, sources, 16, KernelVariant::kTiled,
+                           apsp::KsourceVariant::kStagedStorage);
+  auto shuffle = RunKsource(g, sources, 16, KernelVariant::kTiled,
+                            apsp::KsourceVariant::kShuffleReplicated);
+  ASSERT_TRUE(staged.status.ok());
+  ASSERT_TRUE(shuffle.status.ok());
+  ExpectBitwiseEqual(*shuffle.distances, *staged.distances,
+                     "shuffle vs staged");
+  // Pure in the paper's sense: nothing moved through the side channel.
+  EXPECT_EQ(shuffle.metrics.shared_fs_written_bytes, 0u);
+  EXPECT_EQ(shuffle.metrics.shared_fs_read_bytes, 0u);
+  EXPECT_GT(staged.metrics.shared_fs_written_bytes, 0u);
+  // And it pays for that purity through the shuffle instead.
+  EXPECT_GT(shuffle.metrics.shuffle_bytes, staged.metrics.shuffle_bytes);
+  EXPECT_TRUE(apsp::KsourceBlockedSolver::Pure(
+      apsp::KsourceVariant::kShuffleReplicated));
+  EXPECT_FALSE(apsp::KsourceBlockedSolver::Pure(
+      apsp::KsourceVariant::kStagedStorage));
+}
+
+// --- early-exit pivot sweep -------------------------------------------------
+
+/// TwoComponentGraph with weights floored to integers, so the scalar oracle
+/// comparison can be bitwise (exact path sums).
+Graph IntegerTwoComponentGraph(VertexId n_each, std::uint64_t seed_a,
+                               std::uint64_t seed_b) {
+  const Graph g = test::TwoComponentGraph(n_each, seed_a, seed_b);
+  Graph gi(g.num_vertices(), g.directed());
+  for (const auto& e : g.edges()) {
+    gi.AddEdge(e.u, e.v, std::floor(e.weight)).CheckOk();
+  }
+  return gi;
+}
+
+TEST(KsourceEarlyExit, DisconnectedGraphOutputIdenticalWithAndWithoutSkip) {
+  // Property: on TwoComponentGraph inputs the all-infinite-cross early exit
+  // must change nothing but the work done. Both data-plane variants, several
+  // layouts (aligned and misaligned with the component boundary), bitwise.
+  for (std::uint64_t seed = 700; seed < 704; ++seed) {
+    APSPARK_SEEDED_CASE(seed);
+    const Graph g = IntegerTwoComponentGraph(16, seed, seed + 50);  // n = 32
+    const std::vector<VertexId> sources = {0, 5, 17, 31};
+    const DenseBlock oracle = OraclePanel(g, sources);
+    for (auto data_plane : {apsp::KsourceVariant::kStagedStorage,
+                            apsp::KsourceVariant::kShuffleReplicated}) {
+      // b = 16 aligns each component with exactly one block (every pivot
+      // cross is all-infinite: the skip fires on all pivots); b = 6 leaves
+      // blocks straddling the cut (the skip never fires). Identical output
+      // either way is the property under test.
+      for (std::int64_t b : {6, 16}) {
+        KsourceOptions with_skip;
+        with_skip.block_size = b;
+        with_skip.variant = data_plane;
+        KsourceOptions without_skip = with_skip;
+        without_skip.early_exit_infinite = false;
+        KsourceBlockedSolver solver;
+        auto on = solver.SolveGraph(g, sources, with_skip, TestCluster());
+        auto off = solver.SolveGraph(g, sources, without_skip, TestCluster());
+        ASSERT_TRUE(on.status.ok());
+        ASSERT_TRUE(off.status.ok());
+        const std::string label =
+            std::string(apsp::KsourceVariantName(data_plane)) + " b=" +
+            std::to_string(b);
+        ExpectBitwiseEqual(*on.distances, *off.distances, label);
+        ExpectBitwiseEqual(*on.distances, oracle, label + " vs oracle");
+        if (b == 16) {
+          // Every pivot skipped: phases 2/3 and the factor sweep never ran,
+          // so the modelled kernel time must drop despite the added scan.
+          EXPECT_LT(on.metrics.compute_seconds, off.metrics.compute_seconds)
+              << label;
+        }
+      }
+    }
+  }
+}
+
+TEST(KsourceEarlyExit, ConnectedGraphNeverSkips) {
+  // On a connected graph no pivot cross is all-infinite, so the early exit
+  // must add only the detection scan — same stage structure either way.
+  const Graph g = graph::PaperErdosRenyi(48, 29);
+  const std::vector<VertexId> sources = {1, 30};
+  KsourceOptions on;
+  on.block_size = 12;
+  KsourceOptions off = on;
+  off.early_exit_infinite = false;
+  KsourceBlockedSolver solver;
+  auto run_on = solver.SolveGraph(g, sources, on, TestCluster());
+  auto run_off = solver.SolveGraph(g, sources, off, TestCluster());
+  ASSERT_TRUE(run_on.status.ok());
+  ASSERT_TRUE(run_off.status.ok());
+  ExpectBitwiseEqual(*run_on.distances, *run_off.distances, "on vs off");
+  // Detection adds exactly one scan stage (a collect) per pivot.
+  EXPECT_EQ(run_on.metrics.stages,
+            run_off.metrics.stages + run_on.rounds_executed);
 }
 
 // --- engine-level properties ----------------------------------------------

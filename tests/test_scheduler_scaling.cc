@@ -10,6 +10,7 @@
 #include <cmath>
 #include <vector>
 
+#include "apsp/building_blocks.h"
 #include "apsp/solver.h"
 #include "apsp/solvers/ksource_blocked.h"
 #include "common/rng.h"
@@ -159,6 +160,76 @@ TEST(SchedulerScaling, IndependentBlockUpdateBatchBitwise) {
                 std::to_string(u) + " variant=" +
                 linalg::KernelVariantName(v));
       }
+    }
+  }
+}
+
+// --- adaptive task granularity ----------------------------------------------
+
+TEST(SchedulerScaling, TinyBlockBatchMergesGrainsAndStaysBitwise) {
+  // At b = 8 a fused update's modelled cost (~1 µs) sits far below the
+  // dispatch-overhead floor, so the batch decomposition merges many updates
+  // into each stealable task. Results must stay bitwise-identical to the
+  // unmerged decomposition AND to the sequential scalar loop.
+  const std::int64_t q = 12;
+  const std::int64_t b = 8;
+  std::vector<apsp::FusedTriple> updates;
+  std::vector<DenseBlock> expected;
+  for (std::int64_t u = 0; u < q * q; ++u) {
+    DenseBlock base = RandomIntMatrix(b, 900 + static_cast<std::uint64_t>(u),
+                                      0.3);
+    DenseBlock lhs = RandomIntMatrix(b, 910 + static_cast<std::uint64_t>(u),
+                                     0.3);
+    DenseBlock rhs = RandomIntMatrix(b, 920 + static_cast<std::uint64_t>(u),
+                                     0.3);
+    DenseBlock oracle = base;
+    linalg::MinPlusAccumulateRawNaive(b, b, b, lhs.data(), b, rhs.data(), b,
+                                      oracle.mutable_data(), b);
+    expected.push_back(std::move(oracle));
+    updates.push_back({linalg::MakeRef(std::move(base)),
+                       linalg::MakeRef(std::move(lhs)),
+                       linalg::MakeRef(std::move(rhs))});
+  }
+
+  sparklet::SparkletContext ctx(test::TestCluster());
+  for (KernelVariant v : kAllVariants) {
+    ScopedKernelVariant scope(v);
+    // Sanity: the floor is live for this layout (each 8^3 update is cheap).
+    ASSERT_GT(linalg::GetKernelTuning().task_grain_floor_seconds, 0.0);
+    auto tc = ctx.MakeTaskContext();
+    auto batch_updates = updates;  // refs: copying the batch is free
+    auto out = apsp::MinPlusIntoBatch(std::move(batch_updates), tc);
+    ASSERT_EQ(out.size(), expected.size());
+    for (std::size_t u = 0; u < out.size(); ++u) {
+      test::ExpectBitwiseEqual(
+          *out[u], expected[u],
+          std::string("tiny-b batch update ") + std::to_string(u) +
+              " variant=" + linalg::KernelVariantName(v));
+    }
+  }
+}
+
+TEST(SchedulerScaling, SolversTinyBlocksUnderGrainMerging) {
+  // End-to-end at b = 4 (q = 16 on n = 64): every per-pivot batch is far
+  // below the grain floor, so whole batches run as few merged tasks; the
+  // stealing path with merged grains must stay bitwise on all solvers.
+  const graph::Graph g = IntegerWeights(
+      graph::ErdosRenyi(64, 0.15, {1.0, 10.0}, /*seed=*/5150));
+  DenseBlock oracle = g.ToDenseAdjacency();
+  linalg::ReferenceFloydWarshall(oracle);
+  for (KernelVariant v : kAllVariants) {
+    auto cluster = test::TestCluster();
+    cluster.kernel_variant = v;
+    for (SolverKind kind :
+         {SolverKind::kBlockedInMemory, SolverKind::kBlockedCollectBroadcast}) {
+      ApspOptions opts;
+      opts.block_size = 4;
+      auto result = MakeSolver(kind)->SolveGraph(g, opts, cluster);
+      ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+      test::ExpectBitwiseEqual(*result.distances, oracle,
+                               std::string("tiny-b ") +
+                                   apsp::SolverKindName(kind) + " variant=" +
+                                   linalg::KernelVariantName(v));
     }
   }
 }

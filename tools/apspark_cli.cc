@@ -48,6 +48,8 @@ struct Args {
   bool directed = false;
   bool fault_tolerant = false;
   std::string kernel = "tiled";
+  std::string ksource_variant = "staged";
+  bool no_early_exit = false;
 };
 
 int Usage() {
@@ -58,11 +60,17 @@ int Usage() {
                "        [--partitioner md|ph] [--cores C] [--directed]\n"
                "        [--output FILE] [--checkpoint-every K]\n"
                "        [--sources K]  k-source mode (n x K frontier)\n"
+               "        [--ksource-variant staged|shuffle]  pivot data plane:\n"
+               "                shared-storage staging (impure) or pure\n"
+               "                shuffle-replicated panels\n"
+               "        [--no-early-exit]  disable the all-infinite pivot\n"
+               "                early-exit sweep (k-source mode)\n"
                "        [--kernel naive|tiled|tiled_parallel]\n"
                "        [--intra-task-cores C]  modelled cores per task\n"
                "  plan  --n N [--cores C] [--fault-tolerant]\n"
                "  model --n N [--cores C] [--solver ...] [--block B]"
-               " [--rounds R] [--sources K] [--intra-task-cores C]\n");
+               " [--rounds R] [--sources K] [--ksource-variant V]"
+               " [--intra-task-cores C]\n");
   return 2;
 }
 
@@ -130,6 +138,12 @@ bool ParseArgs(int argc, char** argv, Args& args) {
       const char* v = next();
       if (!v) return false;
       args.kernel = v;
+    } else if (flag == "--ksource-variant") {
+      const char* v = next();
+      if (!v) return false;
+      args.ksource_variant = v;
+    } else if (flag == "--no-early-exit") {
+      args.no_early_exit = true;
     } else if (flag == "--directed") {
       args.directed = true;
     } else if (flag == "--fault-tolerant") {
@@ -224,11 +238,22 @@ int RunSolve(const Args& args) {
     kopts.block_size = options.block_size;
     kopts.partitioner = options.partitioner;
     kopts.directed = args.directed;
+    kopts.early_exit_infinite = !args.no_early_exit;
+    const auto variant = apsp::ParseKsourceVariant(args.ksource_variant);
+    if (!variant.has_value()) {
+      std::fprintf(stderr, "unknown ksource variant '%s'\n",
+                   args.ksource_variant.c_str());
+      return 1;
+    }
+    kopts.variant = *variant;
     apsp::KsourceBlockedSolver ksolver;
     const auto sources = PickSources(g.num_vertices(), args.sources);
-    std::printf("solving %s k-source (k = %lld) with %s (b = %lld)\n",
+    std::printf("solving %s k-source (k = %lld) with %s [%s%s] (b = %lld)\n",
                 g.Summary().c_str(), static_cast<long long>(args.sources),
                 ksolver.name().c_str(),
+                apsp::KsourceVariantName(kopts.variant),
+                apsp::KsourceBlockedSolver::Pure(kopts.variant) ? ", pure"
+                                                                : ", impure",
                 static_cast<long long>(kopts.block_size));
     auto kresult = ksolver.SolveGraph(g, sources, kopts, cluster);
     if (!kresult.status.ok()) {
@@ -240,6 +265,9 @@ int RunSolve(const Args& args) {
                 static_cast<long long>(kresult.rounds_executed),
                 FormatDuration(kresult.sim_seconds).c_str());
     std::printf("engine: %s\n", kresult.metrics.Summary().c_str());
+    std::printf("memory: driver high-water %s, node high-water %s\n",
+                FormatBytes(kresult.metrics.driver_peak_bytes).c_str(),
+                FormatBytes(kresult.metrics.node_peak_bytes).c_str());
     if (!args.output.empty()) {
       if (!WriteDenseBlock(args.output, *kresult.distances)) return 1;
       std::printf("distance panel (n x k) written to %s\n",
@@ -295,14 +323,24 @@ int RunModel(const Args& args) {
     kopts.block_size = args.block > 0 ? args.block : 1024;
     kopts.max_rounds = args.rounds > 0 ? args.rounds : 1;
     kopts.directed = args.directed;
+    kopts.early_exit_infinite = !args.no_early_exit;
+    const auto variant = apsp::ParseKsourceVariant(args.ksource_variant);
+    if (!variant.has_value()) {
+      std::fprintf(stderr, "unknown ksource variant '%s'\n",
+                   args.ksource_variant.c_str());
+      return 1;
+    }
+    kopts.variant = *variant;
     auto cluster = sparklet::ClusterConfig::PaperWithCores(
         args.cores > 4 ? args.cores : 1024);
     cluster.intra_task_cores = args.intra_task_cores;
     apsp::KsourceBlockedSolver solver;
     auto result =
         solver.SolveModel(args.n, args.sources, kopts, cluster);
-    std::printf("%s, n = %lld, k = %lld, b = %lld on %s\n",
-                solver.name().c_str(), static_cast<long long>(args.n),
+    std::printf("%s [%s], n = %lld, k = %lld, b = %lld on %s\n",
+                solver.name().c_str(),
+                apsp::KsourceVariantName(kopts.variant),
+                static_cast<long long>(args.n),
                 static_cast<long long>(args.sources),
                 static_cast<long long>(kopts.block_size),
                 cluster.Summary().c_str());
@@ -311,6 +349,9 @@ int RunModel(const Args& args) {
                 static_cast<long long>(result.rounds_total),
                 FormatDuration(result.projected_seconds).c_str());
     std::printf("engine: %s\n", result.metrics.Summary().c_str());
+    std::printf("memory: driver high-water %s, node high-water %s\n",
+                FormatBytes(result.metrics.driver_peak_bytes).c_str(),
+                FormatBytes(result.metrics.node_peak_bytes).c_str());
     return result.status.ok() ? 0 : 1;
   }
   auto kind = ParseSolver(args.solver);
