@@ -65,7 +65,7 @@ double BestOf(int reps, Fn&& fn) {
 }
 
 struct KsResult {
-  std::string section;  // "rect_kernel" or "solve"
+  std::string section;  // "rect_kernel", "solve", or "fault"
   std::string variant;
   std::string data_plane = "none";  // solve section: "staged" | "shuffle"
   std::int64_t b = 0;  // block / pivot size (or solve block size)
@@ -77,6 +77,12 @@ struct KsResult {
   /// Driver live-bytes high water of the modelled run (solve section only) —
   /// a deterministic byte count, gated by check_regression.sh --metric peak.
   std::uint64_t driver_peak_bytes = 0;
+  /// Fault-injection section: the recovery trajectory of a solve with an
+  /// injected executor loss (deterministic modelled quantities).
+  double recovery_seconds = 0;
+  std::uint64_t recomputed_tasks = 0;
+  std::uint64_t task_retries = 0;
+  std::uint64_t job_restarts = 0;
 };
 
 void WriteJson(const std::vector<KsResult>& results, const std::string& path) {
@@ -95,11 +101,17 @@ void WriteJson(const std::vector<KsResult>& results, const std::string& path) {
                  "\"k\": %lld, \"seconds\": %.6f, \"gops\": %.3f, "
                  "\"speedup_vs_naive\": %.2f, "
                  "\"driver_peak_bytes\": %llu, "
+                 "\"recovery_seconds\": %.6f, \"recomputed_tasks\": %llu, "
+                 "\"task_retries\": %llu, \"job_restarts\": %llu, "
                  "\"bitwise_equal_to_reference\": %s}%s\n",
                  r.section.c_str(), r.variant.c_str(), r.data_plane.c_str(),
                  static_cast<long long>(r.b), static_cast<long long>(r.k),
                  r.seconds, r.gops, r.speedup,
                  static_cast<unsigned long long>(r.driver_peak_bytes),
+                 r.recovery_seconds,
+                 static_cast<unsigned long long>(r.recomputed_tasks),
+                 static_cast<unsigned long long>(r.task_retries),
+                 static_cast<unsigned long long>(r.job_restarts),
                  r.bitwise_equal ? "true" : "false",
                  i + 1 == results.size() ? "" : ",");
   }
@@ -251,6 +263,87 @@ std::vector<KsResult> RunSolveRace() {
   return results;
 }
 
+std::vector<KsResult> RunFaultRecoveryRace() {
+  bench::PrintHeader(
+      "Fault injection — executor loss mid-solve (modelled recovery cost)\n"
+      "staged plane restarts from its checkpoint, the pure shuffle plane\n"
+      "recovers in place through lineage; both must match the oracle");
+  std::vector<KsResult> results;
+  const std::int64_t n = 256;
+  const std::int64_t k = 8;
+  const std::int64_t b = 64;
+  const graph::Graph g = graph::PaperErdosRenyi(n, /*seed=*/11);
+  std::vector<graph::VertexId> sources;
+  for (std::int64_t j = 0; j < k; ++j) sources.push_back(j * n / k);
+  linalg::DenseBlock oracle = g.ToDenseAdjacency();
+  linalg::ReferenceFloydWarshall(oracle);
+
+  std::printf("%8s %12s %10s %12s %10s %10s  %s\n", "plane", "redone", "tasks",
+              "retried-maps", "restarts", "loss-hit", "valid");
+  for (const apsp::KsourceVariant plane :
+       {apsp::KsourceVariant::kStagedStorage,
+        apsp::KsourceVariant::kShuffleReplicated}) {
+    apsp::KsourceOptions opts;
+    opts.block_size = b;
+    opts.variant = plane;
+    opts.fail_nodes = {{1, 10}};
+    if (plane == apsp::KsourceVariant::kStagedStorage) {
+      opts.checkpoint_every = 1;
+    }
+    auto cluster = sparklet::ClusterConfig::TinyTest();
+    cluster.local_storage_bytes = 16ULL * kGiB;
+    apsp::KsourceBlockedSolver solver;
+    WallTimer timer;
+    auto solve_result = solver.SolveGraph(g, sources, opts, cluster);
+    KsResult r;
+    r.section = "fault";
+    r.variant = "tiled";
+    r.data_plane = apsp::KsourceVariantName(plane);
+    r.b = b;
+    r.k = k;
+    r.seconds = timer.ElapsedSeconds();
+    r.driver_peak_bytes = solve_result.metrics.driver_peak_bytes;
+    r.recovery_seconds = solve_result.metrics.recovery_seconds;
+    r.recomputed_tasks = solve_result.metrics.recomputed_tasks;
+    r.task_retries = solve_result.metrics.task_retries;
+    r.job_restarts = solve_result.metrics.job_restarts;
+    const bool loss_fired = solve_result.metrics.executor_failures > 0;
+    bool valid = solve_result.status.ok() &&
+                 solve_result.distances.has_value() && loss_fired;
+    if (valid) {
+      const auto& panel = *solve_result.distances;
+      for (std::int64_t vtx = 0; vtx < n && valid; ++vtx) {
+        for (std::int64_t j = 0; j < k && valid; ++j) {
+          const double got = panel.At(vtx, j);
+          const double want =
+              oracle.At(sources[static_cast<std::size_t>(j)], vtx);
+          if (std::isinf(got) != std::isinf(want) ||
+              (!std::isinf(got) && std::fabs(got - want) > 1e-9)) {
+            valid = false;
+          }
+        }
+      }
+    }
+    r.bitwise_equal = valid;
+    std::printf("%8s %12s %10llu %12llu %10llu %10s  %s\n",
+                r.data_plane.c_str(),
+                FormatSeconds(r.recovery_seconds, 3).c_str(),
+                static_cast<unsigned long long>(r.recomputed_tasks),
+                static_cast<unsigned long long>(r.task_retries),
+                static_cast<unsigned long long>(r.job_restarts),
+                loss_fired ? "yes" : "NO", valid ? "yes" : "NO");
+    if (!valid) {
+      std::fprintf(stderr,
+                   "FAIL: fault-injected ksource solve (%s plane) did not "
+                   "recover to the oracle\n",
+                   r.data_plane.c_str());
+      std::exit(1);
+    }
+    results.push_back(r);
+  }
+  return results;
+}
+
 }  // namespace
 
 int main() {
@@ -261,6 +354,8 @@ int main() {
   auto results = RunRectKernelRace(max_b);
   const auto solve_results = RunSolveRace();
   results.insert(results.end(), solve_results.begin(), solve_results.end());
+  const auto fault_results = RunFaultRecoveryRace();
+  results.insert(results.end(), fault_results.begin(), fault_results.end());
 
   const char* json_path = std::getenv("APSPARK_BENCH_JSON");
   WriteJson(results, json_path != nullptr ? json_path : "BENCH_ksource.json");

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "apsp/checkpoint.h"
 #include "apsp/solvers/blocked_collect_broadcast.h"
 #include "apsp/solvers/blocked_inmemory.h"
 #include "apsp/solvers/floyd_warshall_2d.h"
@@ -44,6 +45,7 @@ ApspRunResult ApspSolver::Solve(sparklet::SparkletContext& ctx,
   const std::int64_t rounds_to_run =
       opts.max_rounds > 0 ? std::min(opts.max_rounds, rounds_remaining)
                           : rounds_remaining;
+  const std::int64_t end_round = opts.start_round + rounds_to_run;
 
   const int num_partitions =
       std::max(1, opts.partitions_per_core * ctx.config().total_cores());
@@ -53,18 +55,78 @@ ApspRunResult ApspSolver::Solve(sparklet::SparkletContext& ctx,
   auto a = ctx.ParallelizePartitioned("A", blocks, partitioner);
   // The paper disregards the cost of populating the RDD (§5.1).
   ctx.cluster().Reset();
+  // Arm injected executor losses; stage ordinals count from this Reset.
+  for (const auto& plan : opts.fail_nodes) {
+    ctx.fault_injector().FailNode(plan.node, plan.at_stage);
+  }
+  // The job start is durable (the input RDD recomputes from stable data):
+  // a restart without a checkpoint redoes everything from here, and the
+  // recovery accounting measures exactly that.
+  ctx.cluster().NoteDurableMark();
+
+  // Whether the run ends with a driver-side assembly collect (completed
+  // real-data runs only). The collect runs inside the attempt loop so an
+  // executor loss firing during assembly goes through the same recovery.
+  const bool phantom = !blocks.empty() && blocks.front().second->is_phantom();
+  const bool want_assembly = !phantom && end_round == result.rounds_total;
 
   sparklet::RddPtr<BlockRecord> final_rdd;
-  try {
-    final_rdd = RunRounds(ctx, layout, a, partitioner, opts, rounds_to_run);
-    result.rounds_executed = rounds_to_run;
-    result.status = Status::Ok();
-  } catch (const sparklet::SparkletAbort& abort) {
-    result.status = abort.status();
+  std::vector<BlockRecord> assembled;
+  std::int64_t start = opts.start_round;
+  int restarts = 0;
+  for (;;) {
+    try {
+      ApspOptions attempt_opts = opts;
+      attempt_opts.start_round = start;
+      final_rdd = RunRounds(ctx, layout, a, partitioner, attempt_opts,
+                            end_round - start);
+      result.rounds_executed = rounds_to_run;
+      // The assembly collect is excluded from the reported solve time and
+      // metrics, like the paper's timings (both captured before the collect
+      // below runs; the collect still goes through this try block so an
+      // executor loss firing during assembly recovers like any other).
+      // Failure/recovery evidence accrued *during* assembly is folded back
+      // in — a loss that fires there must still show in the report.
+      result.sim_seconds = ctx.now_seconds();
+      result.metrics = ctx.metrics();
+      if (want_assembly) {
+        assembled = final_rdd->Collect();
+        FoldRecoveryMetrics(ctx.metrics(), result.metrics);
+      }
+      result.status = Status::Ok();
+      break;
+    } catch (const sparklet::SparkletAbort& abort) {
+      // DATA_LOSS marks the one recoverable abort: an executor loss
+      // destroyed state whose lineage contains out-of-lineage side effects
+      // (the impure solvers). Pure solvers never raise it — they recover in
+      // place through lineage recomputation and never reach this handler.
+      if (abort.status().code() != StatusCode::kDataLoss ||
+          restarts >= opts.max_restarts) {
+        result.status = abort.status();
+        break;
+      }
+      ++restarts;
+      final_rdd.reset();
+      const std::string restart_tag = "#restart" + std::to_string(restarts);
+      auto resume = RestartFromCheckpoint(
+          ctx, layout, /*fallback_round=*/opts.start_round,
+          [&](const CheckpointInfo* info) {
+            a = ctx.ParallelizePartitioned(
+                "A" + restart_tag, info != nullptr ? info->blocks : blocks,
+                partitioner);
+          });
+      if (!resume.ok()) {
+        result.status = resume.status();
+        break;
+      }
+      start = *resume;
+    }
   }
 
-  result.sim_seconds = ctx.now_seconds();
-  result.metrics = ctx.metrics();
+  if (!result.status.ok()) {
+    result.sim_seconds = ctx.now_seconds();
+    result.metrics = ctx.metrics();
+  }
   result.spill_peak_bytes = ctx.cluster().MaxLocalStorageUsed();
   if (result.rounds_executed > 0) {
     const double scale = static_cast<double>(result.rounds_total) /
@@ -77,27 +139,12 @@ ApspRunResult ApspSolver::Solve(sparklet::SparkletContext& ctx,
         static_cast<double>(ctx.config().local_storage_bytes);
   }
 
-  // Assemble the distance matrix for completed real-data runs (the collect
-  // is excluded from the reported solve time, like the paper's timings).
-  const bool full_run =
-      result.status.ok() &&
-      opts.start_round + result.rounds_executed == result.rounds_total &&
-      final_rdd != nullptr;
-  if (full_run) {
-    const bool phantom =
-        !blocks.empty() && blocks.front().second->is_phantom();
-    if (!phantom) {
-      try {
-        auto records = final_rdd->Collect();
-        auto matrix = layout.Assemble(records);
-        if (matrix.ok()) {
-          result.distances = std::move(matrix).value();
-        } else {
-          result.status = matrix.status();
-        }
-      } catch (const sparklet::SparkletAbort& abort) {
-        result.status = abort.status();
-      }
+  if (result.status.ok() && want_assembly) {
+    auto matrix = layout.Assemble(assembled);
+    if (matrix.ok()) {
+      result.distances = std::move(matrix).value();
+    } else {
+      result.status = matrix.status();
     }
   }
   return result;

@@ -41,12 +41,20 @@ struct ApspOptions {
   /// Floyd-Warshall, one diagonal iteration for the blocked methods).
   std::int64_t max_rounds = 0;
   bool directed = false;
-  /// Blocked Collect/Broadcast extension: checkpoint A to shared storage
-  /// every this many rounds (0 = off); see apsp/checkpoint.h.
+  /// Durability extension: checkpoint A to shared storage every this many
+  /// rounds (0 = off); see apsp/checkpoint.h. Honored by the impure solvers
+  /// (Blocked-CB each round; Repeated Squaring snaps to squaring
+  /// boundaries); the pure solvers recover through lineage and ignore it.
   std::int64_t checkpoint_every = 0;
   /// Resume support: skip rounds [0, start_round) — the caller provides the
   /// matching checkpointed blocks via Solve().
   std::int64_t start_round = 0;
+  /// Fault injection: executor losses to arm before the run (fired by the
+  /// engine at stage boundaries; see sparklet::FaultInjector::FailNode).
+  std::vector<sparklet::NodeFailurePlan> fail_nodes;
+  /// How many checkpoint restarts an impure solver may attempt after
+  /// executor losses before giving up and surfacing DATA_LOSS.
+  int max_restarts = 3;
 };
 
 struct ApspRunResult {

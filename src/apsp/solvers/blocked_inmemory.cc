@@ -12,10 +12,10 @@ RddPtr<BlockRecord> BlockedInMemorySolver::RunRounds(
     sparklet::SparkletContext& ctx, const BlockLayout& layout,
     RddPtr<BlockRecord> a, sparklet::PartitionerPtr<BlockKey> partitioner,
     const ApspOptions& opts, std::int64_t rounds_to_run) {
-  (void)opts;
   RddPtr<BlockRecord> current = std::move(a);
+  const std::int64_t first = opts.start_round;
 
-  for (std::int64_t i = 0; i < rounds_to_run; ++i) {
+  for (std::int64_t i = first; i < first + rounds_to_run; ++i) {
     // --- Phase 1 (Alg. 3 lines 2-4): close the diagonal block and scatter
     // copies of it to the column/row cross via a custom-partitioned shuffle.
     auto diag = current

@@ -15,11 +15,11 @@ RddPtr<BlockRecord> FloydWarshall2dSolver::RunRounds(
     RddPtr<BlockRecord> a, sparklet::PartitionerPtr<BlockKey> partitioner,
     const ApspOptions& opts, std::int64_t rounds_to_run) {
   (void)partitioner;
-  (void)opts;
   RddPtr<BlockRecord> current = std::move(a);
   const auto q = static_cast<std::size_t>(layout.q());
+  const std::int64_t first = opts.start_round;
 
-  for (std::int64_t k = 0; k < rounds_to_run; ++k) {
+  for (std::int64_t k = first; k < first + rounds_to_run; ++k) {
     const std::int64_t big_k = k / layout.block_size();
 
     // Lines 5-6: identify the blocks holding column k, extract the column

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "apsp/building_blocks.h"
+#include "apsp/checkpoint.h"
 #include "apsp/combine_steps.h"
 #include "apsp/solvers/staging.h"
 #include "linalg/kernel_registry.h"
@@ -552,54 +553,104 @@ KsourceResult KsourceBlockedSolver::Solve(
   auto f = ctx.ParallelizePartitioned("ksF", frontier, panel_part);
   // Populating the RDDs is free, consistent with the APSP solvers.
   ctx.cluster().Reset();
+  // Arm injected executor losses; stage ordinals count from this Reset.
+  for (const auto& plan : opts.fail_nodes) {
+    ctx.fault_injector().FailNode(plan.node, plan.at_stage);
+  }
+  ctx.cluster().NoteDurableMark();
   const StagingKeys keys("ks");
 
-  try {
-    for (std::int64_t t = 0; t < rounds_to_run; ++t) {
-      const bool skip =
-          opts.early_exit_infinite && PivotCrossAllInfinite(a, layout, t);
-      if (opts.variant == KsourceVariant::kShuffleReplicated) {
-        RunShufflePivot(ctx, layout, t, block_part, panel_part, a, f, skip);
-      } else {
-        RunStagedPivot(ctx, layout, t, keys, block_part, a, f, skip);
+  // Real-data full sweeps end with the driver assembling the n x k panel;
+  // the collect runs inside the attempt loop so an executor loss firing
+  // during assembly goes through the same recovery as one mid-sweep.
+  const bool phantom =
+      !frontier.empty() && frontier.front().second->is_phantom();
+  const bool want_assembly = !phantom && rounds_to_run == q;
+
+  std::vector<PanelRecord> assembled;
+  std::int64_t first = 0;
+  int restarts = 0;
+  for (;;) {
+    try {
+      for (std::int64_t t = first; t < rounds_to_run; ++t) {
+        const bool skip =
+            opts.early_exit_infinite && PivotCrossAllInfinite(a, layout, t);
+        if (opts.variant == KsourceVariant::kShuffleReplicated) {
+          RunShufflePivot(ctx, layout, t, block_part, panel_part, a, f, skip);
+        } else {
+          RunStagedPivot(ctx, layout, t, keys, block_part, a, f, skip);
+        }
+        result.rounds_executed = t + 1;
+        if (opts.checkpoint_every > 0 &&
+            (t + 1) % opts.checkpoint_every == 0) {
+          SaveCheckpoint(ctx, layout, a->Collect(), t + 1, f->Collect());
+        }
       }
-      result.rounds_executed = t + 1;
+      // Timing and metrics stay pivots-only (the projection methodology);
+      // the assembly collect below is excluded — except its memory high
+      // water (the pure variant's only driver-resident spike) and any
+      // failure/recovery evidence, both folded in after the collect. The
+      // collect still runs in this try block so an executor loss firing
+      // during assembly recovers like any other.
+      result.sim_seconds = ctx.now_seconds();
+      result.metrics = ctx.metrics();
+      if (want_assembly) {
+        assembled = f->Collect();
+        result.metrics.driver_peak_bytes = ctx.metrics().driver_peak_bytes;
+        result.metrics.node_peak_bytes = ctx.metrics().node_peak_bytes;
+        FoldRecoveryMetrics(ctx.metrics(), result.metrics);
+      }
+      result.status = Status::Ok();
+      break;
+    } catch (const SparkletAbort& abort) {
+      // DATA_LOSS: an executor loss destroyed state the staged (impure)
+      // plane cannot replay through lineage. Restart from the latest
+      // checkpoint epoch (or from the stable inputs), accounting the lost
+      // progress as recovery. The pure shuffle variant recovers in place
+      // and never raises it.
+      if (abort.status().code() != StatusCode::kDataLoss ||
+          restarts >= opts.max_restarts) {
+        result.status = abort.status();
+        break;
+      }
+      ++restarts;
+      const std::string tag = "#restart" + std::to_string(restarts);
+      auto resume = RestartFromCheckpoint(
+          ctx, layout, /*fallback_round=*/0,
+          [&](const CheckpointInfo* info) {
+            a = ctx.ParallelizePartitioned(
+                "ksA" + tag, info != nullptr ? info->blocks : blocks,
+                block_part);
+            f = ctx.ParallelizePartitioned(
+                "ksF" + tag, info != nullptr ? info->panels : frontier,
+                panel_part);
+          });
+      if (!resume.ok()) {
+        result.status = resume.status();
+        break;
+      }
+      first = *resume;
     }
-    result.status = Status::Ok();
-  } catch (const SparkletAbort& abort) {
-    result.status = abort.status();
   }
 
-  result.sim_seconds = ctx.now_seconds();
-  result.metrics = ctx.metrics();
+  if (!result.status.ok()) {
+    result.sim_seconds = ctx.now_seconds();
+    result.metrics = ctx.metrics();
+  }
   if (result.rounds_executed > 0) {
     result.projected_seconds =
         result.sim_seconds * static_cast<double>(q) /
         static_cast<double>(result.rounds_executed);
   }
 
-  if (result.status.ok() && result.rounds_executed == q) {
-    const bool phantom =
-        !frontier.empty() && frontier.front().second->is_phantom();
-    if (!phantom) {
-      try {
-        const auto panels = f->Collect();
-        const std::int64_t k =
-            panels.empty() ? 0 : panels.front().second->cols();
-        DenseBlock out(layout.n(), k, linalg::kInf);
-        for (const auto& [idx, panel] : panels) {
-          out.PasteRowPanel(idx * layout.block_size(), *panel);
-        }
-        result.distances = std::move(out);
-      } catch (const SparkletAbort& abort) {
-        result.status = abort.status();
-      }
-      // The assembly collect is the pure variant's only driver-resident
-      // spike; fold its high water into the reported metrics (timing stays
-      // pivots-only, matching the projection methodology).
-      result.metrics.driver_peak_bytes = ctx.metrics().driver_peak_bytes;
-      result.metrics.node_peak_bytes = ctx.metrics().node_peak_bytes;
+  if (result.status.ok() && want_assembly) {
+    const std::int64_t k =
+        assembled.empty() ? 0 : assembled.front().second->cols();
+    DenseBlock out(layout.n(), k, linalg::kInf);
+    for (const auto& [idx, panel] : assembled) {
+      out.PasteRowPanel(idx * layout.block_size(), *panel);
     }
+    result.distances = std::move(out);
   }
   return result;
 }

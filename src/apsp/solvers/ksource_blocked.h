@@ -83,6 +83,16 @@ struct KsourceOptions {
   /// runs can actually skip, so disable this when comparing a disconnected
   /// real run against its phantom projection second-for-second.
   bool early_exit_infinite = true;
+  /// Durability extension: checkpoint A and the frontier panels to shared
+  /// storage every this many pivots (0 = off). The staged variant is impure
+  /// — an executor loss sends it through the checkpoint-restart path; the
+  /// pure shuffle variant recovers through lineage and never needs this.
+  std::int64_t checkpoint_every = 0;
+  /// Fault injection: executor losses to arm before the sweep (see
+  /// sparklet::FaultInjector::FailNode).
+  std::vector<sparklet::NodeFailurePlan> fail_nodes;
+  /// Checkpoint restarts allowed after executor losses before giving up.
+  int max_restarts = 3;
 };
 
 struct KsourceResult {

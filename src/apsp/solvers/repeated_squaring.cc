@@ -3,6 +3,7 @@
 #include <unordered_map>
 
 #include "apsp/building_blocks.h"
+#include "apsp/checkpoint.h"
 #include "common/math_utils.h"
 #include "linalg/kernels.h"
 
@@ -47,14 +48,20 @@ RddPtr<BlockRecord> RepeatedSquaringSolver::RunRounds(
     sparklet::SparkletContext& ctx, const BlockLayout& layout,
     RddPtr<BlockRecord> a, sparklet::PartitionerPtr<BlockKey> partitioner,
     const ApspOptions& opts, std::int64_t rounds_to_run) {
-  (void)opts;
   const std::int64_t q = layout.q();
   const int squarings = CeilLog2(layout.n());
   std::int64_t executed = 0;
   RddPtr<BlockRecord> current = std::move(a);
 
-  for (int squaring = 0; squaring < squarings && executed < rounds_to_run;
-       ++squaring) {
+  // Resume snaps to squaring boundaries: a round is one column sweep, but
+  // the matrix is only consistent between squarings, which is where the
+  // checkpoints below are written (start_round is always a multiple of q on
+  // the engine's own restart path).
+  const int start_squaring =
+      q > 0 ? static_cast<int>(opts.start_round / q) : 0;
+
+  for (int squaring = start_squaring;
+       squaring < squarings && executed < rounds_to_run; ++squaring) {
     std::vector<RddPtr<BlockRecord>> products;
     bool complete = true;
     for (std::int64_t j = 0; j < q; ++j) {
@@ -156,6 +163,18 @@ RddPtr<BlockRecord> RepeatedSquaringSolver::RunRounds(
     current = ctx.Union("rs-union", std::move(products));
     current->Persist();
     current->EnsureMaterialized();
+    // Durability extension: the matrix is consistent here (a completed
+    // squaring), so this is where Repeated Squaring can checkpoint — the
+    // shared-FS column staging makes it impure, and an executor loss sends
+    // it through the restart path in ApspSolver::Solve. checkpoint_every
+    // counts rounds (column sweeps) but snaps to squaring boundaries: a
+    // checkpoint is written when this squaring crossed a multiple of it.
+    const std::int64_t completed =
+        static_cast<std::int64_t>(squaring + 1) * q;
+    if (opts.checkpoint_every > 0 && squaring + 1 < squarings &&
+        completed % opts.checkpoint_every < q) {
+      SaveCheckpoint(ctx, layout, current->Collect(), completed);
+    }
   }
   return current;
 }

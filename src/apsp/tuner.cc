@@ -75,4 +75,54 @@ ApspOptions ToOptions(const TuneEntry& entry, bool directed) {
   return options;
 }
 
+std::vector<KsourceTuneEntry> SweepKsourceVariants(
+    const KsourceTuneRequest& request) {
+  std::vector<KsourceVariant> variants;
+  if (!request.require_fault_tolerance) {
+    variants.push_back(KsourceVariant::kStagedStorage);
+  }
+  variants.push_back(KsourceVariant::kShuffleReplicated);
+
+  std::vector<KsourceTuneEntry> entries;
+  for (const KsourceVariant variant : variants) {
+    KsourceOptions options;
+    options.block_size = request.block_size;
+    options.variant = variant;
+    options.max_rounds = 1;  // one phantom pivot, projected to the sweep
+    options.directed = request.directed;
+    KsourceBlockedSolver solver;
+    auto run = solver.SolveModel(request.n, request.num_sources, options,
+                                 request.cluster);
+    KsourceTuneEntry entry;
+    entry.variant = variant;
+    entry.projected_seconds = run.projected_seconds;
+    entry.feasible = run.status.ok();
+    entries.push_back(entry);
+  }
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const KsourceTuneEntry& a, const KsourceTuneEntry& b) {
+                     if (a.feasible != b.feasible) return a.feasible;
+                     return a.projected_seconds < b.projected_seconds;
+                   });
+  return entries;
+}
+
+Result<KsourceVariant> ChooseKsourceVariant(const KsourceTuneRequest& request) {
+  if (request.n <= 1) {
+    return InvalidArgumentError("ksource tuner: n must be > 1");
+  }
+  if (request.num_sources <= 0) {
+    return InvalidArgumentError("ksource tuner: num_sources must be > 0");
+  }
+  if (request.block_size <= 0 || request.block_size > request.n) {
+    return InvalidArgumentError(
+        "ksource tuner: block_size must be in (0, n]");
+  }
+  const auto entries = SweepKsourceVariants(request);
+  for (const KsourceTuneEntry& entry : entries) {
+    if (entry.feasible) return entry.variant;
+  }
+  return NotFoundError("ksource tuner: no feasible data plane");
+}
+
 }  // namespace apspark::apsp

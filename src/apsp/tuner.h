@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "apsp/solver.h"
+#include "apsp/solvers/ksource_blocked.h"
 
 namespace apspark::apsp {
 
@@ -44,5 +45,41 @@ Result<TuneEntry> TuneConfiguration(const TuneRequest& request);
 
 /// Applies a tuning choice to solver options.
 ApspOptions ToOptions(const TuneEntry& entry, bool directed = false);
+
+// ---------------------------------------------------------------------------
+// Adaptive KSSP variant chooser
+// ---------------------------------------------------------------------------
+//
+// The k-source sweep has two data planes (see apsp/solvers/ksource_blocked.h):
+// staged shared-storage (impure; cost dominated by shared-FS bandwidth and
+// per-file overhead) and shuffle-replicated (pure; cost dominated by network
+// shuffle volume). Which wins depends on the modelled cluster — a fat GPFS
+// favors staging, a slow one (or a fast fabric) favors the shuffle. The
+// chooser runs one phantom pivot per variant on the virtual cluster and
+// picks the smaller projected sweep time, the same methodology as the
+// block-size tuner above.
+
+struct KsourceTuneRequest {
+  std::int64_t n = 0;
+  std::int64_t num_sources = 0;
+  std::int64_t block_size = 1024;
+  sparklet::ClusterConfig cluster;
+  bool directed = false;
+  /// Restrict to pure (fault-tolerant) data planes: always picks shuffle.
+  bool require_fault_tolerance = false;
+};
+
+struct KsourceTuneEntry {
+  KsourceVariant variant = KsourceVariant::kStagedStorage;
+  double projected_seconds = 0;
+  bool feasible = false;
+};
+
+/// Both variants' modelled sweeps, best-first (infeasible entries last).
+std::vector<KsourceTuneEntry> SweepKsourceVariants(
+    const KsourceTuneRequest& request);
+
+/// The recommended data plane, or an error when nothing is feasible.
+Result<KsourceVariant> ChooseKsourceVariant(const KsourceTuneRequest& request);
 
 }  // namespace apspark::apsp

@@ -22,6 +22,8 @@ const char* StatusCodeName(StatusCode code) noexcept {
       return "UNIMPLEMENTED";
     case StatusCode::kAborted:
       return "ABORTED";
+    case StatusCode::kDataLoss:
+      return "DATA_LOSS";
   }
   return "UNKNOWN";
 }

@@ -24,7 +24,8 @@ enum class StatusCode {
   kNotFound,
   kInternal,
   kUnimplemented,
-  kAborted,  // e.g. injected task failure that exhausted retries
+  kAborted,   // e.g. injected task failure that exhausted retries
+  kDataLoss,  // executor loss destroyed state the lineage cannot replay
 };
 
 /// Human-readable name of a status code ("RESOURCE_EXHAUSTED", ...).
@@ -78,6 +79,9 @@ inline Status UnimplementedError(std::string msg) {
 }
 inline Status AbortedError(std::string msg) {
   return {StatusCode::kAborted, std::move(msg)};
+}
+inline Status DataLossError(std::string msg) {
+  return {StatusCode::kDataLoss, std::move(msg)};
 }
 
 /// Result<T>: either a value or an error Status (never both).

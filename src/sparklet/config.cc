@@ -36,6 +36,13 @@ std::string ClusterConfig::Summary() const {
     out << ", " << intra_task_cores << " cores/task ("
         << concurrent_task_slots() << " slots)";
   }
+  if (straggler_factor > 1.0) {
+    out << ", straggler " << straggler_factor << "x every "
+        << straggler_every;
+  }
+  if (speculation) {
+    out << ", speculation @" << speculation_multiplier << "x median";
+  }
   return out.str();
 }
 

@@ -23,6 +23,11 @@ SimMetrics& SimMetrics::operator+=(const SimMetrics& other) noexcept {
   tasks += other.tasks;
   task_failures += other.task_failures;
   task_retries += other.task_retries;
+  recovery_seconds += other.recovery_seconds;
+  recomputed_tasks += other.recomputed_tasks;
+  executor_failures += other.executor_failures;
+  job_restarts += other.job_restarts;
+  speculative_tasks += other.speculative_tasks;
   local_storage_peak_bytes =
       std::max(local_storage_peak_bytes, other.local_storage_peak_bytes);
   driver_peak_bytes = std::max(driver_peak_bytes, other.driver_peak_bytes);
@@ -44,6 +49,14 @@ std::string SimMetrics::Summary() const {
       << " spill-peak/node=" << FormatBytes(local_storage_peak_bytes)
       << " mem-peak[driver=" << FormatBytes(driver_peak_bytes)
       << " node=" << FormatBytes(node_peak_bytes) << "]";
+  if (executor_failures > 0 || recomputed_tasks > 0 || job_restarts > 0 ||
+      speculative_tasks > 0) {
+    out << " recovery[lost-nodes=" << executor_failures
+        << " recomputed=" << recomputed_tasks << " retries=" << task_retries
+        << " restarts=" << job_restarts
+        << " speculative=" << speculative_tasks << " redone="
+        << FormatDuration(recovery_seconds) << "]";
+  }
   return out.str();
 }
 

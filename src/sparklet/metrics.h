@@ -31,6 +31,23 @@ struct SimMetrics {
   std::uint64_t task_failures = 0;
   std::uint64_t task_retries = 0;
 
+  // Fault-tolerance subsystem. Recovery time is an *attribution overlay*:
+  // stages replaying lost work already advance the normal category clocks
+  // (compute/scheduling/shuffle), and recovery_seconds additionally records
+  // how much of the run was spent redoing work an executor loss destroyed —
+  // lineage recomputation of lost cached partitions and shuffle map outputs
+  // for pure dataflow, plus the post-checkpoint progress a restart throws
+  // away for impure solvers. It is therefore NOT part of sim_seconds().
+  double recovery_seconds = 0;
+  /// Tasks re-executed because a failure destroyed their prior result.
+  std::uint64_t recomputed_tasks = 0;
+  /// Injected executor (node) losses that actually fired.
+  std::uint64_t executor_failures = 0;
+  /// Job-level restarts from a checkpoint (impure-solver recovery path).
+  std::uint64_t job_restarts = 0;
+  /// Speculative task copies that beat their straggling original.
+  std::uint64_t speculative_tasks = 0;
+
   // High-water mark of per-node local storage used for shuffle staging.
   std::uint64_t local_storage_peak_bytes = 0;
 

@@ -38,6 +38,7 @@
 #include "sparklet/partitioner.h"
 #include "sparklet/serde.h"
 #include "sparklet/shared_storage.h"
+#include "sparklet/shuffle_state.h"
 #include "sparklet/task_context.h"
 #include "sparklet/virtual_cluster.h"
 
@@ -68,6 +69,10 @@ class RddBase {
   virtual void EnsureMaterialized() = 0;
   virtual bool IsBoundary() const noexcept = 0;
   virtual std::size_t MaterializedRecordCount() const noexcept = 0;
+  /// Executor loss: drops every cached partition hosted on `node` (marking
+  /// them lost-by-failure so their recomputation is attributed to recovery).
+  /// Returns how many partitions were dropped.
+  virtual int DropNodePartitions(int node) = 0;
 };
 
 template <typename T>
@@ -100,8 +105,9 @@ class Rdd final : public RddBase, public std::enable_shared_from_this<Rdd<T>> {
       bool cache);
 
   /// Cached partitions release their accounted live bytes when the RDD dies
-  /// (the context always outlives its RDDs).
-  ~Rdd() override { ReleaseAllCached(); }
+  /// (the context always outlives its RDDs), and the context forgets the
+  /// node for failure handling. Defined out of line (needs SparkletContext).
+  ~Rdd() override;
 
   // -- RddBase ----------------------------------------------------------
   const std::string& name() const noexcept override { return name_; }
@@ -142,9 +148,12 @@ class Rdd final : public RddBase, public std::enable_shared_from_this<Rdd<T>> {
   /// Drops cached data (lineage remains; a later access recomputes).
   void Unpersist();
 
-  /// Test hook: simulates loss of one cached partition (executor failure).
-  /// The next access recomputes this RDD from its lineage.
+  /// Simulates loss of one cached partition (executor failure). The next
+  /// access recomputes this RDD from its lineage, attributed to recovery.
   void DropPartition(int partition);
+
+  /// Executor loss (see RddBase): drops cached partitions hosted on `node`.
+  int DropNodePartitions(int node) override;
 
   // -- actions -----------------------------------------------------------
   /// Gathers every record on the driver (charges network + driver deserde).
@@ -187,6 +196,13 @@ class Rdd final : public RddBase, public std::enable_shared_from_this<Rdd<T>> {
   std::vector<std::optional<Partition>> store_;
   /// Bytes charged to the accountant per cached partition (0 = uncharged).
   std::vector<std::uint64_t> store_bytes_;
+  /// Partitions whose cached copy an executor failure destroyed: their
+  /// recomputation counts into recovery_seconds / recomputed_tasks.
+  std::vector<bool> lost_by_failure_;
+  /// Materialization attempts so far: re-runs suffix the stage key
+  /// ("name#r2") so per-stage metrics and peak windows never collide with
+  /// the original run.
+  int run_attempts_ = 0;
 
   friend class SparkletContext;
   template <typename>
@@ -206,6 +222,11 @@ class SparkletContext {
     // stamping it here keeps every ChargeCompute site and the stage slot
     // count (VirtualCluster::RunStage) consistent by construction.
     cost_model_.intra_task_cores = config.intra_task_cores;
+    // Executor-loss plans fire at stage boundaries inside the cluster; the
+    // context owns the state a loss destroys (cached partitions, preserved
+    // shuffle outputs), so it handles the drop.
+    cluster_.SetFaultHooks(&fault_injector_,
+                           [this](int node) { HandleNodeLost(node); });
   }
 
   VirtualCluster& cluster() noexcept { return cluster_; }
@@ -268,12 +289,85 @@ class SparkletContext {
     cluster_.ChargeBroadcast(logical_bytes);
   }
 
+  // -- fault-tolerance plumbing (engine-internal) ------------------------
+
+  /// Every live RDD registers so an executor loss can reach its cache.
+  void RegisterRdd(RddBase* rdd) { live_rdds_.push_back(rdd); }
+  void UnregisterRdd(RddBase* rdd) {
+    std::erase(live_rdds_, rdd);
+  }
+
+  /// Shuffles register their preserved map outputs; the registry holds weak
+  /// refs (the states live in the shuffle RDDs' compute closures).
+  void RegisterShuffle(const std::shared_ptr<ShuffleMapState>& state) {
+    shuffles_.push_back(state);
+  }
+
+  /// Executor `node` died: drop its cached partitions across every live RDD
+  /// and mark its share of every preserved shuffle map output lost. Lazy
+  /// recovery does the rest — lost partitions recompute through lineage on
+  /// next access, lost map outputs replay before the next reduce-side read.
+  void HandleNodeLost(int node) {
+    for (RddBase* rdd : live_rdds_) rdd->DropNodePartitions(node);
+    std::size_t keep = 0;
+    for (auto& weak : shuffles_) {
+      auto state = weak.lock();
+      if (!state) continue;  // shuffle RDD already destroyed: prune
+      state->MarkNodeLost(node);
+      shuffles_[keep++] = std::move(weak);
+    }
+    shuffles_.resize(keep);
+  }
+
+  /// Replays lost map outputs of one shuffle before its preserved buckets
+  /// are read again. Pure map sides re-execute (a recovery stage charging
+  /// the recorded task costs, re-spilling to the replacement executors);
+  /// map sides that read the shared-storage side channel are NOT replayable
+  /// — the side channel lives outside the lineage, so the engine cannot
+  /// guarantee a replay reproduces the original output (§3's impurity) —
+  /// and the job aborts with DATA_LOSS, routing impure solvers to their
+  /// checkpoint-restart path.
+  void RecoverLostMapOutputs(ShuffleMapState& state) {
+    // Loop: a further failure can fire at the replay stage's own boundary
+    // and destroy more outputs; plans are finite, so this terminates.
+    while (state.any_lost()) RecoverLostMapOutputsOnce(state);
+  }
+
+  void RecoverLostMapOutputsOnce(ShuffleMapState& state) {
+    if (state.map_side_impure()) {
+      throw SparkletAbort(DataLossError(
+          "executor loss destroyed map outputs of shuffle '" +
+          state.op_name() +
+          "', whose map tasks read shared persistent storage outside the "
+          "RDD lineage; replay cannot be guaranteed to reproduce them — "
+          "restart from the last checkpoint"));
+    }
+    const ShuffleMapState::ReplayPlan plan = state.TakeReplayPlan();
+    const std::string stage_name =
+        state.op_name() + "-map#r" +
+        std::to_string(state.retry_attempts() + 1);
+    // The replayed map tasks re-write their spill (and re-shuffle it to the
+    // waiting reduce side) on the replacement executors. The spill charge
+    // precedes the stage boundary — writes happen *during* the stage — so a
+    // loss firing at that boundary correctly wipes it again (and bumps the
+    // plan's loss epochs, keeping those partitions lost for the next replay
+    // round instead of being wrongly marked recovered below).
+    Status status = cluster_.ChargeShuffle(state.ReplaySpillBytes(plan.indices));
+    if (!status.ok()) throw SparkletAbort(status);
+    cluster_.RunStage(state.ReplayTaskCosts(plan.indices), stage_name,
+                      StageKind::kRecovery);
+    cluster_.mutable_metrics().recomputed_tasks += plan.indices.size();
+    state.MarkRecovered(plan);
+  }
+
  private:
   VirtualCluster cluster_;
   linalg::CostModel cost_model_;
   SharedStorage shared_storage_;
   FaultInjector fault_injector_;
   int next_rdd_id_ = 0;
+  std::vector<RddBase*> live_rdds_;
+  std::vector<std::weak_ptr<ShuffleMapState>> shuffles_;
 };
 
 // ---------------------------------------------------------------------------
@@ -307,8 +401,16 @@ Rdd<T>::Rdd(SparkletContext* ctx, std::string name, int num_partitions,
       parents_(std::move(parents)),
       cache_(cache),
       store_(static_cast<std::size_t>(num_partitions)),
-      store_bytes_(static_cast<std::size_t>(num_partitions), 0) {
+      store_bytes_(static_cast<std::size_t>(num_partitions), 0),
+      lost_by_failure_(static_cast<std::size_t>(num_partitions), false) {
   boundary_deps_ = internal::CollectBoundaries(parents_);
+  ctx_->RegisterRdd(this);
+}
+
+template <typename T>
+Rdd<T>::~Rdd() {
+  ReleaseAllCached();
+  ctx_->UnregisterRdd(this);
 }
 
 template <typename T>
@@ -370,22 +472,68 @@ typename Rdd<T>::Partition Rdd<T>::RunTaskWithRetries(int partition,
 
 template <typename T>
 void Rdd<T>::RunStageAndCache() {
-  std::vector<double> costs;
-  costs.reserve(static_cast<std::size_t>(num_partitions_));
   TaskContext tc = ctx_->MakeTaskContext();
   tc.SetStageConcurrency(
       std::min(num_partitions_, ctx_->config().concurrent_task_slots()));
-  for (int p = 0; p < num_partitions_; ++p) {
-    if (store_[static_cast<std::size_t>(p)]) {
-      costs.push_back(0.0);  // partition survived (e.g. after DropPartition)
-      continue;
+  // An executor loss can fire at a (possibly nested) stage boundary while
+  // this loop runs, dropping partitions this very pass already cached; the
+  // outer loop re-runs until the store is complete.
+  for (int attempt = 0;; ++attempt) {
+    std::vector<double> costs;
+    costs.reserve(static_cast<std::size_t>(num_partitions_));
+    std::uint64_t recomputed = 0;
+    for (int p = 0; p < num_partitions_; ++p) {
+      if (store_[static_cast<std::size_t>(p)]) {
+        costs.push_back(0.0);  // partition survived (or predates the loss)
+        continue;
+      }
+      const bool was_lost = lost_by_failure_[static_cast<std::size_t>(p)];
+      tc.ResetForTask();
+      store_[static_cast<std::size_t>(p)] = RunTaskWithRetries(p, tc);
+      if (was_lost && tc.shared_read_bytes() > 0) {
+        // Replaying a task that reads the shared-storage side channel is
+        // not sound: the channel lives outside the RDD lineage, so the
+        // engine cannot guarantee the replay sees the bytes the original
+        // task saw (the paper's §3 impurity). Route the solver to its
+        // checkpoint-restart path instead.
+        throw SparkletAbort(DataLossError(
+            "executor loss destroyed cached partition " + std::to_string(p) +
+            " of RDD '" + name_ +
+            "', whose tasks read shared persistent storage outside the RDD "
+            "lineage; replay cannot be guaranteed to reproduce it — restart "
+            "from the last checkpoint"));
+      }
+      costs.push_back(tc.task_seconds());
+      if (was_lost) {
+        lost_by_failure_[static_cast<std::size_t>(p)] = false;
+        ++recomputed;
+      }
+      ChargeCached(p);
     }
-    tc.ResetForTask();
-    store_[static_cast<std::size_t>(p)] = RunTaskWithRetries(p, tc);
-    costs.push_back(tc.task_seconds());
-    ChargeCached(p);
+    // Re-runs get a distinct stage key so stage metrics and the
+    // accountant's per-stage peak windows never collide with the original.
+    std::string stage_name = name_;
+    if (run_attempts_ > 0) stage_name += "#r" + std::to_string(run_attempts_);
+    ++run_attempts_;
+    ctx_->cluster().RunStage(costs, stage_name,
+                             recomputed > 0 ? StageKind::kRecovery
+                                            : StageKind::kNormal);
+    ctx_->cluster().mutable_metrics().recomputed_tasks += recomputed;
+    bool complete = true;
+    for (const auto& slot : store_) {
+      if (!slot) {
+        complete = false;
+        break;
+      }
+    }
+    if (complete) return;
+    if (attempt >= ctx_->config().max_task_failures) {
+      throw SparkletAbort(AbortedError(
+          "stage for RDD '" + name_ +
+          "' could not complete: repeated executor losses exceeded the "
+          "retry budget"));
+    }
   }
-  ctx_->cluster().RunStage(costs, name_);
 }
 
 template <typename T>
@@ -503,6 +651,7 @@ RddPtr<T> Rdd<T>::Persist() {
   if (store_.empty() && num_partitions_ > 0) {
     store_.resize(static_cast<std::size_t>(num_partitions_));
     store_bytes_.resize(static_cast<std::size_t>(num_partitions_), 0);
+    lost_by_failure_.resize(static_cast<std::size_t>(num_partitions_), false);
   }
   return this->shared_from_this();
 }
@@ -516,9 +665,28 @@ void Rdd<T>::Unpersist() {
 
 template <typename T>
 void Rdd<T>::DropPartition(int partition) {
+  const auto p = static_cast<std::size_t>(partition);
+  if (store_[p]) lost_by_failure_[p] = true;
   ReleaseCached(partition);
-  store_[static_cast<std::size_t>(partition)].reset();
+  store_[p].reset();
   materialized_ = false;
+}
+
+template <typename T>
+int Rdd<T>::DropNodePartitions(int node) {
+  if (!cache_) return 0;
+  int dropped = 0;
+  for (int p = 0; p < num_partitions_; ++p) {
+    const auto idx = static_cast<std::size_t>(p);
+    if (idx >= store_.size() || !store_[idx]) continue;
+    if (ctx_->cluster().NodeOfPartition(p) != node) continue;
+    lost_by_failure_[idx] = true;
+    ReleaseCached(p);
+    store_[idx].reset();
+    materialized_ = false;
+    ++dropped;
+  }
+  return dropped;
 }
 
 template <typename T>
@@ -677,20 +845,30 @@ template <typename K, typename C>
 using ShuffleFiles =
     std::shared_ptr<const std::vector<std::vector<std::pair<K, C>>>>;
 
+/// A shuffle's preserved output: the record buckets plus the replay
+/// bookkeeping an executor loss needs (per-map-partition costs, placement,
+/// lost flags — see ShuffleMapState).
+template <typename K, typename C>
+struct ShuffleOutput {
+  ShuffleFiles<K, C> files;
+  std::shared_ptr<ShuffleMapState> map_state;
+};
+
 /// Runs the map side of a shuffle: computes every parent partition (fusing
 /// its narrow chain), partitions records into buckets, optionally performs
 /// map-side combine, charges spill + wire, and returns the preserved
-/// per-reduce buckets as one shared immutable object.
+/// per-reduce buckets as one shared immutable object plus the map-output
+/// replay state registered with the context.
 ///
 /// CombineInit:  (V&&) -> C                        combiner from first value
 /// CombineMerge: (C&, V&&, TaskContext&) -> void   fold a value in
 template <typename K, typename V, typename C, typename CombineInit,
           typename CombineMerge>
-ShuffleFiles<K, C> ShuffleMapSide(Rdd<std::pair<K, V>>& parent,
-                                  const Partitioner<K>& partitioner,
-                                  const std::string& op_name,
-                                  bool map_side_combine, CombineInit init,
-                                  CombineMerge merge) {
+ShuffleOutput<K, C> ShuffleMapSide(Rdd<std::pair<K, V>>& parent,
+                                   const Partitioner<K>& partitioner,
+                                   const std::string& op_name,
+                                   bool map_side_combine, CombineInit init,
+                                   CombineMerge merge) {
   SparkletContext* ctx = parent.ctx();
   const int reducers = partitioner.num_partitions();
   std::vector<std::vector<std::pair<K, C>>> buckets(
@@ -698,12 +876,17 @@ ShuffleFiles<K, C> ShuffleMapSide(Rdd<std::pair<K, V>>& parent,
   std::vector<double> costs;
   std::vector<std::uint64_t> spill_bytes(
       static_cast<std::size_t>(parent.num_partitions()), 0);
+  bool map_side_impure = false;
   TaskContext tc = ctx->MakeTaskContext();
   tc.SetStageConcurrency(
       std::min(parent.num_partitions(), ctx->config().concurrent_task_slots()));
   for (int p = 0; p < parent.num_partitions(); ++p) {
     tc.ResetForTask();
     std::vector<std::pair<K, V>> records = parent.ComputeOrRead(p, tc);
+    // Side-channel reads make the map side non-replayable (see
+    // SparkletContext::RecoverLostMapOutputs). Detect them here so the
+    // replay state can refuse later.
+    if (tc.shared_read_bytes() > 0) map_side_impure = true;
     // Map-side combine into a per-task table (Spark's ExternalAppendOnlyMap).
     std::unordered_map<K, C> combined;
     std::vector<std::pair<K, C>> passthrough;
@@ -738,11 +921,24 @@ ShuffleFiles<K, C> ShuffleMapSide(Rdd<std::pair<K, V>>& parent,
         static_cast<double>(bytes) * ctx->config().shuffle_compression /
             ctx->config().local_storage_bandwidth_bytes_per_sec);
   }
-  ctx->cluster().RunStage(costs, op_name + "-map");
-  Status status = ctx->cluster().ChargeShuffle(spill_bytes);
+  // Preserve the output and register the replay state BEFORE the map
+  // stage's boundary runs: a node loss firing at exactly that boundary must
+  // see the just-written outputs (the tasks wrote their spill during the
+  // stage) and mark its share lost. Clock-wise the order is immaterial —
+  // stage time and shuffle charges add commutatively.
+  ShuffleOutput<K, C> out;
+  out.files =
+      std::make_shared<const std::vector<std::vector<std::pair<K, C>>>>(
+          std::move(buckets));
+  out.map_state = std::make_shared<ShuffleMapState>(
+      op_name, costs, std::move(spill_bytes), map_side_impure,
+      ctx->config().nodes, &ctx->cluster().accountant());
+  ctx->RegisterShuffle(out.map_state);
+  Status status =
+      ctx->cluster().ChargeShuffle(out.map_state->spill_bytes());
   if (!status.ok()) throw SparkletAbort(status);
-  return std::make_shared<const std::vector<std::vector<std::pair<K, C>>>>(
-      std::move(buckets));
+  ctx->cluster().RunStage(costs, op_name + "-map");
+  return out;
 }
 
 }  // namespace internal
@@ -766,21 +962,25 @@ RddPtr<std::pair<K, C>> CombineByKey(RddPtr<std::pair<K, V>> parent,
   // The shuffle runs lazily on first materialization: the compute function
   // installed here performs map side + reduce side in one go, caching all
   // partitions through the store (EnsureMaterialized drives it).
-  auto state = std::make_shared<internal::ShuffleFiles<K, C>>();
+  auto state = std::make_shared<internal::ShuffleOutput<K, C>>();
   rdd->SetComputeForShuffle(
       [parent, partitioner, op_name, init, merge_value, merge_comb, state,
        ctx](int p, TaskContext& tc) -> std::vector<std::pair<K, C>> {
-        if (*state == nullptr) {
+        if (state->files == nullptr) {
           *state = internal::ShuffleMapSide<K, V, C>(
               *parent, *partitioner, op_name, /*map_side_combine=*/true, init,
               merge_value);
         }
+        // An executor loss may have destroyed part of the preserved map
+        // output; replay it (or abort, if the map side is impure) before
+        // reading the bucket.
+        ctx->RecoverLostMapOutputs(*state->map_state);
         // Reduce side for partition p: read the preserved bucket through the
         // shared ref and merge combiners. Records hold refs, so the combiner
         // seeds below share payloads with the shuffle files — the "copy" is
         // a ref-count bump, never block data (the files stay pristine for
         // recomputation either way).
-        const auto& bucket = (**state)[static_cast<std::size_t>(p)];
+        const auto& bucket = (*state->files)[static_cast<std::size_t>(p)];
         std::uint64_t fetch_bytes = 0;
         std::unordered_map<K, C> table;
         for (const auto& rec : bucket) {
@@ -833,20 +1033,23 @@ RddPtr<std::pair<K, V>> PartitionBy(RddPtr<std::pair<K, V>> parent,
       ctx, op_name, partitioner->num_partitions(),
       typename Rdd<std::pair<K, V>>::ComputeFn{},
       std::vector<std::shared_ptr<RddBase>>{parent}, /*cache=*/true);
-  auto state = std::make_shared<internal::ShuffleFiles<K, V>>();
+  auto state = std::make_shared<internal::ShuffleOutput<K, V>>();
   out->SetComputeForShuffle(
       [parent, partitioner, op_name, state, ctx](int p, TaskContext& tc)
           -> std::vector<std::pair<K, V>> {
-        if (*state == nullptr) {
+        if (state->files == nullptr) {
           *state = internal::ShuffleMapSide<K, V, V>(
               *parent, *partitioner, op_name, /*map_side_combine=*/false,
               [](V&& v) { return std::move(v); },
               [](V&, V&&, TaskContext&) {});
         }
+        // Replay any map outputs an executor loss destroyed (aborting with
+        // DATA_LOSS when the map side is impure) before touching the files.
+        ctx->RecoverLostMapOutputs(*state->map_state);
         // The reduce output shares the preserved bucket's records (ref-count
         // bumps, not payload copies); the files stay intact so a lost reduce
         // partition can be recomputed from them.
-        const auto& bucket = (**state)[static_cast<std::size_t>(p)];
+        const auto& bucket = (*state->files)[static_cast<std::size_t>(p)];
         std::uint64_t fetch_bytes = 0;
         for (const auto& rec : bucket) fetch_bytes += SerializedSizeOf(rec);
         tc.ChargeCompute(static_cast<double>(fetch_bytes) *

@@ -26,10 +26,46 @@ void VirtualCluster::Reset() {
   // Residency survives a clock reset (solvers reset after free RDD
   // population); only the high-water marks restart from the live set.
   accountant_.ResetPeaks();
+  durable_clock_seconds_ = 0;
+  durable_tasks_ = 0;
+  durable_recovery_seconds_ = 0;
+  durable_recomputed_tasks_ = 0;
+}
+
+void VirtualCluster::NoteDurableMark() {
+  durable_clock_seconds_ = clock_seconds_;
+  durable_tasks_ = metrics_.tasks;
+  durable_recovery_seconds_ = metrics_.recovery_seconds;
+  durable_recomputed_tasks_ = metrics_.recomputed_tasks;
+}
+
+void VirtualCluster::ChargeRestartRecovery() {
+  // Everything since the last durable mark (job start, or the most recent
+  // checkpoint) is work the failure destroyed: the restart re-executes it.
+  // Replay stages inside the window already attributed their share to
+  // recovery (StageKind::kRecovery, RecoverLostMapOutputs), so only the
+  // not-yet-attributed remainder is added — no double counting.
+  const double window_clock =
+      std::max(0.0, clock_seconds_ - durable_clock_seconds_);
+  const double window_attributed =
+      std::max(0.0, metrics_.recovery_seconds - durable_recovery_seconds_);
+  metrics_.recovery_seconds += std::max(0.0, window_clock - window_attributed);
+  const std::uint64_t window_tasks =
+      metrics_.tasks > durable_tasks_ ? metrics_.tasks - durable_tasks_ : 0;
+  const std::uint64_t window_recomputed =
+      metrics_.recomputed_tasks > durable_recomputed_tasks_
+          ? metrics_.recomputed_tasks - durable_recomputed_tasks_
+          : 0;
+  metrics_.recomputed_tasks +=
+      window_tasks > window_recomputed ? window_tasks - window_recomputed : 0;
+  metrics_.job_restarts += 1;
+  // The restart resumes from the durable point; further losses are measured
+  // against the progress made from here on.
+  NoteDurableMark();
 }
 
 void VirtualCluster::RunStage(const std::vector<double>& task_seconds,
-                              const std::string& stage_name) {
+                              const std::string& stage_name, StageKind kind) {
   // Executor jitter (see ClusterConfig::straggler_spread): deterministic
   // per-(stage, task) slowdown factors. Over-decomposition (B > 1) lets the
   // list scheduler absorb stragglers; with one task per core the slowest
@@ -42,6 +78,41 @@ void VirtualCluster::RunStage(const std::vector<double>& task_seconds,
     const double u =
         static_cast<double>(h >> 11) * 0x1.0p-53;  // uniform [0, 1)
     jittered[i] = task_seconds[i] * (1.0 + config_.straggler_spread * u);
+    // Hard stragglers (failing disk, throttled node): a deterministic
+    // 1-in-straggler_every subset of tasks runs straggler_factor x slower.
+    if (config_.straggler_factor > 1.0 && config_.straggler_every > 0 &&
+        h % static_cast<std::uint64_t>(config_.straggler_every) == 0) {
+      jittered[i] *= config_.straggler_factor;
+    }
+  }
+  // Speculative re-execution: tasks running past speculation_multiplier x
+  // the stage median get a copy launched at the detection point; the copy
+  // runs a median-like time, and the task finishes with whichever attempt
+  // is first. This is what bounds the hard-straggler tail. The median is
+  // taken over the *working* tasks only — stages routinely carry zero-cost
+  // placeholders (surviving partitions of a recovery re-run, non-lost
+  // entries of a replay plan), and including them would drag the median to
+  // zero and mark every real task a straggler.
+  if (config_.speculation) {
+    std::vector<double> working;
+    working.reserve(jittered.size());
+    for (const double t : jittered) {
+      if (t > 0.0) working.push_back(t);
+    }
+    if (working.size() >= 2) {
+      std::sort(working.begin(), working.end());
+      const double median = working[working.size() / 2];
+      const double cutoff =
+          median * std::max(1.0, config_.speculation_multiplier);
+      for (double& t : jittered) {
+        const double speculative_completion =
+            cutoff + median + config_.task_overhead_seconds;
+        if (t > cutoff && speculative_completion < t) {
+          t = speculative_completion;
+          metrics_.speculative_tasks += 1;
+        }
+      }
+    }
   }
   // Executors run one task per *slot*: with intra-task parallelism enabled
   // (ClusterConfig::intra_task_cores > 1) each task occupies that many cores
@@ -60,9 +131,31 @@ void VirtualCluster::RunStage(const std::vector<double>& task_seconds,
   clock_seconds_ += exposed_overhead + makespan;
   metrics_.scheduling_seconds += exposed_overhead;
   metrics_.compute_seconds += makespan;
+  if (kind == StageKind::kRecovery) {
+    metrics_.recovery_seconds += exposed_overhead + makespan;
+  }
   metrics_.stages += 1;
   metrics_.tasks += task_seconds.size();
   accountant_.EndStage(stage_name);
+
+  // Stage boundary: armed executor losses fire now. The cluster wipes the
+  // node's local spill (a replacement executor starts with empty disks —
+  // the §5.2 monotonic-growth argument holds per executor incarnation),
+  // then the owning context drops the node's cached partitions and
+  // preserved shuffle map outputs through the loss handler.
+  if (fault_injector_ != nullptr) {
+    const auto completed =
+        static_cast<std::int64_t>(metrics_.stages) - 1;
+    for (const int lost : fault_injector_->TakeNodeFailuresAt(completed)) {
+      const int node =
+          config_.nodes > 0 ? ((lost % config_.nodes) + config_.nodes) %
+                                  config_.nodes
+                            : 0;
+      metrics_.executor_failures += 1;
+      node_storage_used_[static_cast<std::size_t>(node)] = 0;
+      if (node_loss_handler_) node_loss_handler_(node);
+    }
+  }
 }
 
 Status VirtualCluster::ChargeShuffle(

@@ -7,11 +7,13 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
 #include "sparklet/config.h"
+#include "sparklet/fault.h"
 #include "sparklet/memory_accountant.h"
 #include "sparklet/metrics.h"
 
@@ -20,6 +22,14 @@ namespace apspark::sparklet {
 /// Longest-processing-time list scheduling of `task_seconds` onto `machines`
 /// identical machines; returns the makespan. Exposed for testing.
 double ListScheduleMakespan(std::vector<double> task_seconds, int machines);
+
+/// Why a stage runs: normal forward progress, or replay of work a failure
+/// destroyed. Recovery stages advance the clock like any other, and
+/// additionally attribute their time to SimMetrics::recovery_seconds.
+enum class StageKind {
+  kNormal,
+  kRecovery,
+};
 
 class VirtualCluster {
  public:
@@ -47,8 +57,32 @@ class VirtualCluster {
   /// per-task I/O the tasks performed), scheduled onto all cores, plus
   /// per-task launch overhead and fixed stage overhead. Records metrics and
   /// closes the accountant's per-stage memory window under `stage_name`.
+  /// At the stage boundary, armed node-failure plans (see SetFaultHooks)
+  /// fire: the lost node's local spill vanishes and the loss handler drops
+  /// its cached partitions and preserved shuffle outputs.
   void RunStage(const std::vector<double>& task_seconds,
-                const std::string& stage_name = {});
+                const std::string& stage_name = {},
+                StageKind kind = StageKind::kNormal);
+
+  /// Wires fault injection into the stage loop. `injector` supplies armed
+  /// node-failure plans; `on_node_lost` is invoked (after the cluster wipes
+  /// the node's local storage) so the owning context can drop the node's
+  /// cached partitions and preserved shuffle map outputs. Both must outlive
+  /// the cluster; SparkletContext installs them at construction.
+  void SetFaultHooks(FaultInjector* injector,
+                     std::function<void(int)> on_node_lost) {
+    fault_injector_ = injector;
+    node_loss_handler_ = std::move(on_node_lost);
+  }
+
+  /// Recovery attribution for the checkpoint-restart path: marks "progress
+  /// up to here is durable". On a later ChargeRestartRecovery(), everything
+  /// the clock and task counter accumulated past the most recent mark is
+  /// counted as destroyed-and-redone work (recovery_seconds /
+  /// recomputed_tasks). SaveCheckpoint and the solver restart loop call
+  /// these; Reset() clears the mark.
+  void NoteDurableMark();
+  void ChargeRestartRecovery();
 
   /// Charges an all-to-all shuffle write of `bytes_per_partition` map output:
   /// spill lands on each map partition's node (compressed), and the transfer
@@ -83,6 +117,15 @@ class VirtualCluster {
   SimMetrics metrics_;
   MemoryAccountant accountant_;
   std::vector<std::uint64_t> node_storage_used_;
+  FaultInjector* fault_injector_ = nullptr;
+  std::function<void(int)> node_loss_handler_;
+  // Durable-progress mark of the checkpoint-restart recovery attribution
+  // (clock/tasks plus the recovery totals already attributed at the mark,
+  // so in-window replay stages are not double-counted by a restart).
+  double durable_clock_seconds_ = 0;
+  std::uint64_t durable_tasks_ = 0;
+  double durable_recovery_seconds_ = 0;
+  std::uint64_t durable_recomputed_tasks_ = 0;
 };
 
 }  // namespace apspark::sparklet

@@ -50,6 +50,11 @@ struct Args {
   std::string kernel = "tiled";
   std::string ksource_variant = "staged";
   bool no_early_exit = false;
+  /// Injected executor losses: --fail-node N@S (repeatable).
+  std::vector<sparklet::NodeFailurePlan> fail_nodes;
+  double straggler_factor = 1.0;
+  int straggler_every = 8;
+  bool speculate = false;
 };
 
 int Usage() {
@@ -67,10 +72,19 @@ int Usage() {
                "                early-exit sweep (k-source mode)\n"
                "        [--kernel naive|tiled|tiled_parallel]\n"
                "        [--intra-task-cores C]  modelled cores per task\n"
+               "        [--fail-node N@S]  inject loss of executor node N at\n"
+               "                stage S (repeatable; pure solvers recover by\n"
+               "                lineage, impure ones restart from the last\n"
+               "                checkpoint — combine with --checkpoint-every)\n"
+               "        [--straggler-factor F] [--straggler-every K]\n"
+               "                every K-th task runs F x slower\n"
+               "        [--speculate]  speculative re-execution of stragglers\n"
                "  plan  --n N [--cores C] [--fault-tolerant]\n"
                "  model --n N [--cores C] [--solver ...] [--block B]"
                " [--rounds R] [--sources K] [--ksource-variant V]"
-               " [--intra-task-cores C]\n");
+               " [--intra-task-cores C] [--fail-node N@S]\n"
+               "        --sources K with --ksource-variant auto picks the\n"
+               "        cheaper modelled data plane (staged vs shuffle)\n");
   return 2;
 }
 
@@ -144,6 +158,36 @@ bool ParseArgs(int argc, char** argv, Args& args) {
       args.ksource_variant = v;
     } else if (flag == "--no-early-exit") {
       args.no_early_exit = true;
+    } else if (flag == "--fail-node") {
+      const char* v = next();
+      if (!v) return false;
+      const char* at = std::strchr(v, '@');
+      if (at == nullptr) {
+        std::fprintf(stderr, "--fail-node expects NODE@STAGE, got '%s'\n", v);
+        return false;
+      }
+      sparklet::NodeFailurePlan plan;
+      plan.node = std::atoi(v);
+      plan.at_stage = std::atoll(at + 1);
+      args.fail_nodes.push_back(plan);
+    } else if (flag == "--straggler-factor") {
+      const char* v = next();
+      if (!v) return false;
+      args.straggler_factor = std::atof(v);
+      if (args.straggler_factor < 1.0) {
+        std::fprintf(stderr, "--straggler-factor must be >= 1\n");
+        return false;
+      }
+    } else if (flag == "--straggler-every") {
+      const char* v = next();
+      if (!v) return false;
+      args.straggler_every = std::atoi(v);
+      if (args.straggler_every < 1) {
+        std::fprintf(stderr, "--straggler-every must be >= 1\n");
+        return false;
+      }
+    } else if (flag == "--speculate") {
+      args.speculate = true;
     } else if (flag == "--directed") {
       args.directed = true;
     } else if (flag == "--fault-tolerant") {
@@ -190,6 +234,53 @@ Result<apsp::SolverKind> ParseSolver(const std::string& name) {
   return InvalidArgumentError("unknown solver '" + name + "'");
 }
 
+/// Fault-tolerance report: printed whenever the run saw failures, replays,
+/// restarts, or speculation.
+void PrintRecovery(const sparklet::SimMetrics& m) {
+  if (m.executor_failures == 0 && m.recomputed_tasks == 0 &&
+      m.task_retries == 0 && m.job_restarts == 0 && m.speculative_tasks == 0) {
+    return;
+  }
+  std::printf(
+      "recovery: %llu executor losses, %llu recomputed tasks, "
+      "%llu task retries, %llu checkpoint restarts, %llu speculative "
+      "copies, %s of redone work\n",
+      static_cast<unsigned long long>(m.executor_failures),
+      static_cast<unsigned long long>(m.recomputed_tasks),
+      static_cast<unsigned long long>(m.task_retries),
+      static_cast<unsigned long long>(m.job_restarts),
+      static_cast<unsigned long long>(m.speculative_tasks),
+      FormatDuration(m.recovery_seconds).c_str());
+}
+
+/// Resolves --ksource-variant, including the adaptive "auto" choice from
+/// the modelled staged-vs-shuffle cost (apsp/tuner.h).
+Result<apsp::KsourceVariant> ResolveKsourceVariant(
+    const Args& args, std::int64_t n, std::int64_t block_size,
+    const sparklet::ClusterConfig& cluster) {
+  if (args.ksource_variant == "auto") {
+    apsp::KsourceTuneRequest request;
+    request.n = n;
+    request.num_sources = args.sources;
+    request.block_size = block_size;
+    request.cluster = cluster;
+    request.directed = args.directed;
+    request.require_fault_tolerance = args.fault_tolerant;
+    auto chosen = apsp::ChooseKsourceVariant(request);
+    if (chosen.ok()) {
+      std::printf("auto-selected ksource data plane: %s\n",
+                  apsp::KsourceVariantName(*chosen));
+    }
+    return chosen;
+  }
+  const auto variant = apsp::ParseKsourceVariant(args.ksource_variant);
+  if (!variant.has_value()) {
+    return InvalidArgumentError("unknown ksource variant '" +
+                                args.ksource_variant + "'");
+  }
+  return *variant;
+}
+
 int RunSolve(const Args& args) {
   graph::Graph g(0);
   if (!args.input.empty()) {
@@ -230,6 +321,9 @@ int RunSolve(const Args& args) {
   }
   cluster.kernel_variant = *kernel;
   cluster.intra_task_cores = args.intra_task_cores;
+  cluster.straggler_factor = args.straggler_factor;
+  cluster.straggler_every = args.straggler_every;
+  cluster.speculation = args.speculate;
 
   if (args.sources > 0) {
     // Batched k-source mode: rectangular n x K frontier on the kernel
@@ -239,10 +333,12 @@ int RunSolve(const Args& args) {
     kopts.partitioner = options.partitioner;
     kopts.directed = args.directed;
     kopts.early_exit_infinite = !args.no_early_exit;
-    const auto variant = apsp::ParseKsourceVariant(args.ksource_variant);
-    if (!variant.has_value()) {
-      std::fprintf(stderr, "unknown ksource variant '%s'\n",
-                   args.ksource_variant.c_str());
+    kopts.checkpoint_every = args.checkpoint_every;
+    kopts.fail_nodes = args.fail_nodes;
+    const auto variant = ResolveKsourceVariant(
+        args, g.num_vertices(), kopts.block_size, cluster);
+    if (!variant.ok()) {
+      std::fprintf(stderr, "%s\n", variant.status().ToString().c_str());
       return 1;
     }
     kopts.variant = *variant;
@@ -268,6 +364,7 @@ int RunSolve(const Args& args) {
     std::printf("memory: driver high-water %s, node high-water %s\n",
                 FormatBytes(kresult.metrics.driver_peak_bytes).c_str(),
                 FormatBytes(kresult.metrics.node_peak_bytes).c_str());
+    PrintRecovery(kresult.metrics);
     if (!args.output.empty()) {
       if (!WriteDenseBlock(args.output, *kresult.distances)) return 1;
       std::printf("distance panel (n x k) written to %s\n",
@@ -277,9 +374,11 @@ int RunSolve(const Args& args) {
   }
 
   auto solver = apsp::MakeSolver(*kind);
-  std::printf("solving %s with %s (b = %lld)\n", g.Summary().c_str(),
+  options.fail_nodes = args.fail_nodes;
+  std::printf("solving %s with %s (b = %lld%s)\n", g.Summary().c_str(),
               solver->name().c_str(),
-              static_cast<long long>(options.block_size));
+              static_cast<long long>(options.block_size),
+              solver->pure() ? ", pure" : ", impure");
   auto result = solver->SolveGraph(g, options, cluster);
   if (!result.status.ok()) {
     std::fprintf(stderr, "solve failed: %s\n",
@@ -290,6 +389,7 @@ int RunSolve(const Args& args) {
               static_cast<long long>(result.rounds_executed),
               FormatDuration(result.sim_seconds).c_str());
   std::printf("engine: %s\n", result.metrics.Summary().c_str());
+  PrintRecovery(result.metrics);
   if (!args.output.empty()) {
     if (!WriteDenseBlock(args.output, *result.distances)) return 1;
     std::printf("distances written to %s\n", args.output.c_str());
@@ -324,16 +424,21 @@ int RunModel(const Args& args) {
     kopts.max_rounds = args.rounds > 0 ? args.rounds : 1;
     kopts.directed = args.directed;
     kopts.early_exit_infinite = !args.no_early_exit;
-    const auto variant = apsp::ParseKsourceVariant(args.ksource_variant);
-    if (!variant.has_value()) {
-      std::fprintf(stderr, "unknown ksource variant '%s'\n",
-                   args.ksource_variant.c_str());
-      return 1;
-    }
-    kopts.variant = *variant;
+    kopts.checkpoint_every = args.checkpoint_every;
+    kopts.fail_nodes = args.fail_nodes;
     auto cluster = sparklet::ClusterConfig::PaperWithCores(
         args.cores > 4 ? args.cores : 1024);
     cluster.intra_task_cores = args.intra_task_cores;
+    cluster.straggler_factor = args.straggler_factor;
+    cluster.straggler_every = args.straggler_every;
+    cluster.speculation = args.speculate;
+    const auto variant =
+        ResolveKsourceVariant(args, args.n, kopts.block_size, cluster);
+    if (!variant.ok()) {
+      std::fprintf(stderr, "%s\n", variant.status().ToString().c_str());
+      return 1;
+    }
+    kopts.variant = *variant;
     apsp::KsourceBlockedSolver solver;
     auto result =
         solver.SolveModel(args.n, args.sources, kopts, cluster);
@@ -352,6 +457,7 @@ int RunModel(const Args& args) {
     std::printf("memory: driver high-water %s, node high-water %s\n",
                 FormatBytes(result.metrics.driver_peak_bytes).c_str(),
                 FormatBytes(result.metrics.node_peak_bytes).c_str());
+    PrintRecovery(result.metrics);
     return result.status.ok() ? 0 : 1;
   }
   auto kind = ParseSolver(args.solver);
@@ -362,9 +468,14 @@ int RunModel(const Args& args) {
   apsp::ApspOptions options;
   options.block_size = args.block > 0 ? args.block : 1024;
   options.max_rounds = args.rounds > 0 ? args.rounds : 1;
+  options.checkpoint_every = args.checkpoint_every;
+  options.fail_nodes = args.fail_nodes;
   auto cluster = sparklet::ClusterConfig::PaperWithCores(
       args.cores > 4 ? args.cores : 1024);
   cluster.intra_task_cores = args.intra_task_cores;
+  cluster.straggler_factor = args.straggler_factor;
+  cluster.straggler_every = args.straggler_every;
+  cluster.speculation = args.speculate;
   auto solver = apsp::MakeSolver(*kind);
   auto result = solver->SolveModel(args.n, options, cluster);
   std::printf("%s, n = %lld, b = %lld on %s\n", solver->name().c_str(),
@@ -379,6 +490,7 @@ int RunModel(const Args& args) {
               result.projected_storage_exceeded ? "  [would exhaust storage]"
                                                 : "");
   std::printf("engine: %s\n", result.metrics.Summary().c_str());
+  PrintRecovery(result.metrics);
   return 0;
 }
 
