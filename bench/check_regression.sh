@@ -15,18 +15,26 @@
 #                byte count; LOWER is better, the gate fails when the
 #                measured peak exceeds baseline * (1 + tolerance). Guards
 #                the zero-copy data plane against copy regressions.
+#   M = makespan fair-share makespan (fair_makespan_seconds) of the
+#                two-tenant replay under memory headroom — modelled virtual
+#                time, so deterministic; LOWER is better, same rule as
+#                peak. Guards the fair scheduler against packing
+#                regressions.
 #   B = fig2     tracked record: tiled min-plus at b = 1024 from
 #                bench_fig2_kernels / BENCH_kernels.json (default)
 #   B = ksource  tracked record: tiled rect kernel at b = 1024, k = 64 from
 #                bench_ksource / BENCH_ksource.json (gops/speedup), or the
 #                tiled solve on the shuffle data plane (peak)
+#   B = multitenant  tracked record: two-tenant fair-share replay from
+#                bench_multitenant / BENCH_multitenant.json (makespan)
 #
 # Env: APSPARK_BENCH_TOLERANCE  allowed fractional regression (default 0.10)
 set -euo pipefail
 
 if [[ $# -lt 2 ]]; then
   echo "usage: $0 <measured.json> <baseline.json>" \
-       "[--metric gops|speedup|peak] [--bench fig2|ksource]" >&2
+       "[--metric gops|speedup|peak|makespan]" \
+       "[--bench fig2|ksource|multitenant]" >&2
   exit 2
 fi
 measured="$1"
@@ -45,10 +53,19 @@ case "$metric" in
   gops) field="gops" ;;
   speedup) field="speedup_vs_naive" ;;
   peak) field="driver_peak_bytes" ;;
+  makespan) field="fair_makespan_seconds" ;;
   *) echo "unknown metric '$metric'" >&2; exit 2 ;;
 esac
 if [[ "$metric" == "peak" && "$bench" != "ksource" ]]; then
   echo "--metric peak is only tracked for --bench ksource" >&2
+  exit 2
+fi
+if [[ "$metric" == "makespan" && "$bench" != "multitenant" ]]; then
+  echo "--metric makespan is only tracked for --bench multitenant" >&2
+  exit 2
+fi
+if [[ "$bench" == "multitenant" && "$metric" != "makespan" ]]; then
+  echo "--bench multitenant only tracks --metric makespan" >&2
   exit 2
 fi
 case "$bench" in
@@ -59,6 +76,7 @@ case "$bench" in
     else
       what="tiled rect_kernel b=1024 k=64"
     fi ;;
+  multitenant) what="two-tenant fair-share makespan" ;;
   *) echo "unknown bench '$bench'" >&2; exit 2 ;;
 esac
 tolerance="${APSPARK_BENCH_TOLERANCE:-0.10}"
@@ -68,7 +86,12 @@ tolerance="${APSPARK_BENCH_TOLERANCE:-0.10}"
 # tripping set -e inside the command substitution, so the explicit FAIL
 # diagnostic below can fire.
 extract() {
-  if [[ "$bench" == "fig2" ]]; then
+  if [[ "$bench" == "multitenant" ]]; then
+    { grep '"section": "multitenant"' "$1" \
+        | grep -v '"section": "multitenant_tight"' \
+        | grep -oE "\"$field\": [0-9.eE+-]+" \
+        | head -1 | awk '{print $2}'; } || true
+  elif [[ "$bench" == "fig2" ]]; then
     { grep '"kernel": "minplus"' "$1" \
         | grep '"variant": "tiled"' \
         | grep '"b": 1024' \
@@ -100,9 +123,10 @@ fi
 
 echo "$what $metric: measured $measured_value," \
      "baseline $baseline_value, tolerance $tolerance"
-if [[ "$metric" == "peak" ]]; then
+if [[ "$metric" == "peak" || "$metric" == "makespan" ]]; then
   # Lower is better: fail when the measured high water grew beyond the
-  # tolerance (a zero-copy regression re-materializing payloads).
+  # tolerance (a zero-copy regression re-materializing payloads, or a
+  # fair-scheduler packing regression stretching the makespan).
   if awk -v m="$measured_value" -v b="$baseline_value" -v t="$tolerance" \
        'BEGIN { exit !(m <= b * (1 + t)) }'; then
     echo "OK: within tolerance"

@@ -158,6 +158,10 @@ void FoldRecoveryMetrics(const sparklet::SimMetrics& live,
   reported.task_failures = live.task_failures;
   reported.task_retries = live.task_retries;
   reported.speculative_tasks = live.speculative_tasks;
+  reported.rebalance_seconds = live.rebalance_seconds;
+  reported.migrated_partitions = live.migrated_partitions;
+  reported.migration_bytes = live.migration_bytes;
+  reported.node_joins = live.node_joins;
 }
 
 }  // namespace apspark::apsp

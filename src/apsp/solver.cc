@@ -59,6 +59,12 @@ ApspRunResult ApspSolver::Solve(sparklet::SparkletContext& ctx,
   for (const auto& plan : opts.fail_nodes) {
     ctx.fault_injector().FailNode(plan.node, plan.at_stage);
   }
+  for (const auto& plan : opts.fail_racks) {
+    ctx.fault_injector().FailRack(plan.rack, plan.at_stage);
+  }
+  for (const std::int64_t at_stage : opts.add_nodes) {
+    ctx.fault_injector().AddNode(at_stage);
+  }
   // The job start is durable (the input RDD recomputes from stable data):
   // a restart without a checkpoint redoes everything from here, and the
   // recovery accounting measures exactly that.

@@ -52,6 +52,12 @@ struct ApspOptions {
   /// Fault injection: executor losses to arm before the run (fired by the
   /// engine at stage boundaries; see sparklet::FaultInjector::FailNode).
   std::vector<sparklet::NodeFailurePlan> fail_nodes;
+  /// Correlated failures: whole racks lost at a stage boundary (expanded to
+  /// per-node losses by the engine; see sparklet::FaultInjector::FailRack).
+  std::vector<sparklet::RackFailurePlan> fail_racks;
+  /// Elastic membership: replacement nodes joining at these stage
+  /// boundaries (see sparklet::FaultInjector::AddNode).
+  std::vector<std::int64_t> add_nodes;
   /// How many checkpoint restarts an impure solver may attempt after
   /// executor losses before giving up and surfacing DATA_LOSS.
   int max_restarts = 3;

@@ -557,6 +557,12 @@ KsourceResult KsourceBlockedSolver::Solve(
   for (const auto& plan : opts.fail_nodes) {
     ctx.fault_injector().FailNode(plan.node, plan.at_stage);
   }
+  for (const auto& plan : opts.fail_racks) {
+    ctx.fault_injector().FailRack(plan.rack, plan.at_stage);
+  }
+  for (const std::int64_t at_stage : opts.add_nodes) {
+    ctx.fault_injector().AddNode(at_stage);
+  }
   ctx.cluster().NoteDurableMark();
   const StagingKeys keys("ks");
 

@@ -91,6 +91,12 @@ struct KsourceOptions {
   /// Fault injection: executor losses to arm before the sweep (see
   /// sparklet::FaultInjector::FailNode).
   std::vector<sparklet::NodeFailurePlan> fail_nodes;
+  /// Correlated failures: whole racks lost at a stage boundary (see
+  /// sparklet::FaultInjector::FailRack).
+  std::vector<sparklet::RackFailurePlan> fail_racks;
+  /// Elastic membership: replacement nodes joining at these stage
+  /// boundaries (see sparklet::FaultInjector::AddNode).
+  std::vector<std::int64_t> add_nodes;
   /// Checkpoint restarts allowed after executor losses before giving up.
   int max_restarts = 3;
 };

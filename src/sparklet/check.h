@@ -1,0 +1,21 @@
+// Engine invariant checks.
+//
+// SPARKLET_CHECK guards programming-error preconditions inside the engine
+// (a negative partition id reaching the placement map, a malformed move
+// list). Violations throw std::logic_error with the failing expression and
+// source location — loud and testable, unlike the silent wrap-arounds they
+// replace (a negative id fed to `partition % nodes` used to yield a negative
+// node index and walk off every per-node array).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#define SPARKLET_CHECK(cond, msg)                                         \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      throw std::logic_error(std::string("SPARKLET_CHECK failed at ") +   \
+                             __FILE__ + ":" + std::to_string(__LINE__) +  \
+                             ": " #cond " — " + (msg));                   \
+    }                                                                     \
+  } while (false)

@@ -27,8 +27,9 @@ ClusterConfig ClusterConfig::TinyTest() {
 
 std::string ClusterConfig::Summary() const {
   std::ostringstream out;
-  out << nodes << " nodes x " << cores_per_node << " cores, "
-      << FormatBytes(executor_memory_bytes) << " RAM/node, "
+  out << nodes << " nodes x " << cores_per_node << " cores";
+  if (racks > 1) out << " in " << racks << " racks";
+  out << ", " << FormatBytes(executor_memory_bytes) << " RAM/node, "
       << FormatBytes(local_storage_bytes) << " local storage/node, net "
       << FormatRate(network.bandwidth_bytes_per_sec) << ", kernels "
       << linalg::KernelVariantName(kernel_variant);

@@ -33,6 +33,11 @@ struct SharedFsModel {
 struct ClusterConfig {
   int nodes = 32;
   int cores_per_node = 32;
+  /// Failure domains (racks): the initial nodes split into `racks`
+  /// contiguous, balanced blocks, and one FaultInjector::FailRack plan takes
+  /// out a whole block at once — the correlated-failure model. 1 (the
+  /// default) means no correlation structure.
+  int racks = 1;
   std::uint64_t executor_memory_bytes = 180ULL * kGiB;
   /// Local SSD capacity available for shuffle staging, per node.
   std::uint64_t local_storage_bytes = 1ULL * kTiB;

@@ -1,0 +1,70 @@
+// Multi-tenant fair-share scheduling over stage traces.
+//
+// The sparklet engine executes one job at a time in the driver thread —
+// record processing is real, so two jobs cannot interleave their actual
+// compute. Multi-tenancy is therefore modelled where it belongs, in the
+// discrete-event layer: each tenant job first runs SOLO (producing bitwise
+// results and a stage trace — VirtualCluster::EnableStageTrace records every
+// stage's effective task costs, overheads and node-memory demand), then a
+// FairScheduler replays the N traces onto the shared cluster:
+//
+//  * fair sharing  — jobs with a runnable stage split the cluster's task
+//    slots evenly (each gets max(1, slots / active)); a stage's share is
+//    fixed when it starts (Spark's FAIR pools re-weigh at task granularity;
+//    stage granularity is the honest equivalent for a stage-level trace).
+//  * admission     — a stage declares its node-memory demand (the solo
+//    run's per-stage window peak). If starting it would push the tenants'
+//    combined demand past the executor memory budget, the job WAITS until a
+//    running stage finishes (SimMetrics::admission_wait_seconds). A job
+//    that could never fit alone does not deadlock: it is force-admitted and
+//    the overflow spills to local disk (SimMetrics::spilled_bytes), paying
+//    the spill write through the storage-bandwidth model.
+//
+// Everything is deterministic — traces in, virtual seconds out — so the
+// multi-tenant bench gates on exact modelled numbers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sparklet/config.h"
+#include "sparklet/metrics.h"
+#include "sparklet/virtual_cluster.h"
+
+namespace apspark::sparklet {
+
+struct TenantJob {
+  std::string name;
+  std::vector<StageRecord> stages;
+};
+
+struct TenantReport {
+  /// Virtual time until the last tenant finishes.
+  double makespan_seconds = 0;
+  /// Sum of the jobs' solo runtimes at full slot count (the serial
+  /// baseline a fair schedule is judged against).
+  double serial_seconds = 0;
+  double admission_wait_seconds = 0;
+  std::uint64_t spilled_bytes = 0;
+  std::vector<double> job_finish_seconds;
+  std::vector<double> job_admission_wait_seconds;
+  /// Smallest slot share each job ran any stage with.
+  std::vector<int> job_min_slots;
+};
+
+class FairScheduler {
+ public:
+  explicit FairScheduler(ClusterConfig config) : config_(config) {}
+
+  /// Replays `jobs` concurrently under fair sharing + memory admission.
+  /// When `metrics` is given, admission waits and spilled bytes fold into
+  /// it (the bench surfaces them through SimMetrics::Summary).
+  TenantReport Run(const std::vector<TenantJob>& jobs,
+                   SimMetrics* metrics = nullptr) const;
+
+ private:
+  ClusterConfig config_;
+};
+
+}  // namespace apspark::sparklet

@@ -44,6 +44,12 @@ class MemoryAccountant {
   /// reset the clock after free RDD population, not the residency).
   void ResetPeaks();
 
+  /// A fresh executor joined (elastic membership): extends the per-node live
+  /// set with an empty entry so the new id is tracked first-class instead of
+  /// wrapping onto an existing node's ledger.
+  void AddNode() { node_live_.push_back(0); }
+  int num_nodes() const noexcept { return static_cast<int>(node_live_.size()); }
+
   // -- driver ------------------------------------------------------------
   void ChargeDriver(std::uint64_t bytes);
   void ReleaseDriver(std::uint64_t bytes);
@@ -71,6 +77,12 @@ class MemoryAccountant {
   std::uint64_t node_live_bytes(int node) const;
   /// Max over nodes of each node's high water.
   std::uint64_t node_peak_bytes() const noexcept { return node_peak_; }
+  /// The still-open stage window's node peak (EndStage closes and resets
+  /// it). The stage-trace recorder reads this to tag each stage with its
+  /// memory demand for multi-tenant admission control.
+  std::uint64_t window_node_peak_bytes() const noexcept {
+    return window_node_peak_;
+  }
   const std::vector<StagePeak>& stage_peaks() const noexcept {
     return stage_peaks_;
   }

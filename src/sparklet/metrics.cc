@@ -28,6 +28,12 @@ SimMetrics& SimMetrics::operator+=(const SimMetrics& other) noexcept {
   executor_failures += other.executor_failures;
   job_restarts += other.job_restarts;
   speculative_tasks += other.speculative_tasks;
+  rebalance_seconds += other.rebalance_seconds;
+  migrated_partitions += other.migrated_partitions;
+  migration_bytes += other.migration_bytes;
+  node_joins += other.node_joins;
+  admission_wait_seconds += other.admission_wait_seconds;
+  spilled_bytes += other.spilled_bytes;
   local_storage_peak_bytes =
       std::max(local_storage_peak_bytes, other.local_storage_peak_bytes);
   driver_peak_bytes = std::max(driver_peak_bytes, other.driver_peak_bytes);
@@ -56,6 +62,16 @@ std::string SimMetrics::Summary() const {
         << " restarts=" << job_restarts
         << " speculative=" << speculative_tasks << " redone="
         << FormatDuration(recovery_seconds) << "]";
+  }
+  if (migrated_partitions > 0 || node_joins > 0) {
+    out << " rebalance[moved=" << migrated_partitions
+        << " bytes=" << FormatBytes(migration_bytes)
+        << " joins=" << node_joins
+        << " time=" << FormatDuration(rebalance_seconds) << "]";
+  }
+  if (admission_wait_seconds > 0 || spilled_bytes > 0) {
+    out << " tenancy[admission-wait=" << FormatDuration(admission_wait_seconds)
+        << " spilled=" << FormatBytes(spilled_bytes) << "]";
   }
   return out.str();
 }

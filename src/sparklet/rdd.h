@@ -73,6 +73,11 @@ class RddBase {
   /// them lost-by-failure so their recomputation is attributed to recovery).
   /// Returns how many partitions were dropped.
   virtual int DropNodePartitions(int node) = 0;
+  /// Elastic join rebalance: cached partitions whose slot moved travel to
+  /// the new owner (accountant release on the donor, charge on the
+  /// newcomer). Returns the bytes that moved.
+  virtual std::uint64_t MigratePartitions(
+      const std::vector<BlockManager::Move>& moves) = 0;
 };
 
 template <typename T>
@@ -155,6 +160,10 @@ class Rdd final : public RddBase, public std::enable_shared_from_this<Rdd<T>> {
   /// Executor loss (see RddBase): drops cached partitions hosted on `node`.
   int DropNodePartitions(int node) override;
 
+  /// Join rebalance (see RddBase): moves cached partitions with their slot.
+  std::uint64_t MigratePartitions(
+      const std::vector<BlockManager::Move>& moves) override;
+
   // -- actions -----------------------------------------------------------
   /// Gathers every record on the driver (charges network + driver deserde).
   Partition Collect();
@@ -196,6 +205,11 @@ class Rdd final : public RddBase, public std::enable_shared_from_this<Rdd<T>> {
   std::vector<std::optional<Partition>> store_;
   /// Bytes charged to the accountant per cached partition (0 = uncharged).
   std::vector<std::uint64_t> store_bytes_;
+  /// Node each cached partition's bytes were charged to (-1 = uncharged).
+  /// Releases always use this record: with elastic membership the placement
+  /// map can change between charge and release, and recomputing the owner
+  /// at release time would corrupt the accountant's per-node ledger.
+  std::vector<int> store_node_;
   /// Partitions whose cached copy an executor failure destroyed: their
   /// recomputation counts into recovery_seconds / recomputed_tasks.
   std::vector<bool> lost_by_failure_;
@@ -222,11 +236,15 @@ class SparkletContext {
     // stamping it here keeps every ChargeCompute site and the stage slot
     // count (VirtualCluster::RunStage) consistent by construction.
     cost_model_.intra_task_cores = config.intra_task_cores;
-    // Executor-loss plans fire at stage boundaries inside the cluster; the
+    // Membership plans fire at stage boundaries inside the cluster; the
     // context owns the state a loss destroys (cached partitions, preserved
-    // shuffle outputs), so it handles the drop.
-    cluster_.SetFaultHooks(&fault_injector_,
-                           [this](int node) { HandleNodeLost(node); });
+    // shuffle outputs) and the state a join rebalance migrates, so it
+    // handles both sides.
+    cluster_.SetFaultHooks(
+        &fault_injector_, [this](int node) { HandleNodeLost(node); },
+        [this](const std::vector<BlockManager::Move>& moves) {
+          return HandleMembershipMigrate(moves);
+        });
   }
 
   VirtualCluster& cluster() noexcept { return cluster_; }
@@ -319,6 +337,25 @@ class SparkletContext {
     shuffles_.resize(keep);
   }
 
+  /// An elastic join stole partition slots from the survivors: resident
+  /// cached partitions and preserved shuffle outputs travel with their slot
+  /// to the newcomer. Returns the bytes that moved; the cluster charges the
+  /// transfer through the network model.
+  std::uint64_t HandleMembershipMigrate(
+      const std::vector<BlockManager::Move>& moves) {
+    std::uint64_t bytes = 0;
+    for (RddBase* rdd : live_rdds_) bytes += rdd->MigratePartitions(moves);
+    std::size_t keep = 0;
+    for (auto& weak : shuffles_) {
+      auto state = weak.lock();
+      if (!state) continue;
+      bytes += state->MigratePartitions(moves);
+      shuffles_[keep++] = std::move(weak);
+    }
+    shuffles_.resize(keep);
+    return bytes;
+  }
+
   /// Replays lost map outputs of one shuffle before its preserved buckets
   /// are read again. Pure map sides re-execute (a recovery stage charging
   /// the recorded task costs, re-spilling to the replacement executors);
@@ -402,6 +439,7 @@ Rdd<T>::Rdd(SparkletContext* ctx, std::string name, int num_partitions,
       cache_(cache),
       store_(static_cast<std::size_t>(num_partitions)),
       store_bytes_(static_cast<std::size_t>(num_partitions), 0),
+      store_node_(static_cast<std::size_t>(num_partitions), -1),
       lost_by_failure_(static_cast<std::size_t>(num_partitions), false) {
   boundary_deps_ = internal::CollectBoundaries(parents_);
   ctx_->RegisterRdd(this);
@@ -420,17 +458,19 @@ void Rdd<T>::ChargeCached(int partition) {
   std::uint64_t bytes = 0;
   for (const T& record : *store_[p]) bytes += SerializedSizeOf(record);
   store_bytes_[p] = bytes;
-  ctx_->cluster().accountant().ChargeNode(
-      ctx_->cluster().NodeOfPartition(partition), bytes);
+  // Record the owner the charge lands on: the release below must hit the
+  // same ledger even if a membership rebalance re-homes the slot meanwhile.
+  store_node_[p] = ctx_->cluster().NodeOfPartition(partition);
+  ctx_->cluster().accountant().ChargeNode(store_node_[p], bytes);
 }
 
 template <typename T>
 void Rdd<T>::ReleaseCached(int partition) {
   const auto p = static_cast<std::size_t>(partition);
   if (store_bytes_[p] == 0) return;
-  ctx_->cluster().accountant().ReleaseNode(
-      ctx_->cluster().NodeOfPartition(partition), store_bytes_[p]);
+  ctx_->cluster().accountant().ReleaseNode(store_node_[p], store_bytes_[p]);
   store_bytes_[p] = 0;
+  store_node_[p] = -1;
 }
 
 template <typename T>
@@ -651,6 +691,7 @@ RddPtr<T> Rdd<T>::Persist() {
   if (store_.empty() && num_partitions_ > 0) {
     store_.resize(static_cast<std::size_t>(num_partitions_));
     store_bytes_.resize(static_cast<std::size_t>(num_partitions_), 0);
+    store_node_.resize(static_cast<std::size_t>(num_partitions_), -1);
     lost_by_failure_.resize(static_cast<std::size_t>(num_partitions_), false);
   }
   return this->shared_from_this();
@@ -679,7 +720,10 @@ int Rdd<T>::DropNodePartitions(int node) {
   for (int p = 0; p < num_partitions_; ++p) {
     const auto idx = static_cast<std::size_t>(p);
     if (idx >= store_.size() || !store_[idx]) continue;
-    if (ctx_->cluster().NodeOfPartition(p) != node) continue;
+    // Match against the *recorded* host: the placement map has already
+    // rebalanced the dead node's slots to survivors by the time this runs,
+    // so recomputing placement here would miss everything the node held.
+    if (store_node_[idx] != node) continue;
     lost_by_failure_[idx] = true;
     ReleaseCached(p);
     store_[idx].reset();
@@ -687,6 +731,30 @@ int Rdd<T>::DropNodePartitions(int node) {
     ++dropped;
   }
   return dropped;
+}
+
+template <typename T>
+std::uint64_t Rdd<T>::MigratePartitions(
+    const std::vector<BlockManager::Move>& moves) {
+  if (!cache_) return 0;
+  std::uint64_t moved = 0;
+  for (const auto& move : moves) {
+    if (move.partition < 0 ||
+        move.partition >= static_cast<std::int64_t>(store_.size())) {
+      continue;
+    }
+    const auto idx = static_cast<std::size_t>(move.partition);
+    if (!store_[idx] || store_bytes_[idx] == 0 ||
+        store_node_[idx] != move.from) {
+      continue;
+    }
+    const std::uint64_t bytes = store_bytes_[idx];
+    ctx_->cluster().accountant().ReleaseNode(move.from, bytes);
+    ctx_->cluster().accountant().ChargeNode(move.to, bytes);
+    store_node_[idx] = move.to;
+    moved += bytes;
+  }
+  return moved;
 }
 
 template <typename T>
@@ -932,7 +1000,7 @@ ShuffleOutput<K, C> ShuffleMapSide(Rdd<std::pair<K, V>>& parent,
           std::move(buckets));
   out.map_state = std::make_shared<ShuffleMapState>(
       op_name, costs, std::move(spill_bytes), map_side_impure,
-      ctx->config().nodes, &ctx->cluster().accountant());
+      &ctx->cluster(), &ctx->cluster().accountant());
   ctx->RegisterShuffle(out.map_state);
   Status status =
       ctx->cluster().ChargeShuffle(out.map_state->spill_bytes());

@@ -15,8 +15,13 @@
 // The preserved buckets are also accounted as executor block-manager memory:
 // each map partition's serialized output bytes are charged to its node in
 // the MemoryAccountant when the shuffle runs, released when the node dies or
-// the shuffle is dropped, and re-charged when lost outputs are replayed —
-// so node_peak_bytes stays honest under failure.
+// the shuffle is dropped, and re-charged when lost outputs are replayed.
+// With elastic membership the home of a partition can CHANGE between charge
+// and release (a rebalance moved the slot), so the state records the node
+// each partition's bytes live on and always releases from that recorded
+// node — recomputing placement at release time would corrupt the ledger.
+// Replayed outputs re-home to the placement map's current owner; join
+// rebalances migrate resident outputs through MigratePartitions.
 #pragma once
 
 #include <cstdint>
@@ -24,27 +29,34 @@
 #include <vector>
 
 #include "sparklet/memory_accountant.h"
+#include "sparklet/virtual_cluster.h"
 
 namespace apspark::sparklet {
 
 class ShuffleMapState {
  public:
-  /// `accountant` must outlive this state (it is owned by the context's
-  /// VirtualCluster, and contexts outlive their RDDs — the same lifetime
+  /// `cluster` and `accountant` must outlive this state (both are owned by
+  /// the context, and contexts outlive their RDDs — the same lifetime
   /// contract Rdd's destructor relies on).
   ShuffleMapState(std::string op_name, std::vector<double> task_costs,
                   std::vector<std::uint64_t> spill_bytes, bool map_side_impure,
-                  int nodes, MemoryAccountant* accountant)
+                  const VirtualCluster* cluster, MemoryAccountant* accountant)
       : op_name_(std::move(op_name)),
         task_costs_(std::move(task_costs)),
         spill_bytes_(std::move(spill_bytes)),
         lost_(task_costs_.size(), false),
         charged_(task_costs_.size(), false),
         loss_epoch_(task_costs_.size(), 0),
+        node_(task_costs_.size(), 0),
         map_side_impure_(map_side_impure),
-        nodes_(nodes < 1 ? 1 : nodes),
+        cluster_(cluster),
         accountant_(accountant) {
-    for (std::size_t p = 0; p < spill_bytes_.size(); ++p) Charge(p);
+    for (std::size_t p = 0; p < spill_bytes_.size(); ++p) {
+      node_[p] = cluster_ != nullptr
+                     ? cluster_->NodeOfPartition(static_cast<std::int64_t>(p))
+                     : 0;
+      Charge(p);
+    }
   }
 
   ~ShuffleMapState() {
@@ -58,8 +70,10 @@ class ShuffleMapState {
   int num_map_partitions() const noexcept {
     return static_cast<int>(task_costs_.size());
   }
+  /// Current home of map partition `p`'s preserved output (recorded at
+  /// write/replay time; a later rebalance of the slot migrates it).
   int NodeOfMapPartition(std::int64_t p) const noexcept {
-    return static_cast<int>(p % nodes_);
+    return node_[static_cast<std::size_t>(p)];
   }
   bool map_side_impure() const noexcept { return map_side_impure_; }
   int retry_attempts() const noexcept { return retry_attempts_; }
@@ -76,7 +90,7 @@ class ShuffleMapState {
   int MarkNodeLost(int node) {
     int newly_lost = 0;
     for (std::size_t p = 0; p < lost_.size(); ++p) {
-      if (NodeOfMapPartition(static_cast<std::int64_t>(p)) != node) continue;
+      if (node_[p] != node) continue;
       if (!lost_[p]) {
         lost_[p] = true;
         ++newly_lost;
@@ -85,6 +99,30 @@ class ShuffleMapState {
       Release(p);
     }
     return newly_lost;
+  }
+
+  /// A join rebalance handed some slots to the newcomer: resident preserved
+  /// outputs travel with their slot (release on the donor, charge on the
+  /// new owner). Returns the bytes that actually moved — lost/uncharged
+  /// partitions re-home for free.
+  std::uint64_t MigratePartitions(const std::vector<BlockManager::Move>& moves) {
+    std::uint64_t moved = 0;
+    for (const auto& move : moves) {
+      if (move.partition < 0 ||
+          move.partition >= static_cast<std::int64_t>(node_.size())) {
+        continue;
+      }
+      const auto p = static_cast<std::size_t>(move.partition);
+      if (node_[p] != move.from) continue;
+      const bool resident = charged_[p];
+      Release(p);
+      node_[p] = move.to;
+      if (resident) {
+        Charge(p);
+        moved += spill_bytes_[p];
+      }
+    }
+    return moved;
   }
 
   bool any_lost() const noexcept {
@@ -134,15 +172,20 @@ class ShuffleMapState {
     return bytes;
   }
 
-  /// The replay of `plan` ran: those outputs exist again on the
-  /// (replacement) executors — unless a further loss fired at the replay
-  /// stage's own boundary and destroyed them again (the epoch moved), in
-  /// which case they stay lost for the next replay round.
+  /// The replay of `plan` ran: those outputs exist again — on the slots'
+  /// *current* owners per the rebalanced placement map — unless a further
+  /// loss fired at the replay stage's own boundary and destroyed them again
+  /// (the epoch moved), in which case they stay lost for the next replay
+  /// round.
   void MarkRecovered(const ReplayPlan& plan) {
     for (std::size_t i = 0; i < plan.indices.size(); ++i) {
       const auto idx = static_cast<std::size_t>(plan.indices[i]);
       if (!lost_[idx] || loss_epoch_[idx] != plan.epochs[i]) continue;
       lost_[idx] = false;
+      if (cluster_ != nullptr) {
+        node_[idx] =
+            cluster_->NodeOfPartition(static_cast<std::int64_t>(idx));
+      }
       Charge(idx);
     }
     ++retry_attempts_;
@@ -151,14 +194,12 @@ class ShuffleMapState {
  private:
   void Charge(std::size_t p) {
     if (charged_[p] || accountant_ == nullptr || spill_bytes_[p] == 0) return;
-    accountant_->ChargeNode(NodeOfMapPartition(static_cast<std::int64_t>(p)),
-                            spill_bytes_[p]);
+    accountant_->ChargeNode(node_[p], spill_bytes_[p]);
     charged_[p] = true;
   }
   void Release(std::size_t p) {
     if (!charged_[p] || accountant_ == nullptr) return;
-    accountant_->ReleaseNode(NodeOfMapPartition(static_cast<std::int64_t>(p)),
-                             spill_bytes_[p]);
+    accountant_->ReleaseNode(node_[p], spill_bytes_[p]);
     charged_[p] = false;
   }
 
@@ -168,8 +209,10 @@ class ShuffleMapState {
   std::vector<bool> lost_;
   std::vector<bool> charged_;
   std::vector<std::uint64_t> loss_epoch_;
+  /// Home of each map partition's preserved output (charge/release target).
+  std::vector<int> node_;
   bool map_side_impure_ = false;
-  int nodes_ = 1;
+  const VirtualCluster* cluster_ = nullptr;
   int retry_attempts_ = 0;
   MemoryAccountant* accountant_ = nullptr;
 };

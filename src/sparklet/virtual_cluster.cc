@@ -17,6 +17,7 @@ double ListScheduleMakespan(std::vector<double> task_seconds, int machines) {
 VirtualCluster::VirtualCluster(ClusterConfig config)
     : config_(config),
       accountant_(config.nodes, &metrics_),
+      placement_(config.nodes, config.racks),
       node_storage_used_(static_cast<std::size_t>(config_.nodes), 0) {}
 
 void VirtualCluster::Reset() {
@@ -30,6 +31,8 @@ void VirtualCluster::Reset() {
   durable_tasks_ = 0;
   durable_recovery_seconds_ = 0;
   durable_recomputed_tasks_ = 0;
+  stage_trace_.clear();
+  trace_last_clock_ = 0;
 }
 
 void VirtualCluster::NoteDurableMark() {
@@ -114,18 +117,37 @@ void VirtualCluster::RunStage(const std::vector<double>& task_seconds,
       }
     }
   }
+  // Inter-stage clock (shuffle transfers, collects, broadcasts) accrued
+  // since the previous stage folds into that stage's trace record: the
+  // multi-tenant replay treats it as slot-independent serial time.
+  if (trace_enabled_ && !stage_trace_.empty()) {
+    stage_trace_.back().interstage_seconds +=
+        std::max(0.0, clock_seconds_ - trace_last_clock_);
+  }
   // Executors run one task per *slot*: with intra-task parallelism enabled
   // (ClusterConfig::intra_task_cores > 1) each task occupies that many cores
   // of its executor, so fewer tasks run concurrently — the per-task charges
   // shrink (the cost model's intra-task makespan), the slot count shrinks to
-  // match, and modelled time stays honest.
+  // match, and modelled time stays honest. Dead nodes contribute no slots;
+  // joined nodes contribute theirs (identical to the static count while
+  // membership is unchanged).
+  const double launch =
+      config_.task_overhead_seconds * static_cast<double>(task_seconds.size());
+  if (trace_enabled_) {
+    StageRecord record;
+    record.name = stage_name;
+    record.kind = kind;
+    record.task_seconds = jittered;
+    record.launch_seconds = launch;
+    record.stage_overhead_seconds = config_.stage_overhead_seconds;
+    record.node_peak_bytes = accountant_.window_node_peak_bytes();
+    stage_trace_.push_back(std::move(record));
+  }
   const double makespan =
-      ListScheduleMakespan(std::move(jittered), config_.concurrent_task_slots());
+      ListScheduleMakespan(std::move(jittered), live_task_slots());
   // Task launch overhead is driver-side but overlaps executor compute
   // (Spark dispatches the next wave while the current one runs), so a stage
   // costs whichever dominates: the dispatch loop or the parallel compute.
-  const double launch =
-      config_.task_overhead_seconds * static_cast<double>(task_seconds.size());
   const double exposed_overhead =
       config_.stage_overhead_seconds + std::max(0.0, launch - makespan);
   clock_seconds_ += exposed_overhead + makespan;
@@ -137,25 +159,68 @@ void VirtualCluster::RunStage(const std::vector<double>& task_seconds,
   metrics_.stages += 1;
   metrics_.tasks += task_seconds.size();
   accountant_.EndStage(stage_name);
+  trace_last_clock_ = clock_seconds_;
 
-  // Stage boundary: armed executor losses fire now. The cluster wipes the
-  // node's local spill (a replacement executor starts with empty disks —
-  // the §5.2 monotonic-growth argument holds per executor incarnation),
-  // then the owning context drops the node's cached partitions and
-  // preserved shuffle map outputs through the loss handler.
+  // Stage boundary: armed membership plans fire now — rack losses, node
+  // losses, elastic joins. A lost node's local spill vanishes (a
+  // replacement executor starts with empty disks — the §5.2
+  // monotonic-growth argument holds per executor incarnation), its
+  // partition slots rebalance onto the survivors, and the owning context
+  // drops its cached partitions and preserved shuffle map outputs through
+  // the loss handler.
   if (fault_injector_ != nullptr) {
-    const auto completed =
-        static_cast<std::int64_t>(metrics_.stages) - 1;
-    for (const int lost : fault_injector_->TakeNodeFailuresAt(completed)) {
-      const int node =
-          config_.nodes > 0 ? ((lost % config_.nodes) + config_.nodes) %
-                                  config_.nodes
-                            : 0;
-      metrics_.executor_failures += 1;
-      node_storage_used_[static_cast<std::size_t>(node)] = 0;
-      if (node_loss_handler_) node_loss_handler_(node);
+    FireMembershipEvents(static_cast<std::int64_t>(metrics_.stages) - 1);
+  }
+}
+
+void VirtualCluster::FireMembershipEvents(std::int64_t completed_stage) {
+  // Correlated failures first: a rack plan expands to the rack's live
+  // membership at fire time.
+  for (const int rack : fault_injector_->TakeRackFailuresAt(completed_stage)) {
+    for (const int node : placement_.LiveNodesInRack(rack)) LoseNode(node);
+  }
+  for (const int node : fault_injector_->TakeNodeFailuresAt(completed_stage)) {
+    LoseNode(node);
+  }
+  const int joins = fault_injector_->TakeNodeJoinsAt(completed_stage);
+  for (int j = 0; j < joins; ++j) {
+    const BlockManager::JoinResult join = placement_.AddNode();
+    accountant_.AddNode();
+    node_storage_used_.push_back(0);
+    metrics_.node_joins += 1;
+    metrics_.migrated_partitions += join.moves.size();
+    // Stolen slots carry their resident data to the newcomer: the context
+    // moves the MemoryAccountant charges and reports the bytes that
+    // actually travelled, which we push through the network model (all
+    // transfers head to one fresh node — its single NIC is the bottleneck).
+    const std::uint64_t bytes =
+        migrate_handler_ ? migrate_handler_(join.moves) : 0;
+    if (bytes > 0 || !join.moves.empty()) {
+      const double time =
+          static_cast<double>(bytes) / config_.network.bandwidth_bytes_per_sec +
+          config_.network.latency_seconds *
+              static_cast<double>(join.moves.size());
+      clock_seconds_ += time;
+      metrics_.rebalance_seconds += time;
+      metrics_.migration_bytes += bytes;
     }
   }
+}
+
+void VirtualCluster::LoseNode(int node) {
+  // Plans aimed at unknown or already-dead nodes are no-ops (a chaos
+  // schedule may kill the same node twice); the last live node is never
+  // killed — the engine models an elastic cluster, not a dead one.
+  if (!placement_.alive(node) || placement_.live_nodes() <= 1) return;
+  metrics_.executor_failures += 1;
+  if (static_cast<std::size_t>(node) < node_storage_used_.size()) {
+    node_storage_used_[static_cast<std::size_t>(node)] = 0;
+  }
+  // Rebalance BEFORE the loss handler runs: recovery recomputes the lost
+  // partitions on their new owners, so placement must already point there.
+  // The moves carry no bytes — the data died with the node.
+  metrics_.migrated_partitions += placement_.RemoveNode(node).size();
+  if (node_loss_handler_) node_loss_handler_(node);
 }
 
 Status VirtualCluster::ChargeShuffle(
@@ -175,8 +240,11 @@ Status VirtualCluster::ChargeShuffle(
 
   // Transfer: on average (nodes-1)/nodes of the data crosses the network
   // in compressed form; all NICs move data concurrently, so effective
-  // bandwidth is nodes * per-node bandwidth.
-  const double nodes = static_cast<double>(config_.nodes);
+  // bandwidth is nodes * per-node bandwidth. Only live nodes have NICs:
+  // after a loss the survivors shoulder the transfer, after a join the
+  // newcomer helps — identical to the static count while membership is
+  // unchanged.
+  const double nodes = static_cast<double>(placement_.live_nodes());
   const double cross_fraction = nodes > 1 ? (nodes - 1.0) / nodes : 0.0;
   const double wire_bytes = static_cast<double>(total) * cross_fraction *
                             config_.shuffle_compression;
@@ -187,7 +255,8 @@ Status VirtualCluster::ChargeShuffle(
   clock_seconds_ += time;
   metrics_.shuffle_seconds += time;
 
-  for (int node = 0; node < config_.nodes; ++node) {
+  const int known_nodes = static_cast<int>(node_storage_used_.size());
+  for (int node = 0; node < known_nodes; ++node) {
     if (node_storage_used_[static_cast<std::size_t>(node)] >
         config_.local_storage_bytes) {
       std::ostringstream msg;
@@ -218,8 +287,8 @@ void VirtualCluster::ChargeCollect(std::uint64_t bytes,
 void VirtualCluster::ChargeBroadcast(std::uint64_t bytes) {
   // The broadcast source lives on the driver while the torrent runs.
   accountant_.TouchDriver(bytes);
-  const double rounds =
-      std::max(1.0, std::ceil(std::log2(std::max(2, config_.nodes))));
+  const double rounds = std::max(
+      1.0, std::ceil(std::log2(std::max(2, placement_.live_nodes()))));
   const double time = rounds * (static_cast<double>(bytes) /
                                     config_.network.bandwidth_bytes_per_sec +
                                 config_.network.latency_seconds);

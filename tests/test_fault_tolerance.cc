@@ -139,13 +139,23 @@ TEST(NodeLoss, DropsCachedPartitionsAndRecomputesThroughLineage) {
   EXPECT_EQ(ctx.metrics().executor_failures, 1u);
   EXPECT_EQ(ctx.cluster().accountant().node_live_bytes(1), 0u);
   EXPECT_EQ(ctx.cluster().LocalStorageUsed(1), 0u);
+  // Elastic membership: the dead node leaves the cluster for good and its
+  // slots rebalance onto the survivor.
+  EXPECT_FALSE(ctx.cluster().placement().alive(1));
+  EXPECT_EQ(ctx.cluster().live_nodes(), 1);
+  EXPECT_EQ(ctx.metrics().migrated_partitions, 2u);  // slots 1 and 3 moved
 
   const auto after = rdd->Collect();
   EXPECT_EQ(before, after);
   EXPECT_GE(ctx.metrics().recomputed_tasks, 2u);  // partitions 1 and 3
   EXPECT_GT(ctx.metrics().recovery_seconds, 0.0);
-  // Recomputed and re-cached: the bytes are accounted to the node again.
-  EXPECT_GT(ctx.cluster().accountant().node_live_bytes(1), 0u);
+  // Recomputed and re-cached on the surviving node: no partition maps to
+  // the dead node afterwards, and the dead node's ledger stays empty.
+  EXPECT_EQ(ctx.cluster().accountant().node_live_bytes(1), 0u);
+  EXPECT_GT(ctx.cluster().accountant().node_live_bytes(0), 0u);
+  for (std::int64_t p = 0; p < 4; ++p) {
+    EXPECT_EQ(ctx.cluster().NodeOfPartition(p), 0) << "partition " << p;
+  }
 }
 
 TEST(NodeLoss, LostMapOutputsReplayBeforeReduceRecompute) {
@@ -178,8 +188,17 @@ TEST(NodeLoss, LostMapOutputsReplayBeforeReduceRecompute) {
   EXPECT_GT(ctx.metrics().recovery_seconds, 0.0);
 }
 
-TEST(NodeLoss, SameNodeLossAtReplayBoundaryForcesSecondReplay) {
-  SparkletContext ctx(TestCluster());
+TEST(NodeLoss, LossAtReplayBoundaryForcesSecondReplay) {
+  // Elastic membership makes a dead node stay dead, so the mid-recovery
+  // second hit comes from a DIFFERENT node: node 0 dies at the next
+  // boundary, node 1 at the boundary right after — which is the replay
+  // stage itself. The second loss destroys outputs the first replay just
+  // rebuilt (the slots had rebalanced onto node 1); they must stay lost
+  // (loss epochs) and a second replay round must run before the reduce
+  // side reads the files.
+  auto cfg = TestCluster();
+  cfg.nodes = 3;
+  SparkletContext ctx(cfg);
   std::vector<IntPair> data;
   for (std::int64_t i = 0; i < 60; ++i) data.push_back({i, i * 5});
   auto shuffled =
@@ -188,14 +207,9 @@ TEST(NodeLoss, SameNodeLossAtReplayBoundaryForcesSecondReplay) {
   shuffled->EnsureMaterialized();
   auto before = shuffled->Collect();
 
-  // First loss at the next boundary; second loss of the SAME node at the
-  // boundary right after — which is the replay stage itself. The second
-  // loss destroys the freshly replayed outputs; they must stay lost (loss
-  // epochs) and a second replay round must run before the reduce side
-  // reads the files.
   const auto s = static_cast<std::int64_t>(ctx.metrics().stages);
   ctx.fault_injector().FailNode(0, s);
-  ctx.fault_injector().FailNode(0, s + 1);
+  ctx.fault_injector().FailNode(1, s + 1);
   ctx.cluster().RunStage({0.0}, "tick");
   ASSERT_EQ(ctx.metrics().executor_failures, 1u);
 
@@ -206,9 +220,40 @@ TEST(NodeLoss, SameNodeLossAtReplayBoundaryForcesSecondReplay) {
   };
   EXPECT_EQ(key_sorted(before), key_sorted(after));
   EXPECT_EQ(ctx.metrics().executor_failures, 2u);
-  // Two map partitions live on node 0; each of the two replay rounds
-  // re-executes them, plus the dropped reduce partitions recompute.
+  // Node 0 held map partitions 0 and 3; the second loss re-destroys the
+  // rebalanced replays plus node 1's own partition, so at least two replay
+  // rounds run, and the dropped reduce partitions recompute on top.
   EXPECT_GE(ctx.metrics().recomputed_tasks, 4u);
+  // Everything ends on the sole survivor.
+  EXPECT_EQ(ctx.cluster().live_nodes(), 1);
+  for (std::int64_t p = 0; p < 4; ++p) {
+    EXPECT_EQ(ctx.cluster().NodeOfPartition(p), 2) << "partition " << p;
+  }
+}
+
+TEST(NodeLoss, BackToBackSameNodeLossesSecondIsNoOp) {
+  // Elastic membership: a node dies once. A second plan for the same node
+  // at the very next boundary finds it already dead and must be a no-op —
+  // no double-counted failure, no double rebalance.
+  auto cfg = TestCluster();
+  cfg.nodes = 3;
+  SparkletContext ctx(cfg);
+  auto rdd = ctx.Parallelize("data", Iota(30), 6)->Persist();
+  rdd->EnsureMaterialized();
+  const auto before = rdd->Collect();
+
+  const auto s = static_cast<std::int64_t>(ctx.metrics().stages);
+  ctx.fault_injector().FailNode(1, s);
+  ctx.fault_injector().FailNode(1, s + 1);
+  ctx.cluster().RunStage({0.0}, "tick");
+  EXPECT_EQ(ctx.metrics().executor_failures, 1u);
+  const auto moved_once = ctx.metrics().migrated_partitions;
+  ctx.cluster().RunStage({0.0}, "tick");  // second plan fires into a corpse
+  EXPECT_EQ(ctx.metrics().executor_failures, 1u);
+  EXPECT_EQ(ctx.metrics().migrated_partitions, moved_once);
+  EXPECT_EQ(ctx.cluster().live_nodes(), 2);
+
+  EXPECT_EQ(rdd->Collect(), before);
 }
 
 TEST(NodeLoss, ImpureMapSideAbortsWithDataLoss) {
@@ -341,6 +386,29 @@ TEST(Stragglers, SpeculationBoundsHardStragglerTail) {
   EXPECT_DOUBLE_EQ(again.now_seconds(), speculating.now_seconds());
 }
 
+TEST(Stragglers, SpeculationAppliesToRecoveryStages) {
+  // Speculative re-execution is not reserved for normal stages: a lineage
+  // replay is a stage like any other, and a hard straggler in it stretches
+  // exactly the window where the job is already degraded. The same
+  // configuration must bound the recovery stage's tail too.
+  auto cfg = ClusterConfig::TinyTest();
+  cfg.straggler_spread = 0.0;
+  cfg.straggler_factor = 20.0;
+  cfg.straggler_every = 4;
+  const std::vector<double> replay(16, 1.0);
+
+  sparklet::VirtualCluster plain(cfg);
+  plain.RunStage(replay, "recover", StageKind::kRecovery);
+
+  cfg.speculation = true;
+  cfg.speculation_multiplier = 1.5;
+  sparklet::VirtualCluster speculating(cfg);
+  speculating.RunStage(replay, "recover", StageKind::kRecovery);
+
+  EXPECT_GT(speculating.metrics().speculative_tasks, 0u);
+  EXPECT_LT(speculating.now_seconds(), plain.now_seconds());
+}
+
 TEST(Stragglers, PlaceholderTasksDoNotTriggerSpeculation) {
   // Stages routinely carry zero-cost placeholders (surviving partitions of
   // a recovery re-run, non-lost entries of a replay plan). The speculation
@@ -391,9 +459,11 @@ struct SolverRun {
 
 SolverRun RunApsp(SolverKind kind, const Graph& g, std::int64_t block,
                   const std::vector<sparklet::NodeFailurePlan>& failures,
-                  std::int64_t checkpoint_every) {
+                  std::int64_t checkpoint_every, int nodes = 2) {
   const BlockLayout layout(g.num_vertices(), block, g.directed());
-  SparkletContext ctx(TestCluster());
+  auto cfg = TestCluster();
+  cfg.nodes = nodes;
+  SparkletContext ctx(cfg);
   ApspOptions opts;
   opts.block_size = block;
   opts.directed = g.directed();
@@ -416,9 +486,11 @@ TEST(EndToEnd, PureSolversRecoverInPlaceBitwise) {
   const DenseBlock oracle = Oracle(gi);
   for (SolverKind kind : {SolverKind::kFloydWarshall2d,
                           SolverKind::kBlockedInMemory}) {
-    auto clean = RunApsp(kind, gi, 10, {}, 0);
+    // 4 nodes: both planned losses fire with survivors to rebalance onto
+    // (the elastic cluster refuses to kill its last live node).
+    auto clean = RunApsp(kind, gi, 10, {}, 0, /*nodes=*/4);
     ASSERT_TRUE(clean.result.status.ok()) << SolverKindName(kind);
-    auto faulty = RunApsp(kind, gi, 10, {{1, 12}, {0, 25}}, 0);
+    auto faulty = RunApsp(kind, gi, 10, {{1, 12}, {0, 25}}, 0, /*nodes=*/4);
     ASSERT_TRUE(faulty.result.status.ok())
         << SolverKindName(kind) << ": " << faulty.result.status.ToString();
     ASSERT_TRUE(faulty.result.distances.has_value());
@@ -432,6 +504,27 @@ TEST(EndToEnd, PureSolversRecoverInPlaceBitwise) {
     // Pure: lineage recovery, never a job restart.
     EXPECT_EQ(faulty.metrics.job_restarts, 0u) << SolverKindName(kind);
   }
+}
+
+TEST(EndToEnd, LossAtStageZeroBeforeAnyCache) {
+  // The loss fires at the very first stage boundary, before any partition
+  // was ever cached or shuffled: recovery has next to nothing to recompute,
+  // the placement just rebalances, and the run proceeds bitwise-normally.
+  const Graph g = graph::PaperErdosRenyi(32, 29);
+  Graph gi(g.num_vertices(), g.directed());
+  for (const auto& e : g.edges()) {
+    gi.AddEdge(e.u, e.v, std::floor(e.weight)).CheckOk();
+  }
+  const DenseBlock oracle = Oracle(gi);
+  auto clean = RunApsp(SolverKind::kFloydWarshall2d, gi, 8, {}, 0);
+  auto faulty = RunApsp(SolverKind::kFloydWarshall2d, gi, 8, {{1, 0}}, 0);
+  ASSERT_TRUE(faulty.result.status.ok()) << faulty.result.status.ToString();
+  ASSERT_TRUE(faulty.result.distances.has_value());
+  ExpectBitwiseEqual(*faulty.result.distances, oracle, "loss at stage 0");
+  ExpectBitwiseEqual(*faulty.result.distances, *clean.result.distances,
+                     "loss at stage 0 vs clean");
+  EXPECT_EQ(faulty.metrics.executor_failures, 1u);
+  EXPECT_EQ(faulty.metrics.job_restarts, 0u);
 }
 
 TEST(EndToEnd, ImpureSolversRestartFromCheckpointBitwise) {

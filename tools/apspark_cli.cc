@@ -52,6 +52,12 @@ struct Args {
   bool no_early_exit = false;
   /// Injected executor losses: --fail-node N@S (repeatable).
   std::vector<sparklet::NodeFailurePlan> fail_nodes;
+  /// Correlated failures: --fail-rack R@S kills every node of rack R.
+  std::vector<sparklet::RackFailurePlan> fail_racks;
+  /// Elastic membership: --add-node @S joins a replacement node.
+  std::vector<std::int64_t> add_nodes;
+  /// Rack count for failure-domain mapping (--racks R).
+  int racks = 1;
   double straggler_factor = 1.0;
   int straggler_every = 8;
   bool speculate = false;
@@ -76,13 +82,21 @@ int Usage() {
                "                stage S (repeatable; pure solvers recover by\n"
                "                lineage, impure ones restart from the last\n"
                "                checkpoint — combine with --checkpoint-every)\n"
+               "        [--racks R]  spread the executors over R failure\n"
+               "                domains (contiguous, balanced)\n"
+               "        [--fail-rack R@S]  correlated failure: every live\n"
+               "                node of rack R dies at stage S (repeatable)\n"
+               "        [--add-node @S]  a replacement node joins at stage S\n"
+               "                and steals partitions from the most-loaded\n"
+               "                survivors (repeatable)\n"
                "        [--straggler-factor F] [--straggler-every K]\n"
                "                every K-th task runs F x slower\n"
                "        [--speculate]  speculative re-execution of stragglers\n"
                "  plan  --n N [--cores C] [--fault-tolerant]\n"
                "  model --n N [--cores C] [--solver ...] [--block B]"
                " [--rounds R] [--sources K] [--ksource-variant V]"
-               " [--intra-task-cores C] [--fail-node N@S]\n"
+               " [--intra-task-cores C] [--fail-node N@S] [--fail-rack R@S]"
+               " [--add-node @S] [--racks R]\n"
                "        --sources K with --ksource-variant auto picks the\n"
                "        cheaper modelled data plane (staged vs shuffle)\n");
   return 2;
@@ -169,7 +183,61 @@ bool ParseArgs(int argc, char** argv, Args& args) {
       sparklet::NodeFailurePlan plan;
       plan.node = std::atoi(v);
       plan.at_stage = std::atoll(at + 1);
+      if (plan.node < 0) {
+        std::fprintf(stderr, "--fail-node: node must be >= 0, got %d\n",
+                     plan.node);
+        return false;
+      }
+      if (plan.at_stage < 0) {
+        std::fprintf(stderr, "--fail-node: stage must be >= 0, got %lld\n",
+                     static_cast<long long>(plan.at_stage));
+        return false;
+      }
       args.fail_nodes.push_back(plan);
+    } else if (flag == "--fail-rack") {
+      const char* v = next();
+      if (!v) return false;
+      const char* at = std::strchr(v, '@');
+      if (at == nullptr) {
+        std::fprintf(stderr, "--fail-rack expects RACK@STAGE, got '%s'\n", v);
+        return false;
+      }
+      sparklet::RackFailurePlan plan;
+      plan.rack = std::atoi(v);
+      plan.at_stage = std::atoll(at + 1);
+      if (plan.rack < 0) {
+        std::fprintf(stderr, "--fail-rack: rack must be >= 0, got %d\n",
+                     plan.rack);
+        return false;
+      }
+      if (plan.at_stage < 0) {
+        std::fprintf(stderr, "--fail-rack: stage must be >= 0, got %lld\n",
+                     static_cast<long long>(plan.at_stage));
+        return false;
+      }
+      args.fail_racks.push_back(plan);
+    } else if (flag == "--add-node") {
+      const char* v = next();
+      if (!v) return false;
+      if (v[0] != '@') {
+        std::fprintf(stderr, "--add-node expects @STAGE, got '%s'\n", v);
+        return false;
+      }
+      const std::int64_t at_stage = std::atoll(v + 1);
+      if (at_stage < 0) {
+        std::fprintf(stderr, "--add-node: stage must be >= 0, got %lld\n",
+                     static_cast<long long>(at_stage));
+        return false;
+      }
+      args.add_nodes.push_back(at_stage);
+    } else if (flag == "--racks") {
+      const char* v = next();
+      if (!v) return false;
+      args.racks = std::atoi(v);
+      if (args.racks < 1) {
+        std::fprintf(stderr, "--racks must be >= 1\n");
+        return false;
+      }
     } else if (flag == "--straggler-factor") {
       const char* v = next();
       if (!v) return false;
@@ -234,11 +302,64 @@ Result<apsp::SolverKind> ParseSolver(const std::string& name) {
   return InvalidArgumentError("unknown solver '" + name + "'");
 }
 
+/// Membership plans that parse fine can still be nonsense for the actual
+/// cluster: a node or rack id past the config, or the same plan armed twice
+/// at one stage boundary (it would silently be a no-op — the second loss
+/// finds the node already dead). Rejected here with a clear error instead.
+bool ValidateMembershipPlans(const Args& args,
+                             const sparklet::ClusterConfig& cluster) {
+  for (std::size_t i = 0; i < args.fail_nodes.size(); ++i) {
+    const auto& plan = args.fail_nodes[i];
+    if (plan.node >= cluster.nodes) {
+      std::fprintf(stderr,
+                   "--fail-node %d@%lld: node out of range for a %d-node "
+                   "cluster (valid: 0..%d)\n",
+                   plan.node, static_cast<long long>(plan.at_stage),
+                   cluster.nodes, cluster.nodes - 1);
+      return false;
+    }
+    for (std::size_t j = i + 1; j < args.fail_nodes.size(); ++j) {
+      if (args.fail_nodes[j].node == plan.node &&
+          args.fail_nodes[j].at_stage == plan.at_stage) {
+        std::fprintf(stderr,
+                     "--fail-node %d@%lld given twice: a node dies once per "
+                     "stage boundary\n",
+                     plan.node, static_cast<long long>(plan.at_stage));
+        return false;
+      }
+    }
+  }
+  for (std::size_t i = 0; i < args.fail_racks.size(); ++i) {
+    const auto& plan = args.fail_racks[i];
+    if (plan.rack >= args.racks) {
+      std::fprintf(stderr,
+                   "--fail-rack %d@%lld: rack out of range for --racks %d "
+                   "(valid: 0..%d)\n",
+                   plan.rack, static_cast<long long>(plan.at_stage),
+                   args.racks, args.racks - 1);
+      return false;
+    }
+    for (std::size_t j = i + 1; j < args.fail_racks.size(); ++j) {
+      if (args.fail_racks[j].rack == plan.rack &&
+          args.fail_racks[j].at_stage == plan.at_stage) {
+        std::fprintf(stderr,
+                     "--fail-rack %d@%lld given twice: a rack dies once per "
+                     "stage boundary\n",
+                     plan.rack, static_cast<long long>(plan.at_stage));
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
 /// Fault-tolerance report: printed whenever the run saw failures, replays,
-/// restarts, or speculation.
+/// restarts, speculation, or membership churn.
 void PrintRecovery(const sparklet::SimMetrics& m) {
   if (m.executor_failures == 0 && m.recomputed_tasks == 0 &&
-      m.task_retries == 0 && m.job_restarts == 0 && m.speculative_tasks == 0) {
+      m.task_retries == 0 && m.job_restarts == 0 &&
+      m.speculative_tasks == 0 && m.migrated_partitions == 0 &&
+      m.node_joins == 0) {
     return;
   }
   std::printf(
@@ -251,6 +372,15 @@ void PrintRecovery(const sparklet::SimMetrics& m) {
       static_cast<unsigned long long>(m.job_restarts),
       static_cast<unsigned long long>(m.speculative_tasks),
       FormatDuration(m.recovery_seconds).c_str());
+  if (m.migrated_partitions > 0 || m.node_joins > 0) {
+    std::printf(
+        "rebalance: %llu node joins, %llu partitions rehomed, %s migrated "
+        "in %s\n",
+        static_cast<unsigned long long>(m.node_joins),
+        static_cast<unsigned long long>(m.migrated_partitions),
+        FormatBytes(m.migration_bytes).c_str(),
+        FormatDuration(m.rebalance_seconds).c_str());
+  }
 }
 
 /// Resolves --ksource-variant, including the adaptive "auto" choice from
@@ -324,6 +454,8 @@ int RunSolve(const Args& args) {
   cluster.straggler_factor = args.straggler_factor;
   cluster.straggler_every = args.straggler_every;
   cluster.speculation = args.speculate;
+  cluster.racks = args.racks;
+  if (!ValidateMembershipPlans(args, cluster)) return 2;
 
   if (args.sources > 0) {
     // Batched k-source mode: rectangular n x K frontier on the kernel
@@ -335,6 +467,8 @@ int RunSolve(const Args& args) {
     kopts.early_exit_infinite = !args.no_early_exit;
     kopts.checkpoint_every = args.checkpoint_every;
     kopts.fail_nodes = args.fail_nodes;
+    kopts.fail_racks = args.fail_racks;
+    kopts.add_nodes = args.add_nodes;
     const auto variant = ResolveKsourceVariant(
         args, g.num_vertices(), kopts.block_size, cluster);
     if (!variant.ok()) {
@@ -375,6 +509,8 @@ int RunSolve(const Args& args) {
 
   auto solver = apsp::MakeSolver(*kind);
   options.fail_nodes = args.fail_nodes;
+  options.fail_racks = args.fail_racks;
+  options.add_nodes = args.add_nodes;
   std::printf("solving %s with %s (b = %lld%s)\n", g.Summary().c_str(),
               solver->name().c_str(),
               static_cast<long long>(options.block_size),
@@ -426,12 +562,16 @@ int RunModel(const Args& args) {
     kopts.early_exit_infinite = !args.no_early_exit;
     kopts.checkpoint_every = args.checkpoint_every;
     kopts.fail_nodes = args.fail_nodes;
+    kopts.fail_racks = args.fail_racks;
+    kopts.add_nodes = args.add_nodes;
     auto cluster = sparklet::ClusterConfig::PaperWithCores(
         args.cores > 4 ? args.cores : 1024);
     cluster.intra_task_cores = args.intra_task_cores;
     cluster.straggler_factor = args.straggler_factor;
     cluster.straggler_every = args.straggler_every;
     cluster.speculation = args.speculate;
+    cluster.racks = args.racks;
+    if (!ValidateMembershipPlans(args, cluster)) return 2;
     const auto variant =
         ResolveKsourceVariant(args, args.n, kopts.block_size, cluster);
     if (!variant.ok()) {
@@ -470,12 +610,16 @@ int RunModel(const Args& args) {
   options.max_rounds = args.rounds > 0 ? args.rounds : 1;
   options.checkpoint_every = args.checkpoint_every;
   options.fail_nodes = args.fail_nodes;
+  options.fail_racks = args.fail_racks;
+  options.add_nodes = args.add_nodes;
   auto cluster = sparklet::ClusterConfig::PaperWithCores(
       args.cores > 4 ? args.cores : 1024);
   cluster.intra_task_cores = args.intra_task_cores;
   cluster.straggler_factor = args.straggler_factor;
   cluster.straggler_every = args.straggler_every;
   cluster.speculation = args.speculate;
+  cluster.racks = args.racks;
+  if (!ValidateMembershipPlans(args, cluster)) return 2;
   auto solver = apsp::MakeSolver(*kind);
   auto result = solver->SolveModel(args.n, options, cluster);
   std::printf("%s, n = %lld, b = %lld on %s\n", solver->name().c_str(),
