@@ -24,6 +24,11 @@
 // batch's worth of independent block updates (q^2 updates at b = 128, the
 // small-block layout that row striping alone cannot scale) and gates the
 // speedup on multi-core hosts.
+// Section 4 races the semiring engine: the fused closure in each algebra
+// (one generic engine, four instantiations), and the headline bit-packed
+// boolean record — word-parallel or/and closure vs the dense-double boolean
+// closure at the same b. The bit-packed record is the tracked headline in
+// BENCH_kernels.json and is gated by check_regression.sh.
 #include "bench_util.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
@@ -32,6 +37,7 @@
 #include "linalg/dense_block.h"
 #include "linalg/kernel_registry.h"
 #include "linalg/kernels.h"
+#include "linalg/semiring.h"
 
 namespace {
 
@@ -279,6 +285,115 @@ std::vector<KernelResult> RunSchedulerComparison() {
   return results;
 }
 
+/// Section 4: the semiring engine. One record per semiring (fused tiled
+/// closure vs the naive variant of the same algebra), plus the headline
+/// "boolean_packed"/"bitpacked" record: the word-parallel bit plane against
+/// the dense-double boolean closure. Bitwise equality is against the scalar
+/// oracle of each semiring (SemiringClosureDispatch).
+std::vector<KernelResult> RunSemiringComparison(std::int64_t max_b) {
+  constexpr std::int64_t kB = 1024;
+  std::vector<KernelResult> results;
+  if (kB > max_b) return results;
+  bench::PrintHeader(
+      "Semiring engine — fused closure per algebra at b = 1024\n"
+      "(one generic kernel engine; boolean additionally runs the bit-packed "
+      "64-per-word plane)");
+
+  // A min-plus adjacency with ~30% missing edges; each semiring ingests its
+  // own image of it, so every algebra sees the same reachability structure.
+  const linalg::DenseBlock minplus_adj = [&] {
+    Xoshiro256 rng(11);
+    linalg::DenseBlock m(kB, kB, linalg::kInf);
+    for (std::int64_t i = 0; i < kB; ++i) {
+      for (std::int64_t j = 0; j < kB; ++j) {
+        if (i == j) {
+          m.Set(i, j, 0.0);
+        } else if (rng.NextDouble() < 0.7) {
+          m.Set(i, j, std::floor(rng.NextDouble(1.0, 10.0)));
+        }
+      }
+    }
+    return m;
+  }();
+
+  const linalg::SemiringId semirings[] = {
+      linalg::SemiringId::kMinPlus, linalg::SemiringId::kBoolean,
+      linalg::SemiringId::kMaxMin, linalg::SemiringId::kMaxTimes};
+  std::printf("%16s %8s %16s %16s %10s %10s  %s\n", "kernel", "b", "variant",
+              "time", "Gops", "speedup", "exact");
+  const double ops = static_cast<double>(kB) * kB * kB;
+
+  double boolean_dense_seconds = 0;
+  for (const linalg::SemiringId id : semirings) {
+    const linalg::DenseBlock base =
+        linalg::SemiringAdjacency(minplus_adj, id);
+    linalg::DenseBlock oracle = base;
+    linalg::SemiringClosureDispatch(id, oracle);
+    const std::string name = std::string("semiring_") +
+                             linalg::SemiringName(id);
+    double naive_seconds = 0;
+    for (const linalg::KernelVariant v :
+         {linalg::KernelVariant::kNaive, linalg::KernelVariant::kTiled}) {
+      linalg::ScopedKernelVariant kernel_scope(v);
+      linalg::ScopedSemiring semiring_scope(id);
+      KernelResult r;
+      r.kernel = name;
+      r.variant = linalg::KernelVariantName(v);
+      r.b = kB;
+      linalg::DenseBlock out(0, 0);
+      r.seconds = BestOf(1, [&] {
+        linalg::DenseBlock m = base;
+        linalg::FloydWarshallInPlace(m);
+        out = std::move(m);
+      });
+      if (v == linalg::KernelVariant::kNaive) naive_seconds = r.seconds;
+      if (id == linalg::SemiringId::kBoolean &&
+          v == linalg::KernelVariant::kTiled) {
+        boolean_dense_seconds = r.seconds;
+      }
+      r.gops = ops / r.seconds / 1e9;
+      r.speedup = naive_seconds / r.seconds;
+      r.bitwise_equal = BitwiseEqual(out, oracle);
+      std::printf("%16s %8lld %16s %16s %10.3f %9.2fx  %s\n",
+                  r.kernel.c_str(), static_cast<long long>(r.b),
+                  r.variant.c_str(), FormatSeconds(r.seconds, 3).c_str(),
+                  r.gops, r.speedup, r.bitwise_equal ? "yes" : "~ulp");
+      results.push_back(r);
+    }
+  }
+
+  // --- Headline: the bit-packed boolean plane. speedup_vs_naive is the
+  // packed closure against the *dense tiled* boolean closure — the fair
+  // same-variant comparison the memory plane replaces.
+  {
+    linalg::ScopedSemiring semiring_scope(linalg::SemiringId::kBoolean);
+    const linalg::DenseBlock dense_base =
+        linalg::SemiringAdjacency(minplus_adj, linalg::SemiringId::kBoolean);
+    linalg::DenseBlock oracle = dense_base;
+    linalg::SemiringClosureDispatch(linalg::SemiringId::kBoolean, oracle);
+    const linalg::DenseBlock packed_base = dense_base.BitPacked();
+    KernelResult r;
+    r.kernel = "boolean_packed";
+    r.variant = "bitpacked";
+    r.b = kB;
+    linalg::DenseBlock out(0, 0);
+    r.seconds = BestOf(3, [&] {
+      linalg::DenseBlock m = packed_base;
+      linalg::FloydWarshallInPlace(m);
+      out = std::move(m);
+    });
+    r.gops = ops / r.seconds / 1e9;
+    r.speedup = boolean_dense_seconds / r.seconds;
+    r.bitwise_equal = BitwiseEqual(out.Unpacked(), oracle);
+    std::printf("%16s %8lld %16s %16s %10.3f %9.2fx  %s\n", r.kernel.c_str(),
+                static_cast<long long>(r.b), r.variant.c_str(),
+                FormatSeconds(r.seconds, 3).c_str(), r.gops, r.speedup,
+                r.bitwise_equal ? "yes" : "NO");
+    results.push_back(r);
+  }
+  return results;
+}
+
 }  // namespace
 
 int main() {
@@ -338,6 +453,9 @@ int main() {
   auto results = RunKernelComparison(max_measured);
   const auto sched_results = RunSchedulerComparison();
   results.insert(results.end(), sched_results.begin(), sched_results.end());
+  const auto semiring_results = RunSemiringComparison(max_measured);
+  results.insert(results.end(), semiring_results.begin(),
+                 semiring_results.end());
   const char* json_path = std::getenv("APSPARK_BENCH_JSON");
   WriteJson(results, json_path != nullptr ? json_path : "BENCH_kernels.json");
 
@@ -400,6 +518,44 @@ int main() {
                    static_cast<long long>(r.b));
       return 1;
     }
+  }
+
+  // Semiring-engine gate: every algebra's fused closure must stay bit-exact
+  // against its scalar oracle, and the headline bit-packed boolean closure
+  // must beat the dense boolean plane (word-parallel or/and retires 64 lanes
+  // per op; 2x is a deliberately loose floor for noisy shared runners,
+  // overridable via APSPARK_GATE_BITPACK_SPEEDUP).
+  double bitpack_min_speedup = 2.0;
+  if (const char* env = std::getenv("APSPARK_GATE_BITPACK_SPEEDUP")) {
+    bitpack_min_speedup = std::atof(env);
+  }
+  bool bitpack_gate_evaluated = false;
+  for (const KernelResult& r : results) {
+    const bool semiring_record =
+        r.kernel.rfind("semiring_", 0) == 0 || r.kernel == "boolean_packed";
+    if (!semiring_record) continue;
+    if (!r.bitwise_equal) {
+      std::fprintf(stderr, "FAIL: %s %s b=%lld not bitwise equal to its "
+                   "scalar oracle\n",
+                   r.kernel.c_str(), r.variant.c_str(),
+                   static_cast<long long>(r.b));
+      return 1;
+    }
+    if (r.kernel == "boolean_packed" && r.variant == "bitpacked" &&
+        r.b == 1024) {
+      bitpack_gate_evaluated = true;
+      if (r.speedup < bitpack_min_speedup) {
+        std::fprintf(stderr,
+                     "FAIL: bit-packed boolean closure speedup %.2fx < %.2fx "
+                     "vs dense at b=1024\n",
+                     r.speedup, bitpack_min_speedup);
+        return 1;
+      }
+    }
+  }
+  if (!bitpack_gate_evaluated && max_measured >= 1024) {
+    std::fprintf(stderr, "FAIL: bit-packed boolean record missing\n");
+    return 1;
   }
   return 0;
 }

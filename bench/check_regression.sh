@@ -21,7 +21,11 @@
 #                peak. Guards the fair scheduler against packing
 #                regressions.
 #   B = fig2     tracked record: tiled min-plus at b = 1024 from
-#                bench_fig2_kernels / BENCH_kernels.json (default)
+#                bench_fig2_kernels / BENCH_kernels.json (default). With
+#                --metric speedup the bit-packed boolean closure record
+#                (boolean_packed / bitpacked / b = 1024 — the semiring
+#                engine's headline, speedup vs the dense boolean plane) is
+#                gated in the same run.
 #   B = ksource  tracked record: tiled rect kernel at b = 1024, k = 64 from
 #                bench_ksource / BENCH_ksource.json (gops/speedup), or the
 #                tiled solve on the shuffle data plane (peak)
@@ -142,4 +146,35 @@ else
   echo "FAIL: $what $metric regressed more than ${tolerance} vs" \
        "committed baseline" >&2
   exit 1
+fi
+
+# The semiring engine's tracked headline rides the fig2 speedup gate: the
+# bit-packed boolean closure (word-parallel or/and, 64 vertices per word)
+# must keep its speedup over the dense boolean plane. Speedup is a same-run
+# ratio, so it is machine-normalized like the min-plus record above.
+if [[ "$bench" == "fig2" && "$metric" == "speedup" ]]; then
+  extract_packed() {
+    { grep '"kernel": "boolean_packed"' "$1" \
+        | grep '"variant": "bitpacked"' \
+        | grep '"b": 1024' \
+        | grep -oE "\"$field\": [0-9.eE+-]+" \
+        | head -1 | awk '{print $2}'; } || true
+  }
+  packed_measured="$(extract_packed "$measured")"
+  packed_baseline="$(extract_packed "$baseline")"
+  if [[ -z "$packed_measured" || -z "$packed_baseline" ]]; then
+    echo "FAIL: bit-packed boolean b=1024 record missing" \
+         "(measured='$packed_measured' baseline='$packed_baseline')" >&2
+    exit 1
+  fi
+  echo "bit-packed boolean b=1024 $metric: measured $packed_measured," \
+       "baseline $packed_baseline, tolerance $tolerance"
+  if awk -v m="$packed_measured" -v b="$packed_baseline" -v t="$tolerance" \
+       'BEGIN { exit !(m >= b * (1 - t)) }'; then
+    echo "OK: within tolerance"
+  else
+    echo "FAIL: bit-packed boolean closure speedup regressed more than" \
+         "${tolerance} vs committed baseline" >&2
+    exit 1
+  fi
 fi

@@ -67,8 +67,13 @@ std::vector<BlockRecord> BlockLayout::Decompose(
   records.reserve(static_cast<std::size_t>(StoredBlockCount()));
   for (const BlockKey& key : StoredKeys()) {
     if (matrix.is_phantom()) {
-      records.emplace_back(key, linalg::MakeBlock(linalg::DenseBlock::Phantom(
-                                    BlockDim(key.I), BlockDim(key.J))));
+      records.emplace_back(
+          key, linalg::MakeBlock(
+                   matrix.is_packed()
+                       ? linalg::DenseBlock::PackedPhantom(BlockDim(key.I),
+                                                           BlockDim(key.J))
+                       : linalg::DenseBlock::Phantom(BlockDim(key.I),
+                                                     BlockDim(key.J))));
     } else {
       records.emplace_back(
           key, linalg::MakeBlock(matrix.SubBlock(key.I * b_, key.J * b_,
@@ -79,19 +84,30 @@ std::vector<BlockRecord> BlockLayout::Decompose(
   return records;
 }
 
-std::vector<BlockRecord> BlockLayout::DecomposePhantom() const {
+std::vector<BlockRecord> BlockLayout::DecomposePhantom(bool packed) const {
   std::vector<BlockRecord> records;
   records.reserve(static_cast<std::size_t>(StoredBlockCount()));
   for (const BlockKey& key : StoredKeys()) {
-    records.emplace_back(key, linalg::MakeBlock(linalg::DenseBlock::Phantom(
-                                  BlockDim(key.I), BlockDim(key.J))));
+    records.emplace_back(
+        key, linalg::MakeBlock(
+                 packed ? linalg::DenseBlock::PackedPhantom(BlockDim(key.I),
+                                                            BlockDim(key.J))
+                        : linalg::DenseBlock::Phantom(BlockDim(key.I),
+                                                      BlockDim(key.J))));
   }
   return records;
 }
 
 Result<linalg::DenseBlock> BlockLayout::Assemble(
     const std::vector<BlockRecord>& records) const {
-  linalg::DenseBlock out(n_, n_, linalg::kInf);
+  // A bit-packed solve assembles into a bit-packed matrix (n = 65536 packed
+  // reachability is 512 MiB; the dense-double image would be 32 GiB). Every
+  // cell is Set below, so the initial fill never survives either way.
+  const bool packed = !records.empty() && records.front().second &&
+                      records.front().second->is_packed();
+  linalg::DenseBlock out =
+      packed ? linalg::DenseBlock::PackedBoolean(n_, n_)
+             : linalg::DenseBlock(n_, n_, linalg::kInf);
   std::int64_t placed = 0;
   for (const auto& [key, block] : records) {
     if (!Stores(key)) {

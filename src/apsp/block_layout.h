@@ -54,8 +54,10 @@ class BlockLayout {
   /// Decomposes a dense n x n matrix into stored block records.
   std::vector<BlockRecord> Decompose(const linalg::DenseBlock& matrix) const;
 
-  /// Shape-only records for paper-scale model runs.
-  std::vector<BlockRecord> DecomposePhantom() const;
+  /// Shape-only records for paper-scale model runs. With `packed` the
+  /// phantoms account as bit-packed boolean blocks (packed serialized
+  /// bytes), so a boolean model run charges the packed plane's footprint.
+  std::vector<BlockRecord> DecomposePhantom(bool packed = false) const;
 
   /// Reassembles a full n x n matrix from stored records (mirrors the upper
   /// triangle for undirected layouts). Missing blocks are an error.

@@ -24,13 +24,15 @@ bool OnDiagonal(const BlockKey& key, std::int64_t x) {
 BlockRef MatProd(const BlockRef& a, const BlockRef& b,
                  sparklet::TaskContext& tc) {
   tc.ChargeCompute(
-      tc.cost_model().MinPlusSeconds(a->rows(), b->cols(), a->cols()));
+      tc.cost_model().MinPlusSeconds(a->rows(), b->cols(), a->cols()) *
+      tc.cost_model().BitpackScale(a->is_packed()));
   return linalg::MakeBlock(linalg::MinPlusProduct(*a, *b));
 }
 
 BlockRef MatMin(const BlockRef& a, const BlockRef& b,
                 sparklet::TaskContext& tc) {
-  tc.ChargeCompute(tc.cost_model().ElementwiseSeconds(a->size()));
+  tc.ChargeCompute(tc.cost_model().ElementwiseSeconds(a->size()) *
+                   tc.cost_model().BitpackScale(a->is_packed()));
   return linalg::MakeBlock(linalg::ElementMin(*a, *b));
 }
 
@@ -49,9 +51,10 @@ struct FusedUpdate {
 /// Modelled seconds of one fused update: exactly what the unfused MatProd +
 /// MatMin pair charged, so the modelled cluster time is unchanged by fusion.
 double FusedChargeSeconds(const FusedUpdate& u, sparklet::TaskContext& tc) {
-  return tc.cost_model().MinPlusSeconds(u.left->rows(), u.right->cols(),
-                                        u.left->cols()) +
-         tc.cost_model().ElementwiseSeconds(u.base->size());
+  return (tc.cost_model().MinPlusSeconds(u.left->rows(), u.right->cols(),
+                                         u.left->cols()) +
+          tc.cost_model().ElementwiseSeconds(u.base->size())) *
+         tc.cost_model().BitpackScale(u.base->is_packed());
 }
 
 void ChargeFused(const FusedUpdate& u, sparklet::TaskContext& tc) {
@@ -160,8 +163,9 @@ BlockRef MinPlus(const BlockRef& a, const BlockRef& b,
 BlockRef MinPlusRect(const BlockRef& base, const BlockRef& a,
                      const BlockRef& panel, sparklet::TaskContext& tc) {
   tc.ChargeCompute(
-      tc.cost_model().MinPlusSeconds(a->rows(), panel->cols(), a->cols()) +
-      tc.cost_model().ElementwiseSeconds(base->size()));
+      (tc.cost_model().MinPlusSeconds(a->rows(), panel->cols(), a->cols()) +
+       tc.cost_model().ElementwiseSeconds(base->size())) *
+      tc.cost_model().BitpackScale(base->is_packed()));
   DenseBlock out = base.MutableCopy();
   linalg::MinPlusUpdateRect(*a, *panel, out);
   return linalg::MakeBlock(std::move(out));
@@ -205,14 +209,16 @@ std::vector<BlockRef> MinPlusRectBatch(std::vector<FusedTriple>&& updates,
 }
 
 BlockRef FloydWarshall(const BlockRef& a, sparklet::TaskContext& tc) {
-  tc.ChargeCompute(tc.cost_model().FloydWarshallSeconds(a->rows()));
+  tc.ChargeCompute(tc.cost_model().FloydWarshallSeconds(a->rows()) *
+                   tc.cost_model().BitpackScale(a->is_packed()));
   DenseBlock closed = a.MutableCopy();
   linalg::FloydWarshallInPlace(closed);
   return linalg::MakeBlock(std::move(closed));
 }
 
 BlockRef Transpose(const BlockRef& a, sparklet::TaskContext& tc) {
-  tc.ChargeCompute(tc.cost_model().ElementwiseSeconds(a->size()));
+  tc.ChargeCompute(tc.cost_model().ElementwiseSeconds(a->size()) *
+                   tc.cost_model().BitpackScale(a->is_packed()));
   return linalg::MakeBlock(a->Transposed());
 }
 
@@ -222,8 +228,10 @@ std::pair<std::int64_t, BlockRef> ExtractColSegment(
   const std::int64_t big_k = k / layout.block_size();
   const std::int64_t k_loc = k % layout.block_size();
   const auto& [key, block] = record;
-  tc.ChargeCompute(tc.cost_model().ElementwiseSeconds(
-      std::max(block->rows(), block->cols())));
+  tc.ChargeCompute(
+      tc.cost_model().ElementwiseSeconds(
+          std::max(block->rows(), block->cols())) *
+      tc.cost_model().BitpackScale(block->is_packed()));
   if (key.J == big_k) {
     // Stored block provides rows of column k for row-block I.
     return {key.I, linalg::MakeBlock(block->Column(k_loc))};
@@ -247,7 +255,8 @@ std::pair<std::int64_t, BlockRef> ExtractRowSegment(
     throw std::invalid_argument("ExtractRowSegment: block not in row " +
                                 std::to_string(big_k));
   }
-  tc.ChargeCompute(tc.cost_model().ElementwiseSeconds(block->cols()));
+  tc.ChargeCompute(tc.cost_model().ElementwiseSeconds(block->cols()) *
+                   tc.cost_model().BitpackScale(block->is_packed()));
   return {key.J, linalg::MakeBlock(block->RowBlock(k_loc).Transposed())};
 }
 
@@ -260,7 +269,8 @@ BlockRecord FloydWarshallUpdate(
   const auto& [key, block] = record;
   const BlockRef& u = column_segments[static_cast<std::size_t>(key.I)];
   const BlockRef& v = row_segments[static_cast<std::size_t>(key.J)];
-  tc.ChargeCompute(tc.cost_model().ElementwiseSeconds(block->size()));
+  tc.ChargeCompute(tc.cost_model().ElementwiseSeconds(block->size()) *
+                   tc.cost_model().BitpackScale(block->is_packed()));
   DenseBlock updated = block.MutableCopy();
   linalg::OuterSumMinUpdate(updated, *u, *v);
   return {key, linalg::MakeBlock(std::move(updated))};
@@ -282,7 +292,8 @@ std::vector<BlockRecord> FloydWarshallUpdateBatch(
   std::vector<double> pieces;
   pieces.reserve(records.size());
   for (const auto& [key, block] : records) {
-    pieces.push_back(tc.cost_model().ElementwiseSeconds(block->size()));
+    pieces.push_back(tc.cost_model().ElementwiseSeconds(block->size()) *
+                     tc.cost_model().BitpackScale(block->is_packed()));
   }
   ChargeIntraTask(std::vector<double>(pieces), tc);
   std::vector<BlockRecord> out(records.size());

@@ -7,6 +7,7 @@
 #include "apsp/solvers/blocked_inmemory.h"
 #include "apsp/solvers/floyd_warshall_2d.h"
 #include "apsp/solvers/repeated_squaring.h"
+#include "linalg/semiring.h"
 
 namespace apspark::apsp {
 
@@ -16,7 +17,11 @@ ApspRunResult ApspSolver::SolveGraph(const graph::Graph& graph,
                                      const linalg::CostModel& model) {
   const BlockLayout layout(graph.num_vertices(), opts.block_size,
                            opts.directed || graph.directed());
-  const linalg::DenseBlock adjacency = graph.ToDenseAdjacency();
+  // Ingest into the requested algebra: the graph's canonical min-plus
+  // adjacency becomes the semiring's matrix (bit-packed for boolean).
+  const linalg::DenseBlock adjacency = linalg::SemiringAdjacency(
+      graph.ToDenseAdjacency(), opts.semiring,
+      opts.semiring == linalg::SemiringId::kBoolean && opts.bitpack_boolean);
   sparklet::SparkletContext ctx(cluster, model);
   return Solve(ctx, layout, layout.Decompose(adjacency), opts);
 }
@@ -26,7 +31,9 @@ ApspRunResult ApspSolver::SolveModel(std::int64_t n, const ApspOptions& opts,
                                      const linalg::CostModel& model) {
   const BlockLayout layout(n, opts.block_size, opts.directed);
   sparklet::SparkletContext ctx(cluster, model);
-  return Solve(ctx, layout, layout.DecomposePhantom(), opts);
+  const bool packed =
+      opts.semiring == linalg::SemiringId::kBoolean && opts.bitpack_boolean;
+  return Solve(ctx, layout, layout.DecomposePhantom(packed), opts);
 }
 
 ApspRunResult ApspSolver::Solve(sparklet::SparkletContext& ctx,
@@ -38,6 +45,9 @@ ApspRunResult ApspSolver::Solve(sparklet::SparkletContext& ctx,
   // only affects how fast real blocks are processed on this machine;
   // modelled cluster time comes from the cost model either way.
   linalg::ScopedKernelVariant kernel_scope(ctx.config().kernel_variant);
+  // Pin the run's algebra: every kernel entry point this solve reaches —
+  // fused updates, closures, element-wise folds — evaluates opts.semiring.
+  linalg::ScopedSemiring semiring_scope(opts.semiring);
   ApspRunResult result;
   result.rounds_total = TotalRounds(layout);
   const std::int64_t rounds_remaining =

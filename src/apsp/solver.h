@@ -26,6 +26,7 @@
 #include "apsp/partitioners.h"
 #include "graph/graph.h"
 #include "linalg/cost_model.h"
+#include "linalg/kernel_registry.h"
 #include "sparklet/rdd.h"
 
 namespace apspark::apsp {
@@ -33,6 +34,14 @@ namespace apspark::apsp {
 struct ApspOptions {
   /// Decomposition parameter b; q = ceil(n/b).
   std::int64_t block_size = 256;
+  /// Semiring the solve evaluates (see linalg/semiring.h). SolveGraph
+  /// converts the canonical min-plus adjacency into this algebra's matrix
+  /// (boolean reachability, max-min capacities, max-times reliabilities via
+  /// 2^-w); the result matrix is in the semiring's value domain.
+  linalg::SemiringId semiring = linalg::SemiringId::kMinPlus;
+  /// Boolean solves use the bit-packed block plane (64 vertices per word)
+  /// unless disabled. Ignored for the other semirings.
+  bool bitpack_boolean = true;
   PartitionerKind partitioner = PartitionerKind::kMultiDiagonal;
   /// Spark's over-decomposition factor B: RDD partitions per core (§5.3).
   int partitions_per_core = 2;

@@ -8,6 +8,7 @@
 #include "apsp/combine_steps.h"
 #include "apsp/solvers/staging.h"
 #include "linalg/kernel_registry.h"
+#include "linalg/semiring.h"
 
 namespace apspark::apsp {
 
@@ -69,14 +70,19 @@ KsourceResult KsourceBlockedSolver::SolveGraph(
   }
   const bool directed = opts.directed || graph.directed();
   DenseBlock adjacency = graph.ToDenseAdjacency();
-  // The sweep computes F = A* (min,+) F_0, i.e. distances *to* the frontier
+  // The sweep computes F = A* ⊗ F_0, i.e. distances *to* the frontier
   // columns; sweeping the reversed graph roots them at the sources instead.
   if (directed) adjacency = adjacency.Transposed();
+  // Ingest into the requested algebra (panels stay dense; see KsourceOptions).
+  adjacency = linalg::SemiringAdjacency(std::move(adjacency), opts.semiring,
+                                        /*bitpack=*/false);
   KsourceOptions run_opts = opts;
   run_opts.directed = directed;
   const BlockLayout layout(n, opts.block_size, directed);
   const DenseBlock frontier = linalg::FrontierPanel(
-      n, std::vector<std::int64_t>(sources.begin(), sources.end()));
+      n, std::vector<std::int64_t>(sources.begin(), sources.end()),
+      linalg::SemiringZeroValue(opts.semiring),
+      linalg::SemiringOneValue(opts.semiring));
   sparklet::SparkletContext ctx(cluster, model);
   return Solve(ctx, layout, layout.Decompose(adjacency),
                DecomposeFrontier(layout, frontier), run_opts);
@@ -104,13 +110,19 @@ KsourceResult KsourceBlockedSolver::SolveModel(
 namespace {
 
 /// Early-exit detection: true when every stored off-diagonal cross block of
-/// pivot t is all-infinite, i.e. block row/column t carries no path in or
-/// out and phases 2/3 plus the frontier factor sweep are provably no-ops.
-/// The scan charges like the element-wise kernel it is and runs identically
-/// on phantom blocks (whose AllInfinite() is false, so a phantom run charges
-/// the same detection time but never skips).
-bool PivotCrossAllInfinite(RddPtr<BlockRecord>& a, const BlockLayout& layout,
-                           std::int64_t t) {
+/// pivot t is entirely the semiring's annihilator (all-infinite under
+/// (min, +)), i.e. block row/column t carries no path in or out and phases
+/// 2/3 plus the frontier factor sweep are provably no-ops. The scan charges
+/// like the element-wise kernel it is and runs identically on phantom blocks
+/// (whose BlockAllZero() is false, so a phantom run charges the same
+/// detection time but never skips). Routing through the semiring's IsZero —
+/// instead of the historical hardwired isinf test — is what makes the skip
+/// sound for boolean/max-times runs, whose annihilator is 0.0, not +inf: an
+/// isinf scan there would claim a cross full of unreachable-0 entries is
+/// live and silently forfeit every skip (or worse, skip on the wrong
+/// predicate if the matrix were re-encoded).
+bool PivotCrossAllZero(RddPtr<BlockRecord>& a, const BlockLayout& layout,
+                       std::int64_t t, linalg::SemiringId semiring) {
   auto flags =
       a->Filter("ks-infscan-cross",
                 [&layout, t](const BlockRecord& rec) {
@@ -118,14 +130,15 @@ bool PivotCrossAllInfinite(RddPtr<BlockRecord>& a, const BlockLayout& layout,
                          !OnDiagonal(rec.first, t);
                 })
           ->Map("ks-infscan",
-                [](const BlockRecord& rec, TaskContext& tc) -> std::int64_t {
+                [semiring](const BlockRecord& rec,
+                           TaskContext& tc) -> std::int64_t {
                   tc.ChargeCompute(
                       tc.cost_model().ElementwiseSeconds(rec.second->size()));
-                  return rec.second->AllInfinite() ? 1 : 0;
+                  return linalg::BlockAllZero(*rec.second, semiring) ? 1 : 0;
                 })
           ->Collect();
-  for (const std::int64_t all_inf : flags) {
-    if (all_inf == 0) return false;
+  for (const std::int64_t all_zero : flags) {
+    if (all_zero == 0) return false;
   }
   return true;
 }
@@ -536,6 +549,9 @@ KsourceResult KsourceBlockedSolver::Solve(
     const std::vector<PanelRecord>& frontier, const KsourceOptions& opts) {
   // Host kernel selection for this run, exactly like ApspSolver::Solve.
   linalg::ScopedKernelVariant kernel_scope(ctx.config().kernel_variant);
+  // Pin the run's algebra: the fused rectangular updates and closures this
+  // sweep reaches all evaluate opts.semiring.
+  linalg::ScopedSemiring semiring_scope(opts.semiring);
   KsourceResult result;
   const std::int64_t q = layout.q();
   result.rounds_total = q;
@@ -579,8 +595,8 @@ KsourceResult KsourceBlockedSolver::Solve(
   for (;;) {
     try {
       for (std::int64_t t = first; t < rounds_to_run; ++t) {
-        const bool skip =
-            opts.early_exit_infinite && PivotCrossAllInfinite(a, layout, t);
+        const bool skip = opts.early_exit_infinite &&
+                          PivotCrossAllZero(a, layout, t, opts.semiring);
         if (opts.variant == KsourceVariant::kShuffleReplicated) {
           RunShufflePivot(ctx, layout, t, block_part, panel_part, a, f, skip);
         } else {
@@ -652,7 +668,9 @@ KsourceResult KsourceBlockedSolver::Solve(
   if (result.status.ok() && want_assembly) {
     const std::int64_t k =
         assembled.empty() ? 0 : assembled.front().second->cols();
-    DenseBlock out(layout.n(), k, linalg::kInf);
+    // Every row is pasted below; fill with the semiring Zero anyway so a
+    // would-be gap reads as "unreachable", not as a min-plus artifact.
+    DenseBlock out(layout.n(), k, linalg::SemiringZeroValue(opts.semiring));
     for (const auto& [idx, panel] : assembled) {
       out.PasteRowPanel(idx * layout.block_size(), *panel);
     }

@@ -35,12 +35,13 @@
 //   pivot (see MemoryAccountant).
 //
 // Early-exit pivot sweep: when a pivot's cross (every stored off-diagonal
-// block of block row/column t) is all-infinite — routine for disconnected or
-// inf-heavy graphs — phases 2/3 and the frontier factor sweep are provably
-// no-ops and are skipped; only the diagonal closure and the pivot-panel
-// update run. Detection scans the cross blocks (charged like the
-// element-wise kernel it is) and never fires for phantom blocks, whose
-// structure is unknown.
+// block of block row/column t) is entirely the semiring's annihilator —
+// all-infinite under (min, +), routine for disconnected or inf-heavy graphs
+// — phases 2/3 and the frontier factor sweep are provably no-ops and are
+// skipped; only the diagonal closure and the pivot-panel update run.
+// Detection scans the cross blocks through the semiring's IsZero (charged
+// like the element-wise kernel it is) and never fires for phantom blocks,
+// whose structure is unknown.
 #pragma once
 
 #include <optional>
@@ -53,6 +54,7 @@
 #include "apsp/partitioners.h"
 #include "graph/graph.h"
 #include "linalg/cost_model.h"
+#include "linalg/kernel_registry.h"
 #include "sparklet/rdd.h"
 
 namespace apspark::apsp {
@@ -69,6 +71,12 @@ std::optional<KsourceVariant> ParseKsourceVariant(std::string_view name);
 struct KsourceOptions {
   /// Decomposition parameter b; q = ceil(n/b).
   std::int64_t block_size = 256;
+  /// Semiring the sweep evaluates (see linalg/semiring.h). SolveGraph
+  /// converts the canonical min-plus adjacency into this algebra's matrix
+  /// and builds the frontier from the semiring's Zero/One. KSSP panels stay
+  /// dense even for boolean (the rectangular frontier mixes with matrix
+  /// blocks every pivot; bit-packing is the square solvers' plane).
+  linalg::SemiringId semiring = linalg::SemiringId::kMinPlus;
   PartitionerKind partitioner = PartitionerKind::kMultiDiagonal;
   /// Spark's over-decomposition factor B: RDD partitions per core.
   int partitions_per_core = 2;
@@ -78,10 +86,12 @@ struct KsourceOptions {
   bool directed = false;
   /// Data-movement variant (CLI: --ksource-variant staged|shuffle).
   KsourceVariant variant = KsourceVariant::kStagedStorage;
-  /// Early-exit pivot sweep for inf-heavy graphs (see file comment). The
-  /// detection scan charges identically on real and phantom runs; only real
-  /// runs can actually skip, so disable this when comparing a disconnected
-  /// real run against its phantom projection second-for-second.
+  /// Early-exit pivot sweep for annihilator-heavy graphs (see file
+  /// comment); the test is the semiring's IsZero, not a hardwired isinf.
+  /// The detection scan charges identically on real and phantom runs; only
+  /// real runs can actually skip, so disable this when comparing a
+  /// disconnected real run against its phantom projection
+  /// second-for-second.
   bool early_exit_infinite = true;
   /// Durability extension: checkpoint A and the frontier panels to shared
   /// storage every this many pivots (0 = off). The staged variant is impure

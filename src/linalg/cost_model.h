@@ -35,9 +35,22 @@ struct CostModel {
   // a task's *batch* of independent block updates is scheduled onto this
   // many virtual cores via IntraTaskSpan.
   int intra_task_cores = 1;
+  // Modelled speedup of the bit-packed boolean kernels over the dense double
+  // loops: one 64-bit word-or retires 64 boolean lanes where the dense path
+  // retires one double, so packed kernel charges scale by ~1/64. Applied by
+  // the building-block charge sites via BitpackScale when an operand block
+  // is bit-packed; real and phantom runs charge identically because phantom
+  // blocks preserve packedness.
+  double bitpack_op_scale = 1.0 / 64.0;
 
   /// Multiplier applied to O(b^3) kernels for a block of `elems` elements.
   double CacheFactor(double elems) const noexcept;
+
+  /// Charge multiplier for a kernel whose operands are bit-packed (see
+  /// bitpack_op_scale); 1.0 for dense operands.
+  double BitpackScale(bool packed) const noexcept {
+    return packed ? bitpack_op_scale : 1.0;
+  }
 
   /// Modelled time of FloydWarshall on a b x b block.
   double FloydWarshallSeconds(std::int64_t b) const noexcept;

@@ -11,6 +11,20 @@
 // path — partitioning, shuffle and storage byte accounting, scheduling —
 // while kernels charge the calibrated cost model instead of executing.
 // Any kernel that touches a phantom operand yields a phantom result.
+//
+// Bit-packed blocks
+// -----------------
+// A DenseBlock may be *bit-packed*: a boolean-semiring block stored as one
+// bit per entry (64 vertices per 64-bit word, row-major words, column c at
+// bit c % 64 of word c / 64, LSB first) instead of one double. That is the
+// 64x representation that makes n = 65536 reachability feasible where dense
+// doubles never were: the word rows feed word-parallel or/and kernels, and
+// SerializedBytes() / the MemoryAccountant charge the packed footprint.
+// At()/Set() remain valid on packed blocks (reading 1.0/0.0, writing any
+// nonzero as 1), so slicing, assembly and tests work transparently; the raw
+// Row()/data() double pointers are dense-only. A phantom block can also be
+// packed (PackedPhantom): model runs then charge packed bytes, keeping real
+// and phantom accounting identical.
 #pragma once
 
 #include <atomic>
@@ -81,6 +95,15 @@ class DenseBlock {
   /// Shape-only phantom block (see file comment).
   static DenseBlock Phantom(std::int64_t rows, std::int64_t cols);
 
+  /// Bit-packed boolean block, all bits = `fill` (must be 0.0 or 1.0).
+  static DenseBlock PackedBoolean(std::int64_t rows, std::int64_t cols,
+                                  double fill = 0.0);
+
+  /// Shape-only phantom that *accounts* as bit-packed: SerializedBytes()
+  /// reports the packed footprint, so model runs charge what the real
+  /// packed plane would.
+  static DenseBlock PackedPhantom(std::int64_t rows, std::int64_t cols);
+
   // Copies of materialized payloads are counted (see BlockCopyStats above);
   // moves stay free. Defined out of line so the accounting lives in one
   // place.
@@ -94,12 +117,18 @@ class DenseBlock {
   std::int64_t cols() const noexcept { return cols_; }
   std::int64_t size() const noexcept { return rows_ * cols_; }
   bool is_phantom() const noexcept { return phantom_; }
+  bool is_packed() const noexcept { return packed_; }
 
-  /// Element access (materialized blocks only).
+  /// Element access (materialized blocks only; transparently packed-aware).
   double At(std::int64_t r, std::int64_t c) const {
+    if (packed_) return GetBit(r, c) ? 1.0 : 0.0;
     return data_[static_cast<std::size_t>(r * cols_ + c)];
   }
   void Set(std::int64_t r, std::int64_t c, double v) {
+    if (packed_) {
+      SetBit(r, c, v != 0.0);
+      return;
+    }
     data_[static_cast<std::size_t>(r * cols_ + c)] = v;
   }
 
@@ -109,7 +138,7 @@ class DenseBlock {
   const double* begin() const noexcept { return data_.data(); }
   const double* end() const noexcept { return data_.data() + data_.size(); }
 
-  /// Row pointer (materialized blocks only).
+  /// Row pointer (materialized dense blocks only).
   const double* Row(std::int64_t r) const noexcept {
     return data_.data() + static_cast<std::size_t>(r * cols_);
   }
@@ -117,14 +146,42 @@ class DenseBlock {
     return data_.data() + static_cast<std::size_t>(r * cols_);
   }
 
+  // --- bit-packed plane (materialized packed blocks only) ---
+
+  /// 64-bit words per packed row: ceil(cols / 64).
+  std::int64_t words_per_row() const noexcept { return words_per_row_; }
+  const std::uint64_t* WordRow(std::int64_t r) const noexcept {
+    return words_.data() + static_cast<std::size_t>(r * words_per_row_);
+  }
+  std::uint64_t* MutableWordRow(std::int64_t r) noexcept {
+    return words_.data() + static_cast<std::size_t>(r * words_per_row_);
+  }
+  bool GetBit(std::int64_t r, std::int64_t c) const noexcept {
+    return (WordRow(r)[c >> 6] >> (c & 63)) & 1u;
+  }
+  void SetBit(std::int64_t r, std::int64_t c, bool v) noexcept {
+    std::uint64_t& w = MutableWordRow(r)[c >> 6];
+    const std::uint64_t mask = std::uint64_t{1} << (c & 63);
+    w = v ? (w | mask) : (w & ~mask);
+  }
+
+  /// Dense 0/1 copy of a packed block (phantom packed -> plain phantom).
+  DenseBlock Unpacked() const;
+  /// Packed copy of a dense boolean block: entries must already be 0/1-valued
+  /// under `nonzero is 1` (any nonzero packs as 1). Phantom -> PackedPhantom.
+  DenseBlock BitPacked() const;
+
   /// Exact number of bytes Serialize() would produce. Identical for phantom
-  /// and materialized blocks of the same shape: the virtual cluster charges
-  /// the bytes the *real* block would occupy on disk or on the wire.
+  /// and materialized blocks of the same shape *and representation*: the
+  /// virtual cluster charges the bytes the real block would occupy on disk
+  /// or on the wire — packed blocks charge their word payload (~1/64 of the
+  /// dense doubles).
   std::uint64_t SerializedBytes() const noexcept;
 
-  /// Flat binary encoding: header (rows, cols, phantom flag) + payload.
-  /// Phantom blocks encode the header only but report full SerializedBytes()
-  /// for accounting; PayloadElided() distinguishes the two cases.
+  /// Flat binary encoding: header (rows, cols, flags byte: bit 0 = phantom,
+  /// bit 1 = packed) + payload (doubles, or packed words). Phantom blocks
+  /// encode the header only but report full SerializedBytes() for
+  /// accounting.
   void Serialize(BinaryWriter& writer) const;
   static Result<DenseBlock> Deserialize(BinaryReader& reader);
 
@@ -146,16 +203,21 @@ class DenseBlock {
   DenseBlock RowPanel(std::int64_t r0, std::int64_t h) const;
 
   /// Writes `panel` (h x cols()) back over rows [r0, r0+h): reassembles a
-  /// full frontier from its per-block-row panels. Materialized blocks only.
+  /// full frontier from its per-block-row panels. Materialized blocks only;
+  /// representations must match (both packed or both dense).
   void PasteRowPanel(std::int64_t r0, const DenseBlock& panel);
 
   /// True when every entry is +inf — the "this block carries no path at all"
-  /// predicate behind the KSSP early-exit pivot sweep. Phantom blocks return
-  /// false: their structure is unknown, so callers must not skip work.
+  /// predicate behind the KSSP early-exit pivot sweep under min-plus (see
+  /// linalg::BlockAllZero for the semiring-generic form). Phantom blocks
+  /// return false: their structure is unknown, so callers must not skip
+  /// work. Packed blocks hold booleans, never +inf, so they return false.
   bool AllInfinite() const noexcept;
 
   /// True if every finite entry matches `other` within `tol` and the
-  /// infinity patterns agree. Phantom blocks compare by shape only.
+  /// infinity patterns agree. Phantom blocks compare by shape only; packed
+  /// and dense blocks compare by value (a packed block equals its dense 0/1
+  /// image).
   bool ApproxEquals(const DenseBlock& other, double tol = 1e-9) const;
 
   /// Maximum absolute difference over matching finite entries; kInf if the
@@ -165,8 +227,11 @@ class DenseBlock {
  private:
   std::int64_t rows_ = 0;
   std::int64_t cols_ = 0;
+  std::int64_t words_per_row_ = 0;
   bool phantom_ = false;
+  bool packed_ = false;
   std::vector<double> data_;
+  std::vector<std::uint64_t> words_;
 };
 
 /// Convenience: shared-pointer wrapper used throughout the engine.
@@ -175,10 +240,12 @@ inline BlockPtr MakeBlock(DenseBlock block) {
 }
 
 /// n x k source frontier for batched k-source sweeps: column j carries the
-/// semiring one (0) at row unit_rows[j] and +inf everywhere else — the
-/// identity columns selecting the sources. Duplicate rows are allowed (the
-/// same source may be asked for more than once, e.g. when k > n).
+/// semiring one (`one`, default min-plus 0) at row unit_rows[j] and the
+/// semiring zero (`zero`, default +inf) everywhere else — the identity
+/// columns selecting the sources. Duplicate rows are allowed (the same
+/// source may be asked for more than once, e.g. when k > n).
 DenseBlock FrontierPanel(std::int64_t rows,
-                         const std::vector<std::int64_t>& unit_rows);
+                         const std::vector<std::int64_t>& unit_rows,
+                         double zero = kInf, double one = 0.0);
 
 }  // namespace apspark::linalg

@@ -31,6 +31,12 @@ void SetKernelVariant(KernelVariant variant) noexcept {
 
 KernelVariant GetKernelVariant() noexcept { return MutableTuning().variant; }
 
+void SetActiveSemiring(SemiringId semiring) noexcept {
+  MutableTuning().semiring = semiring;
+}
+
+SemiringId GetActiveSemiring() noexcept { return MutableTuning().semiring; }
+
 void SetKernelThreadPool(ThreadPool* pool) noexcept { OverridePool() = pool; }
 
 ThreadPool& KernelThreadPool() {
@@ -58,6 +64,28 @@ std::optional<KernelVariant> ParseKernelVariant(std::string_view name) {
   if (name == "tiled_parallel" || name == "parallel") {
     return KernelVariant::kTiledParallel;
   }
+  return std::nullopt;
+}
+
+const char* SemiringName(SemiringId semiring) noexcept {
+  switch (semiring) {
+    case SemiringId::kMinPlus:
+      return "minplus";
+    case SemiringId::kBoolean:
+      return "boolean";
+    case SemiringId::kMaxMin:
+      return "maxmin";
+    case SemiringId::kMaxTimes:
+      return "maxtimes";
+  }
+  return "?";
+}
+
+std::optional<SemiringId> ParseSemiring(std::string_view name) {
+  if (name == "minplus" || name == "min-plus") return SemiringId::kMinPlus;
+  if (name == "boolean" || name == "or-and") return SemiringId::kBoolean;
+  if (name == "maxmin" || name == "max-min") return SemiringId::kMaxMin;
+  if (name == "maxtimes" || name == "max-times") return SemiringId::kMaxTimes;
   return std::nullopt;
 }
 

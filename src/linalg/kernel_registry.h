@@ -37,11 +37,26 @@ enum class KernelVariant {
   kTiledParallel,
 };
 
+/// The semiring the engine's kernels evaluate (see linalg/semiring.h for the
+/// algebraic definitions). One tiled/work-stealing/zero-copy engine serves
+/// all four: the kernels are templates over the semiring struct, and the
+/// block-level entry points dispatch on this registry id.
+enum class SemiringId {
+  kMinPlus,   // (min, +): APSP path lengths — the paper's default
+  kBoolean,   // (or, and): transitive closure / reachability
+  kMaxMin,    // (max, min): bottleneck (maximum-capacity) paths
+  kMaxTimes,  // (max, x): widest / most-reliable paths over [0, 1]
+};
+
 /// Tiling / parallelism parameters of the tiled kernels. Defaults target a
 /// 48 KiB L1d + 2 MiB L2 AVX machine; all values are safe for any shape
 /// (ragged edges are handled by the kernels).
 struct KernelTuning {
   KernelVariant variant = KernelVariant::kTiled;
+  /// Semiring the kernels evaluate. Part of the tuning so ScopedKernelVariant
+  /// / ScopedSemiring restore it together with the variant: one run's algebra
+  /// cannot leak into unrelated work in the same process.
+  SemiringId semiring = SemiringId::kMinPlus;
 
   /// Columns of B/C processed per tile: one C-row segment plus one B-row
   /// segment of this width must stay L1-resident (2 x 8 KiB at 1024).
@@ -79,8 +94,15 @@ KernelVariant GetKernelVariant() noexcept;
 void SetKernelThreadPool(ThreadPool* pool) noexcept;
 ThreadPool& KernelThreadPool();
 
+/// Convenience: swaps only the semiring, keeping the tuning parameters.
+void SetActiveSemiring(SemiringId semiring) noexcept;
+SemiringId GetActiveSemiring() noexcept;
+
 const char* KernelVariantName(KernelVariant variant) noexcept;
 std::optional<KernelVariant> ParseKernelVariant(std::string_view name);
+
+const char* SemiringName(SemiringId semiring) noexcept;
+std::optional<SemiringId> ParseSemiring(std::string_view name);
 
 /// RAII: pins a kernel variant for a scope, restoring the full previous
 /// tuning on destruction. Used by solvers, benchmarks, and tests so one
@@ -94,6 +116,21 @@ class ScopedKernelVariant {
   ~ScopedKernelVariant() { SetKernelTuning(saved_); }
   ScopedKernelVariant(const ScopedKernelVariant&) = delete;
   ScopedKernelVariant& operator=(const ScopedKernelVariant&) = delete;
+
+ private:
+  KernelTuning saved_;
+};
+
+/// RAII: pins the active semiring for a scope, restoring the full previous
+/// tuning on destruction — the semiring twin of ScopedKernelVariant.
+class ScopedSemiring {
+ public:
+  explicit ScopedSemiring(SemiringId semiring) : saved_(GetKernelTuning()) {
+    SetActiveSemiring(semiring);
+  }
+  ~ScopedSemiring() { SetKernelTuning(saved_); }
+  ScopedSemiring(const ScopedSemiring&) = delete;
+  ScopedSemiring& operator=(const ScopedSemiring&) = delete;
 
  private:
   KernelTuning saved_;

@@ -1,11 +1,13 @@
 #include "linalg/kernels.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <stdexcept>
 #include <vector>
 
 #include "common/thread_pool.h"
+#include "linalg/semiring.h"
 
 namespace apspark::linalg {
 namespace {
@@ -13,6 +15,29 @@ namespace {
 void CheckProductShapes(const DenseBlock& a, const DenseBlock& b) {
   if (a.cols() != b.rows()) {
     throw std::invalid_argument("min-plus product: inner dimensions differ");
+  }
+}
+
+/// Phantom of the product/update result shape, preserving the packed
+/// representation when every operand carries it — so model runs charge
+/// packed bytes exactly like real runs.
+DenseBlock PhantomLike(std::int64_t rows, std::int64_t cols, bool packed) {
+  return packed ? DenseBlock::PackedPhantom(rows, cols)
+                : DenseBlock::Phantom(rows, cols);
+}
+
+/// Packed operands are boolean-only payloads; mixing them with dense
+/// operands in one kernel call is a routing bug, not a computable case.
+void CheckUniformRepresentation(bool a_packed, bool b_packed) {
+  if (a_packed != b_packed) {
+    throw std::invalid_argument("kernel: packed/dense operand mix");
+  }
+}
+
+void CheckPackedSemiring() {
+  if (GetActiveSemiring() != SemiringId::kBoolean) {
+    throw std::invalid_argument(
+        "kernel: bit-packed blocks require the boolean semiring");
   }
 }
 
@@ -28,27 +53,61 @@ std::int64_t ParallelStripes(std::int64_t m, std::int64_t n,
   return std::max<std::int64_t>(1, std::min(by_grain, by_threads));
 }
 
-/// Fixed scalar k-i-j Floyd-Warshall on a raw tile (the textbook loop).
+// ---------------------------------------------------------------------------
+// Semiring-templated scalar/tiled workers
+// ---------------------------------------------------------------------------
+//
+// Every worker is a template over a semiring struct S (linalg/semiring.h).
+// The tiled variants reorder only the (+) reduction — candidates
+// S::Multiply(a_ik, b_kj) are computed identically, Add is a keep-on-tie
+// selection applied in ascending-k order — so every variant produces
+// bitwise-identical results under every semiring, and every instantiation
+// locks against the scalar oracle in semiring.h.
+
+/// Fixed scalar k-i-j Floyd-Warshall closure on a raw tile (textbook loop).
+template <typename S>
 void FloydWarshallRawScalar(std::int64_t n, double* a, std::int64_t lda) {
   for (std::int64_t k = 0; k < n; ++k) {
     const double* ak = a + k * lda;
     for (std::int64_t i = 0; i < n; ++i) {
       double* ai = a + i * lda;
       const double aik = ai[k];
-      if (std::isinf(aik)) continue;
+      if (S::IsZero(aik)) continue;  // annihilator: no path through k
       for (std::int64_t j = 0; j < n; ++j) {
-        const double via = aik + ak[j];
-        if (via < ai[j]) ai[j] = via;
+        ai[j] = S::Add(ai[j], S::Multiply(aik, ak[j]));
+      }
+    }
+  }
+}
+
+/// Fixed scalar i-k-j accumulate (the seed's original loop shape).
+template <typename S>
+void AccumulateRawNaive(std::int64_t m, std::int64_t n, std::int64_t k,
+                        const double* a, std::int64_t lda, const double* b,
+                        std::int64_t ldb, double* c, std::int64_t ldc) {
+  // i-k-j order: the inner loop streams rows of B and C, the semiring
+  // analogue of the classic GEMM loop ordering — but unblocked: every row
+  // of C streams the whole of B through the cache hierarchy.
+  for (std::int64_t i = 0; i < m; ++i) {
+    double* ci = c + i * ldc;
+    const double* ai = a + i * lda;
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const double aik = ai[kk];
+      if (S::IsZero(aik)) continue;  // no path through kk
+      const double* bk = b + kk * ldb;
+      for (std::int64_t j = 0; j < n; ++j) {
+        ci[j] = S::Add(ci[j], S::Multiply(aik, bk[j]));
       }
     }
   }
 }
 
 /// Sequential body of the tiled micro-kernel over a row range [i0, i1).
-void MinPlusTiledRows(std::int64_t i0, std::int64_t i1, std::int64_t n,
-                      std::int64_t k, const double* a, std::int64_t lda,
-                      const double* b, std::int64_t ldb, double* c,
-                      std::int64_t ldc, const KernelTuning& tuning) {
+template <typename S>
+void TiledRows(std::int64_t i0, std::int64_t i1, std::int64_t n,
+               std::int64_t k, const double* a, std::int64_t lda,
+               const double* b, std::int64_t ldb, double* c, std::int64_t ldc,
+               const KernelTuning& tuning) {
   const std::int64_t tj = std::max<std::int64_t>(8, tuning.tile_j);
   const std::int64_t tk = std::max<std::int64_t>(1, tuning.tile_k);
   for (std::int64_t j0 = 0; j0 < n; j0 += tj) {
@@ -60,49 +119,45 @@ void MinPlusTiledRows(std::int64_t i0, std::int64_t i1, std::int64_t n,
         double* ci = c + i * ldc + j0;
         // Register-blocked over k: four B rows are folded into C per pass,
         // so each C segment is loaded and stored once per four k steps
-        // instead of once per step. The min chain applies the k's in
+        // instead of once per step. The Add chain applies the k's in
         // ascending order with keep-on-tie semantics, exactly like the
-        // scalar loop, so results are bitwise identical. a_ik = +inf needs
-        // no special case inside a quad (inf + w >= c is a no-op; weights
-        // are never -inf), but an all-infinite quad is skipped outright —
-        // the hoisted guard of the scalar loop, four rows at a time.
+        // scalar loop, so results are bitwise identical. An annihilator
+        // a_ik needs no special case inside a quad (Zero (x) b is Zero and
+        // Add(c, Zero) keeps c bitwise, in all four semirings' domains),
+        // but an all-annihilator quad is skipped outright — the hoisted
+        // guard of the scalar loop, four rows at a time.
         std::int64_t kk = 0;
         for (; kk + 4 <= kn; kk += 4) {
           const double a0 = ai[kk + 0];
           const double a1 = ai[kk + 1];
           const double a2 = ai[kk + 2];
           const double a3 = ai[kk + 3];
-          if (std::isinf(a0) && std::isinf(a1) && std::isinf(a2) &&
-              std::isinf(a3)) {
+          if (S::IsZero(a0) && S::IsZero(a1) && S::IsZero(a2) &&
+              S::IsZero(a3)) {
             continue;  // no path through any of these four k's
           }
           const double* b0 = b + (k0 + kk + 0) * ldb + j0;
           const double* b1 = b + (k0 + kk + 1) * ldb + j0;
           const double* b2 = b + (k0 + kk + 2) * ldb + j0;
           const double* b3 = b + (k0 + kk + 3) * ldb + j0;
-          // Branch-free min so the compiler emits vector minpd; exact-row
-          // aliasing of c with a B row (in-place phase updates) is safe
-          // because every lane reads before it writes.
+          // Branch-free selection so the compiler emits vector min/maxpd;
+          // exact-row aliasing of c with a B row (in-place phase updates)
+          // is safe because every lane reads before it writes.
           for (std::int64_t j = 0; j < jn; ++j) {
             double cj = ci[j];
-            const double v0 = a0 + b0[j];
-            cj = v0 < cj ? v0 : cj;
-            const double v1 = a1 + b1[j];
-            cj = v1 < cj ? v1 : cj;
-            const double v2 = a2 + b2[j];
-            cj = v2 < cj ? v2 : cj;
-            const double v3 = a3 + b3[j];
-            cj = v3 < cj ? v3 : cj;
+            cj = S::Add(cj, S::Multiply(a0, b0[j]));
+            cj = S::Add(cj, S::Multiply(a1, b1[j]));
+            cj = S::Add(cj, S::Multiply(a2, b2[j]));
+            cj = S::Add(cj, S::Multiply(a3, b3[j]));
             ci[j] = cj;
           }
         }
         for (; kk < kn; ++kk) {
           const double aik = ai[kk];
-          if (std::isinf(aik)) continue;  // hoisted: no path through kk
+          if (S::IsZero(aik)) continue;  // hoisted: no path through kk
           const double* bk = b + (k0 + kk) * ldb + j0;
           for (std::int64_t j = 0; j < jn; ++j) {
-            const double via = aik + bk[j];
-            ci[j] = via < ci[j] ? via : ci[j];
+            ci[j] = S::Add(ci[j], S::Multiply(aik, bk[j]));
           }
         }
       }
@@ -112,7 +167,7 @@ void MinPlusTiledRows(std::int64_t i0, std::int64_t i1, std::int64_t n,
 
 /// Widest C row segment the panel micro-kernel holds in a local accumulator.
 /// 32 doubles fill four AVX-512 (eight AVX2) registers — enough to vectorize
-/// while leaving room for the B row and the candidate sums.
+/// while leaving room for the B row and the candidate products.
 constexpr std::int64_t kPanelAccWidth = 32;
 
 /// Panels at most this wide take the accumulator micro-kernel; wider ones
@@ -124,10 +179,11 @@ constexpr std::int64_t kPanelNarrowWidth = 64;
 /// C row segment lives in `acc` across the whole k reduction, so C traffic
 /// drops to one load and one store per row. Candidates are applied in the
 /// same ascending-k, keep-on-tie order as the scalar loop — bitwise equal.
-void MinPlusPanelRows(std::int64_t i0, std::int64_t i1, std::int64_t n,
-                      std::int64_t k, const double* a, std::int64_t lda,
-                      const double* b, std::int64_t ldb, double* c,
-                      std::int64_t ldc) {
+template <typename S>
+void PanelRows(std::int64_t i0, std::int64_t i1, std::int64_t n,
+               std::int64_t k, const double* a, std::int64_t lda,
+               const double* b, std::int64_t ldb, double* c,
+               std::int64_t ldc) {
   double acc[kPanelAccWidth];
   for (std::int64_t j0 = 0; j0 < n; j0 += kPanelAccWidth) {
     const std::int64_t jn = std::min(kPanelAccWidth, n - j0);
@@ -137,11 +193,10 @@ void MinPlusPanelRows(std::int64_t i0, std::int64_t i1, std::int64_t n,
       for (std::int64_t j = 0; j < jn; ++j) acc[j] = ci[j];
       for (std::int64_t kk = 0; kk < k; ++kk) {
         const double aik = ai[kk];
-        if (std::isinf(aik)) continue;  // no path through kk
+        if (S::IsZero(aik)) continue;  // no path through kk
         const double* bk = b + kk * ldb + j0;
         for (std::int64_t j = 0; j < jn; ++j) {
-          const double via = aik + bk[j];
-          acc[j] = via < acc[j] ? via : acc[j];
+          acc[j] = S::Add(acc[j], S::Multiply(aik, bk[j]));
         }
       }
       for (std::int64_t j = 0; j < jn; ++j) ci[j] = acc[j];
@@ -149,10 +204,89 @@ void MinPlusPanelRows(std::int64_t i0, std::int64_t i1, std::int64_t n,
   }
 }
 
-/// Blocked 3-phase Floyd-Warshall over a raw n x n matrix with leading
-/// dimension lda. Phase-2/phase-3 tile updates reuse the min-plus
+/// True when operand [p .. p + (rows-1)*ld + cols) overlaps the output
+/// region of C — row striping across host threads is unsafe then (in-place
+/// Kleene and phase updates alias operands with their output).
+bool OverlapsOutput(const double* p, std::int64_t rows, std::int64_t ld,
+                    std::int64_t cols, const double* c, std::int64_t m,
+                    std::int64_t ldc, std::int64_t n) {
+  const auto lo = reinterpret_cast<std::uintptr_t>(p);
+  const auto hi =
+      lo + static_cast<std::uintptr_t>((rows - 1) * ld + cols) * sizeof(double);
+  const auto clo = reinterpret_cast<std::uintptr_t>(c);
+  const auto chi =
+      clo + static_cast<std::uintptr_t>((m - 1) * ldc + n) * sizeof(double);
+  return lo < chi && clo < hi;
+}
+
+template <typename S>
+void AccumulateRawTiled(std::int64_t m, std::int64_t n, std::int64_t k,
+                        const double* a, std::int64_t lda, const double* b,
+                        std::int64_t ldb, double* c, std::int64_t ldc,
+                        bool parallel) {
+  const KernelTuning tuning = GetKernelTuning();
+  // Row striping is only safe when no stripe's C rows are another stripe's
+  // A/B input (the in-place Kleene and phase updates alias them); overlap
+  // forces the sequential path.
+  if (parallel && (OverlapsOutput(a, m, lda, k, c, m, ldc, n) ||
+                   OverlapsOutput(b, k, ldb, n, c, m, ldc, n))) {
+    parallel = false;
+  }
+  const std::int64_t stripes = parallel ? ParallelStripes(m, n, tuning) : 1;
+  if (stripes <= 1) {
+    TiledRows<S>(0, m, n, k, a, lda, b, ldb, c, ldc, tuning);
+    return;
+  }
+  const std::int64_t rows_per_stripe = (m + stripes - 1) / stripes;
+  KernelThreadPool().ParallelFor(
+      static_cast<std::size_t>(stripes), [&](std::size_t s) {
+        const std::int64_t i0 =
+            static_cast<std::int64_t>(s) * rows_per_stripe;
+        const std::int64_t i1 = std::min(m, i0 + rows_per_stripe);
+        if (i0 < i1) {
+          TiledRows<S>(i0, i1, n, k, a, lda, b, ldb, c, ldc, tuning);
+        }
+      });
+}
+
+template <typename S>
+void PanelRawTiled(std::int64_t m, std::int64_t n, std::int64_t k,
+                   const double* a, std::int64_t lda, const double* b,
+                   std::int64_t ldb, double* c, std::int64_t ldc,
+                   bool parallel) {
+  if (n > kPanelNarrowWidth) {
+    // Wide panel: the square-tiled kernel's cache blocking is the better
+    // shape (and stays bitwise-equal — same ascending-k candidate order).
+    AccumulateRawTiled<S>(m, n, k, a, lda, b, ldb, c, ldc, parallel);
+    return;
+  }
+  if (parallel && (OverlapsOutput(a, m, lda, k, c, m, ldc, n) ||
+                   OverlapsOutput(b, k, ldb, n, c, m, ldc, n))) {
+    parallel = false;
+  }
+  const KernelTuning tuning = GetKernelTuning();
+  const std::int64_t stripes = parallel ? ParallelStripes(m, n, tuning) : 1;
+  if (stripes <= 1) {
+    PanelRows<S>(0, m, n, k, a, lda, b, ldb, c, ldc);
+    return;
+  }
+  const std::int64_t rows_per_stripe = (m + stripes - 1) / stripes;
+  KernelThreadPool().ParallelFor(
+      static_cast<std::size_t>(stripes), [&](std::size_t s) {
+        const std::int64_t i0 =
+            static_cast<std::int64_t>(s) * rows_per_stripe;
+        const std::int64_t i1 = std::min(m, i0 + rows_per_stripe);
+        if (i0 < i1) {
+          PanelRows<S>(i0, i1, n, k, a, lda, b, ldb, c, ldc);
+        }
+      });
+}
+
+/// Blocked 3-phase Floyd-Warshall closure over a raw n x n matrix with
+/// leading dimension lda. Phase-2/phase-3 tile updates reuse the accumulate
 /// micro-kernel; with `parallel` they fan out on the host pool (tiles write
 /// disjoint output, so the phases are race-free).
+template <typename S>
 void BlockedFloydWarshallRaw(std::int64_t n, double* a, std::int64_t lda,
                              std::int64_t block, bool tiled, bool parallel) {
   const std::int64_t q = (n + block - 1) / block;
@@ -163,23 +297,23 @@ void BlockedFloydWarshallRaw(std::int64_t n, double* a, std::int64_t lda,
   auto update = [&](std::int64_t m2, std::int64_t n2, std::int64_t k2,
                     const double* ta, const double* tb, double* tc) {
     if (tiled) {
-      MinPlusAccumulateRawTiled(m2, n2, k2, ta, lda, tb, lda, tc, lda,
-                                /*parallel=*/false);
+      AccumulateRawTiled<S>(m2, n2, k2, ta, lda, tb, lda, tc, lda,
+                            /*parallel=*/false);
     } else {
-      MinPlusAccumulateRawNaive(m2, n2, k2, ta, lda, tb, lda, tc, lda);
+      AccumulateRawNaive<S>(m2, n2, k2, ta, lda, tb, lda, tc, lda);
     }
   };
   for (std::int64_t t = 0; t < q; ++t) {
     const std::int64_t bt = dim(t);
     // Phase 1: close the diagonal tile.
-    FloydWarshallRawScalar(bt, tile(t, t), lda);
+    FloydWarshallRawScalar<S>(bt, tile(t, t), lda);
     // Phase 2: row and column tiles through the diagonal tile.
     auto phase2 = [&](std::int64_t j) {
       if (j == t) return;
       const std::int64_t bj = dim(j);
-      // Row tile: A[t][j] = min(A[t][j], A[t][t] (min,+) A[t][j]).
+      // Row tile: A[t][j] = A[t][j] (+) A[t][t] (x) A[t][j].
       update(bt, bj, bt, tile(t, t), tile(t, j), tile(t, j));
-      // Column tile: A[j][t] = min(A[j][t], A[j][t] (min,+) A[t][t]).
+      // Column tile: A[j][t] = A[j][t] (+) A[j][t] (x) A[t][t].
       update(bj, bt, bt, tile(j, t), tile(t, t), tile(j, t));
     };
     // Phase 3: remaining tiles through the freshly updated row/column.
@@ -225,19 +359,78 @@ void BlockedFloydWarshallRaw(std::int64_t n, double* a, std::int64_t lda,
   }
 }
 
-/// True when operand [p .. p + (rows-1)*ld + cols) overlaps the output
-/// region of C — row striping across host threads is unsafe then (in-place
-/// Kleene and phase updates alias operands with their output).
-bool OverlapsOutput(const double* p, std::int64_t rows, std::int64_t ld,
-                    std::int64_t cols, const double* c, std::int64_t m,
-                    std::int64_t ldc, std::int64_t n) {
-  const auto lo = reinterpret_cast<std::uintptr_t>(p);
-  const auto hi =
-      lo + static_cast<std::uintptr_t>((rows - 1) * ld + cols) * sizeof(double);
-  const auto clo = reinterpret_cast<std::uintptr_t>(c);
-  const auto chi =
-      clo + static_cast<std::uintptr_t>((m - 1) * ldc + n) * sizeof(double);
-  return lo < chi && clo < hi;
+// ---------------------------------------------------------------------------
+// Bit-packed boolean kernels (the word-parallel or/and plane)
+// ---------------------------------------------------------------------------
+//
+// Packed blocks store 64 booleans per word (dense_block.h). One word-or
+// processes 64 columns; the (or, and) product c |= a (x) b walks the set
+// bits of A's row — exactly the scalar kernel's "skip the annihilator"
+// guard, 64 lanes at a time. Or is idempotent and commutative, so candidate
+// order cannot matter: equivalence with the dense boolean path is exact by
+// construction, which is why one sequential implementation serves all
+// registry variants.
+
+/// c |= a (or,and) b over packed blocks.
+void BitAccumulate(const DenseBlock& a, const DenseBlock& b, DenseBlock& c) {
+  const std::int64_t wpr_b = b.words_per_row();
+  for (std::int64_t i = 0; i < a.rows(); ++i) {
+    const std::uint64_t* arow = a.WordRow(i);
+    std::uint64_t* crow = c.MutableWordRow(i);
+    for (std::int64_t w = 0; w < a.words_per_row(); ++w) {
+      std::uint64_t word = arow[w];
+      while (word != 0) {
+        const std::int64_t k = (w << 6) + std::countr_zero(word);
+        word &= word - 1;
+        const std::uint64_t* brow = b.WordRow(k);
+        for (std::int64_t v = 0; v < wpr_b; ++v) crow[v] |= brow[v];
+      }
+    }
+  }
+}
+
+/// In-place Floyd-Warshall reachability closure over a packed square block:
+/// row_i |= row_k wherever bit (i, k) is set. Updating pivot row k in place
+/// is sound because or is idempotent (the same argument the dense closure's
+/// static_assert encodes).
+void BitClosureRaw(DenseBlock& a) {
+  const std::int64_t n = a.rows();
+  const std::int64_t wpr = a.words_per_row();
+  for (std::int64_t k = 0; k < n; ++k) {
+    const std::uint64_t* ak = a.WordRow(k);
+    for (std::int64_t i = 0; i < n; ++i) {
+      if (!a.GetBit(i, k)) continue;  // no path through k
+      std::uint64_t* ai = a.MutableWordRow(i);
+      for (std::int64_t w = 0; w < wpr; ++w) ai[w] |= ak[w];
+    }
+  }
+}
+
+/// a |= b element-wise over packed blocks (the boolean MatMin analogue).
+void BitElementOrInPlace(DenseBlock& a, const DenseBlock& b) {
+  std::uint64_t* pa = a.MutableWordRow(0);
+  const std::uint64_t* pb = b.WordRow(0);
+  const std::int64_t words = a.rows() * a.words_per_row();
+  for (std::int64_t i = 0; i < words; ++i) pa[i] |= pb[i];
+}
+
+/// a_ij |= u_i & v_j for packed column vectors u (rows x 1), v (cols x 1):
+/// the boolean outer-product update behind 2D Floyd-Warshall.
+void BitOuterOrUpdate(DenseBlock& a, const DenseBlock& u,
+                      const DenseBlock& v) {
+  // Build the v row mask once: bit j of the mask is v_j.
+  std::vector<std::uint64_t> mask(
+      static_cast<std::size_t>(a.words_per_row()), 0);
+  for (std::int64_t j = 0; j < a.cols(); ++j) {
+    if (v.GetBit(j, 0)) {
+      mask[static_cast<std::size_t>(j >> 6)] |= std::uint64_t{1} << (j & 63);
+    }
+  }
+  for (std::int64_t i = 0; i < a.rows(); ++i) {
+    if (!u.GetBit(i, 0)) continue;
+    std::uint64_t* ai = a.MutableWordRow(i);
+    for (std::int64_t w = 0; w < a.words_per_row(); ++w) ai[w] |= mask[w];
+  }
 }
 
 }  // namespace
@@ -246,83 +439,30 @@ void MinPlusAccumulateRawNaive(std::int64_t m, std::int64_t n, std::int64_t k,
                                const double* a, std::int64_t lda,
                                const double* b, std::int64_t ldb, double* c,
                                std::int64_t ldc) {
-  // i-k-j order: the inner loop streams rows of B and C, the min-plus
-  // analogue of the classic GEMM loop ordering — but unblocked: every row
-  // of C streams the whole of B through the cache hierarchy.
-  for (std::int64_t i = 0; i < m; ++i) {
-    double* ci = c + i * ldc;
-    const double* ai = a + i * lda;
-    for (std::int64_t kk = 0; kk < k; ++kk) {
-      const double aik = ai[kk];
-      if (std::isinf(aik)) continue;  // no path through kk
-      const double* bk = b + kk * ldb;
-      for (std::int64_t j = 0; j < n; ++j) {
-        const double via = aik + bk[j];
-        if (via < ci[j]) ci[j] = via;
-      }
-    }
-  }
+  WithSemiring(GetActiveSemiring(), [&](auto s) {
+    using S = decltype(s);
+    AccumulateRawNaive<S>(m, n, k, a, lda, b, ldb, c, ldc);
+  });
 }
 
 void MinPlusAccumulateRawTiled(std::int64_t m, std::int64_t n, std::int64_t k,
                                const double* a, std::int64_t lda,
                                const double* b, std::int64_t ldb, double* c,
                                std::int64_t ldc, bool parallel) {
-  const KernelTuning tuning = GetKernelTuning();
-  // Row striping is only safe when no stripe's C rows are another stripe's
-  // A/B input (the in-place Kleene and phase updates alias them); overlap
-  // forces the sequential path.
-  if (parallel && (OverlapsOutput(a, m, lda, k, c, m, ldc, n) ||
-                   OverlapsOutput(b, k, ldb, n, c, m, ldc, n))) {
-    parallel = false;
-  }
-  const std::int64_t stripes = parallel ? ParallelStripes(m, n, tuning) : 1;
-  if (stripes <= 1) {
-    MinPlusTiledRows(0, m, n, k, a, lda, b, ldb, c, ldc, tuning);
-    return;
-  }
-  const std::int64_t rows_per_stripe = (m + stripes - 1) / stripes;
-  KernelThreadPool().ParallelFor(
-      static_cast<std::size_t>(stripes), [&](std::size_t s) {
-        const std::int64_t i0 =
-            static_cast<std::int64_t>(s) * rows_per_stripe;
-        const std::int64_t i1 = std::min(m, i0 + rows_per_stripe);
-        if (i0 < i1) {
-          MinPlusTiledRows(i0, i1, n, k, a, lda, b, ldb, c, ldc, tuning);
-        }
-      });
+  WithSemiring(GetActiveSemiring(), [&](auto s) {
+    using S = decltype(s);
+    AccumulateRawTiled<S>(m, n, k, a, lda, b, ldb, c, ldc, parallel);
+  });
 }
 
 void MinPlusPanelRawTiled(std::int64_t m, std::int64_t n, std::int64_t k,
                           const double* a, std::int64_t lda, const double* b,
                           std::int64_t ldb, double* c, std::int64_t ldc,
                           bool parallel) {
-  if (n > kPanelNarrowWidth) {
-    // Wide panel: the square-tiled kernel's cache blocking is the better
-    // shape (and stays bitwise-equal — same ascending-k candidate order).
-    MinPlusAccumulateRawTiled(m, n, k, a, lda, b, ldb, c, ldc, parallel);
-    return;
-  }
-  if (parallel && (OverlapsOutput(a, m, lda, k, c, m, ldc, n) ||
-                   OverlapsOutput(b, k, ldb, n, c, m, ldc, n))) {
-    parallel = false;
-  }
-  const KernelTuning tuning = GetKernelTuning();
-  const std::int64_t stripes = parallel ? ParallelStripes(m, n, tuning) : 1;
-  if (stripes <= 1) {
-    MinPlusPanelRows(0, m, n, k, a, lda, b, ldb, c, ldc);
-    return;
-  }
-  const std::int64_t rows_per_stripe = (m + stripes - 1) / stripes;
-  KernelThreadPool().ParallelFor(
-      static_cast<std::size_t>(stripes), [&](std::size_t s) {
-        const std::int64_t i0 =
-            static_cast<std::int64_t>(s) * rows_per_stripe;
-        const std::int64_t i1 = std::min(m, i0 + rows_per_stripe);
-        if (i0 < i1) {
-          MinPlusPanelRows(i0, i1, n, k, a, lda, b, ldb, c, ldc);
-        }
-      });
+  WithSemiring(GetActiveSemiring(), [&](auto s) {
+    using S = decltype(s);
+    PanelRawTiled<S>(m, n, k, a, lda, b, ldb, c, ldc, parallel);
+  });
 }
 
 void MinPlusAccumulateRaw(std::int64_t m, std::int64_t n, std::int64_t k,
@@ -346,9 +486,16 @@ void MinPlusAccumulateRaw(std::int64_t m, std::int64_t n, std::int64_t k,
 DenseBlock MinPlusProduct(const DenseBlock& a, const DenseBlock& b) {
   CheckProductShapes(a, b);
   if (a.is_phantom() || b.is_phantom()) {
-    return DenseBlock::Phantom(a.rows(), b.cols());
+    return PhantomLike(a.rows(), b.cols(), a.is_packed() && b.is_packed());
   }
-  DenseBlock c(a.rows(), b.cols(), kInf);
+  CheckUniformRepresentation(a.is_packed(), b.is_packed());
+  if (a.is_packed()) {
+    CheckPackedSemiring();
+    DenseBlock c = DenseBlock::PackedBoolean(a.rows(), b.cols());
+    BitAccumulate(a, b, c);
+    return c;
+  }
+  DenseBlock c(a.rows(), b.cols(), SemiringZeroValue(GetActiveSemiring()));
   MinPlusAccumulateRaw(a.rows(), b.cols(), a.cols(), a.data(), a.cols(),
                        b.data(), b.cols(), c.mutable_data(), c.cols());
   return c;
@@ -360,7 +507,15 @@ void MinPlusUpdate(const DenseBlock& a, const DenseBlock& b, DenseBlock& c) {
     throw std::invalid_argument("min-plus update: output shape mismatch");
   }
   if (a.is_phantom() || b.is_phantom() || c.is_phantom()) {
-    c = DenseBlock::Phantom(a.rows(), b.cols());
+    c = PhantomLike(a.rows(), b.cols(),
+                    a.is_packed() && b.is_packed() && c.is_packed());
+    return;
+  }
+  CheckUniformRepresentation(a.is_packed(), b.is_packed());
+  CheckUniformRepresentation(a.is_packed(), c.is_packed());
+  if (a.is_packed()) {
+    CheckPackedSemiring();
+    BitAccumulate(a, b, c);
     return;
   }
   MinPlusAccumulateRaw(a.rows(), b.cols(), a.cols(), a.data(), a.cols(),
@@ -374,7 +529,15 @@ void MinPlusUpdateRect(const DenseBlock& a, const DenseBlock& p,
     throw std::invalid_argument("min-plus rect update: output shape mismatch");
   }
   if (a.is_phantom() || p.is_phantom() || c.is_phantom()) {
-    c = DenseBlock::Phantom(a.rows(), p.cols());
+    c = PhantomLike(a.rows(), p.cols(),
+                    a.is_packed() && p.is_packed() && c.is_packed());
+    return;
+  }
+  CheckUniformRepresentation(a.is_packed(), p.is_packed());
+  CheckUniformRepresentation(a.is_packed(), c.is_packed());
+  if (a.is_packed()) {
+    CheckPackedSemiring();
+    BitAccumulate(a, p, c);
     return;
   }
   switch (GetKernelVariant()) {
@@ -401,7 +564,7 @@ DenseBlock ElementMin(const DenseBlock& a, const DenseBlock& b) {
     throw std::invalid_argument("element-min: shape mismatch");
   }
   if (a.is_phantom() || b.is_phantom()) {
-    return DenseBlock::Phantom(a.rows(), a.cols());
+    return PhantomLike(a.rows(), a.cols(), a.is_packed() && b.is_packed());
   }
   DenseBlock out = a;
   ElementMinInPlace(out, b);
@@ -413,31 +576,44 @@ void ElementMinInPlace(DenseBlock& a, const DenseBlock& b) {
     throw std::invalid_argument("element-min: shape mismatch");
   }
   if (a.is_phantom() || b.is_phantom()) {
-    a = DenseBlock::Phantom(a.rows(), a.cols());
+    a = PhantomLike(a.rows(), a.cols(), a.is_packed() && b.is_packed());
     return;
   }
-  double* pa = a.mutable_data();
-  const double* pb = b.data();
-  const std::int64_t n = a.size();
-  for (std::int64_t i = 0; i < n; ++i) pa[i] = std::min(pa[i], pb[i]);
+  CheckUniformRepresentation(a.is_packed(), b.is_packed());
+  if (a.is_packed()) {
+    CheckPackedSemiring();
+    BitElementOrInPlace(a, b);
+    return;
+  }
+  WithSemiring(GetActiveSemiring(), [&](auto s) {
+    using S = decltype(s);
+    double* pa = a.mutable_data();
+    const double* pb = b.data();
+    const std::int64_t n = a.size();
+    for (std::int64_t i = 0; i < n; ++i) pa[i] = S::Add(pa[i], pb[i]);
+  });
 }
 
 void FloydWarshallRaw(std::int64_t n, double* a, std::int64_t lda) {
   const KernelTuning tuning = GetKernelTuning();
-  switch (tuning.variant) {
-    case KernelVariant::kNaive:
-      FloydWarshallRawScalar(n, a, lda);
-      return;
-    case KernelVariant::kTiled:
-    case KernelVariant::kTiledParallel:
-      if (n <= tuning.fw_block) {
-        FloydWarshallRawScalar(n, a, lda);
+  WithSemiring(tuning.semiring, [&](auto s) {
+    using S = decltype(s);
+    switch (tuning.variant) {
+      case KernelVariant::kNaive:
+        FloydWarshallRawScalar<S>(n, a, lda);
         return;
-      }
-      BlockedFloydWarshallRaw(n, a, lda, tuning.fw_block, /*tiled=*/true,
-                              tuning.variant == KernelVariant::kTiledParallel);
-      return;
-  }
+      case KernelVariant::kTiled:
+      case KernelVariant::kTiledParallel:
+        if (n <= tuning.fw_block) {
+          FloydWarshallRawScalar<S>(n, a, lda);
+          return;
+        }
+        BlockedFloydWarshallRaw<S>(
+            n, a, lda, tuning.fw_block, /*tiled=*/true,
+            tuning.variant == KernelVariant::kTiledParallel);
+        return;
+    }
+  });
 }
 
 void FloydWarshallInPlace(DenseBlock& a) {
@@ -445,6 +621,11 @@ void FloydWarshallInPlace(DenseBlock& a) {
     throw std::invalid_argument("Floyd-Warshall: block must be square");
   }
   if (a.is_phantom()) return;  // phantom stays phantom, shape unchanged
+  if (a.is_packed()) {
+    CheckPackedSemiring();
+    BitClosureRaw(a);
+    return;
+  }
   FloydWarshallRaw(a.rows(), a.mutable_data(), a.cols());
 }
 
@@ -453,7 +634,8 @@ void ReferenceFloydWarshall(DenseBlock& a) {
     throw std::invalid_argument("Floyd-Warshall: block must be square");
   }
   if (a.is_phantom()) return;
-  FloydWarshallRawScalar(a.rows(), a.mutable_data(), a.cols());
+  FloydWarshallRawScalar<MinPlusSemiring>(a.rows(), a.mutable_data(),
+                                          a.cols());
 }
 
 void OuterSumMinUpdate(DenseBlock& a, const DenseBlock& u,
@@ -463,20 +645,30 @@ void OuterSumMinUpdate(DenseBlock& a, const DenseBlock& u,
     throw std::invalid_argument("outer-sum update: vector shape mismatch");
   }
   if (a.is_phantom() || u.is_phantom() || v.is_phantom()) {
-    a = DenseBlock::Phantom(a.rows(), a.cols());
+    a = PhantomLike(a.rows(), a.cols(),
+                    a.is_packed() && u.is_packed() && v.is_packed());
     return;
   }
-  const double* pu = u.data();
-  const double* pv = v.data();
-  for (std::int64_t i = 0; i < a.rows(); ++i) {
-    const double ui = pu[i];
-    if (std::isinf(ui)) continue;
-    double* ai = a.MutableRow(i);
-    for (std::int64_t j = 0; j < a.cols(); ++j) {
-      const double via = ui + pv[j];
-      ai[j] = via < ai[j] ? via : ai[j];
-    }
+  CheckUniformRepresentation(a.is_packed(), u.is_packed());
+  CheckUniformRepresentation(a.is_packed(), v.is_packed());
+  if (a.is_packed()) {
+    CheckPackedSemiring();
+    BitOuterOrUpdate(a, u, v);
+    return;
   }
+  WithSemiring(GetActiveSemiring(), [&](auto s) {
+    using S = decltype(s);
+    const double* pu = u.data();
+    const double* pv = v.data();
+    for (std::int64_t i = 0; i < a.rows(); ++i) {
+      const double ui = pu[i];
+      if (S::IsZero(ui)) continue;
+      double* ai = a.MutableRow(i);
+      for (std::int64_t j = 0; j < a.cols(); ++j) {
+        ai[j] = S::Add(ai[j], S::Multiply(ui, pv[j]));
+      }
+    }
+  });
 }
 
 void BlockedFloydWarshall(DenseBlock& a, std::int64_t block_size) {
@@ -487,10 +679,20 @@ void BlockedFloydWarshall(DenseBlock& a, std::int64_t block_size) {
     throw std::invalid_argument("blocked Floyd-Warshall: block size must be > 0");
   }
   if (a.is_phantom()) return;
+  if (a.is_packed()) {
+    // The word-parallel closure is already the fast shape for packed
+    // reachability; block decomposition would only re-tile word-ors.
+    CheckPackedSemiring();
+    BitClosureRaw(a);
+    return;
+  }
   const KernelVariant variant = GetKernelVariant();
-  BlockedFloydWarshallRaw(a.rows(), a.mutable_data(), a.cols(), block_size,
-                          variant != KernelVariant::kNaive,
-                          variant == KernelVariant::kTiledParallel);
+  WithSemiring(GetActiveSemiring(), [&](auto s) {
+    using S = decltype(s);
+    BlockedFloydWarshallRaw<S>(a.rows(), a.mutable_data(), a.cols(),
+                               block_size, variant != KernelVariant::kNaive,
+                               variant == KernelVariant::kTiledParallel);
+  });
 }
 
 }  // namespace apspark::linalg

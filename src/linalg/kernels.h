@@ -1,24 +1,36 @@
-// Dense min-plus kernels — the compute core of the engine.
+// Dense semiring kernels — the compute core of the engine.
 //
 // These are the C++ equivalents of the operations the paper offloads from
-// pySpark to NumPy/SciPy (Intel MKL) and Numba: min-plus matrix product,
-// element-wise minimum, in-place Floyd-Warshall, the rank-1 outer-sum update
-// used by 2D Floyd-Warshall, and the cache-blocked sequential Floyd-Warshall
-// of Venkataraman et al. used both as the diagonal-block solver and as the
-// single-core reference (T1) for weak-scaling efficiency.
+// pySpark to NumPy/SciPy (Intel MKL) and Numba: semiring matrix product,
+// element-wise semiring Add, in-place Floyd-Warshall closure, the rank-1
+// outer update used by 2D Floyd-Warshall, and the cache-blocked sequential
+// Floyd-Warshall of Venkataraman et al. used both as the diagonal-block
+// solver and as the single-core reference (T1) for weak-scaling efficiency.
 //
 // Every entry point dispatches through the process-global kernel registry
-// (linalg/kernel_registry.h): the naive scalar loops, the cache-tiled fused
-// loops, or the tiled loops fanned out on the host ThreadPool. The tiled
-// kernels reorder only the (min, +) reduction — candidates a_ik + b_kj are
-// computed identically — so every variant produces bitwise-identical
-// min-plus products. ReferenceFloydWarshall / MinPlusAccumulateRawNaive are
-// fixed scalar implementations that never dispatch; tests use them as
-// oracles.
+// (linalg/kernel_registry.h) twice over: on the kernel *variant* — the naive
+// scalar loops, the cache-tiled fused loops, or the tiled loops fanned out
+// on the host ThreadPool — and on the active *semiring* (SemiringId). The
+// entry points keep their historical min-plus names (MinPlusProduct,
+// MinPlusUpdate, ...) from when the engine was hardwired to (min, +); under
+// ScopedSemiring the same functions evaluate (or, and), (max, min) or
+// (max, x) — see linalg/semiring.h for the algebra structs and the scalar
+// oracles. The tiled variants reorder only the (+) reduction — candidates
+// S::Multiply(a_ik, b_kj) are computed identically, Add is a keep-on-tie
+// selection applied in ascending-k order — so every variant produces
+// bitwise-identical products under every semiring. ReferenceFloydWarshall
+// is a fixed scalar min-plus implementation that never dispatches; the
+// per-semiring oracles are SemiringClosure / SemiringProductAccumulate.
+//
+// Bit-packed boolean blocks (DenseBlock::PackedBoolean) route to dedicated
+// word-parallel or/and kernels: a product walks the set bits of A's rows
+// and ors 64-column words of B into C. Packed operands require the boolean
+// semiring to be active and may not mix with dense operands in one call.
 //
 // All kernels propagate phantom blocks: if any operand is phantom, the result
-// is a phantom of the correct shape and no arithmetic is performed (cost
-// accounting happens at the building-block layer, see apsp/building_blocks.h).
+// is a phantom of the correct shape — preserving bit-packedness when all
+// operands carry it — and no arithmetic is performed (cost accounting happens
+// at the building-block layer, see apsp/building_blocks.h).
 #pragma once
 
 #include <cstdint>
@@ -28,10 +40,12 @@
 
 namespace apspark::linalg {
 
-/// C = A (min,+) B. Requires a.cols() == b.rows().
+/// C = A (x) B under the active semiring (historically min-plus — the name
+/// predates the semiring registry). Requires a.cols() == b.rows(). The
+/// result is filled with the semiring Zero before accumulation.
 DenseBlock MinPlusProduct(const DenseBlock& a, const DenseBlock& b);
 
-/// Fused update: c = min(c, A (min,+) B) element-wise, in place — the hot
+/// Fused update: c = c (+) (A (x) B) element-wise, in place — the hot
 /// path of every blocked solver. One pass, no intermediate product block.
 /// Requires c.rows() == a.rows(), c.cols() == b.cols(), a.cols() == b.rows().
 void MinPlusUpdate(const DenseBlock& a, const DenseBlock& b, DenseBlock& c);
@@ -49,7 +63,7 @@ void MinPlusUpdate(const DenseBlock& a, const DenseBlock& b, DenseBlock& c);
 /// (compute into a copy instead, as apsp::MinPlusRect does).
 void MinPlusUpdateRect(const DenseBlock& a, const DenseBlock& p, DenseBlock& c);
 
-/// Element-wise minimum (the paper's MatMin).
+/// Element-wise semiring Add (the paper's MatMin under min-plus).
 DenseBlock ElementMin(const DenseBlock& a, const DenseBlock& b);
 void ElementMinInPlace(DenseBlock& a, const DenseBlock& b);
 
@@ -58,8 +72,9 @@ void ElementMinInPlace(DenseBlock& a, const DenseBlock& b);
 /// variants run the 3-phase blocked decomposition at tuning.fw_block.
 void FloydWarshallInPlace(DenseBlock& a);
 
-/// a_ij = min(a_ij, u_i + v_j) where u is a rows x 1 and v a cols x 1 vector
-/// (the paper's FloydWarshallUpdate: C = B_Ik 1^T + 1 B_Jk^T, then MatMin).
+/// a_ij = a_ij (+) (u_i (x) v_j) where u is a rows x 1 and v a cols x 1
+/// vector (the paper's FloydWarshallUpdate: C = B_Ik 1^T + 1 B_Jk^T, then
+/// MatMin, under min-plus).
 void OuterSumMinUpdate(DenseBlock& a, const DenseBlock& u, const DenseBlock& v);
 
 /// Sequential cache-blocked Floyd-Warshall (Venkataraman et al. [23]) over a
@@ -68,31 +83,33 @@ void OuterSumMinUpdate(DenseBlock& a, const DenseBlock& u, const DenseBlock& v);
 /// kTiledParallel the phase-2/phase-3 tile updates fan out on the host pool.
 void BlockedFloydWarshall(DenseBlock& a, std::int64_t block_size);
 
-/// Plain textbook k-i-j Floyd-Warshall. Never dispatches through the
-/// registry — this is the fixed scalar oracle tests compare against.
+/// Plain textbook k-i-j Floyd-Warshall, always (min, +). Never dispatches
+/// through the registry — this is the fixed scalar oracle tests compare
+/// against. The per-semiring oracle is linalg::SemiringClosureDispatch.
 void ReferenceFloydWarshall(DenseBlock& a);
 
 // --- Raw strided kernels (used by the blocked solvers; exposed for tests) --
 
-/// C[mxn] = min(C, A[mxk] (min,+) B[kxn]) with leading dimensions
-/// lda/ldb/ldc. Dispatches on the registry variant. In-place aliasing of C
-/// with A or B rows is supported (the blocked Floyd-Warshall phases rely on
-/// it).
+/// C[mxn] = C (+) (A[mxk] (x) B[kxn]) with leading dimensions lda/ldb/ldc,
+/// under the active semiring. Dispatches on the registry variant. In-place
+/// aliasing of C with A or B rows is supported (the blocked Floyd-Warshall
+/// phases rely on it). Raw kernels take dense double payloads only.
 void MinPlusAccumulateRaw(std::int64_t m, std::int64_t n, std::int64_t k,
                           const double* a, std::int64_t lda, const double* b,
                           std::int64_t ldb, double* c, std::int64_t ldc);
 
-/// Fixed scalar i-k-j implementation (the seed's original loop): baseline
-/// for benchmarks and oracle for tests.
+/// Scalar i-k-j implementation (the seed's original loop shape): baseline
+/// for benchmarks. Fixed in variant (never reads the registry variant) but
+/// honors the active semiring.
 void MinPlusAccumulateRawNaive(std::int64_t m, std::int64_t n, std::int64_t k,
                                const double* a, std::int64_t lda,
                                const double* b, std::int64_t ldb, double* c,
                                std::int64_t ldc);
 
 /// Register/cache-tiled micro-kernel: k and j are tiled so one B panel stays
-/// L2-resident and one C/B row segment L1-resident; the isinf guard is
-/// hoisted out of the vectorizable inner loop. `parallel` additionally
-/// splits the m rows into stripes on the host pool.
+/// L2-resident and one C/B row segment L1-resident; the annihilator guard
+/// (S::IsZero) is hoisted out of the vectorizable inner loop. `parallel`
+/// additionally splits the m rows into stripes on the host pool.
 void MinPlusAccumulateRawTiled(std::int64_t m, std::int64_t n, std::int64_t k,
                                const double* a, std::int64_t lda,
                                const double* b, std::int64_t ldb, double* c,

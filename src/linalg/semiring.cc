@@ -4,6 +4,115 @@
 
 namespace apspark::linalg {
 
+double SemiringZeroValue(SemiringId id) {
+  return WithSemiring(id, [](auto s) {
+    using S = decltype(s);
+    return S::Zero();
+  });
+}
+
+double SemiringOneValue(SemiringId id) {
+  return WithSemiring(id, [](auto s) {
+    using S = decltype(s);
+    return S::One();
+  });
+}
+
+bool SemiringIsZeroValue(SemiringId id, double x) {
+  return WithSemiring(id, [x](auto s) {
+    using S = decltype(s);
+    return S::IsZero(x);
+  });
+}
+
+bool BlockAllZero(const DenseBlock& block, SemiringId id) {
+  if (block.is_phantom()) return false;  // unknown structure: never skip
+  if (block.is_packed()) {
+    // Packed blocks hold booleans; the annihilator is bit 0 regardless of
+    // which algebra asked (only the boolean semiring produces packed
+    // blocks), so the test is a word sweep.
+    for (std::int64_t r = 0; r < block.rows(); ++r) {
+      const std::uint64_t* row = block.WordRow(r);
+      for (std::int64_t w = 0; w < block.words_per_row(); ++w) {
+        if (row[w] != 0) return false;
+      }
+    }
+    return true;
+  }
+  return WithSemiring(id, [&block](auto s) {
+    using S = decltype(s);
+    const double* p = block.data();
+    const double* end = p + block.size();
+    for (; p != end; ++p) {
+      if (!S::IsZero(*p)) return false;
+    }
+    return true;
+  });
+}
+
+void SemiringClosureDispatch(SemiringId id, DenseBlock& a) {
+  WithSemiring(id, [&a](auto s) {
+    using S = decltype(s);
+    SemiringClosure<S>(a);
+  });
+}
+
+DenseBlock SemiringAdjacency(DenseBlock minplus_adjacency, SemiringId id,
+                             bool bitpack) {
+  if (bitpack && id != SemiringId::kBoolean) {
+    throw std::invalid_argument(
+        "SemiringAdjacency: bit-packing is boolean-only");
+  }
+  const std::int64_t n_rows = minplus_adjacency.rows();
+  const std::int64_t n_cols = minplus_adjacency.cols();
+  if (minplus_adjacency.is_phantom()) {
+    return bitpack ? DenseBlock::PackedPhantom(n_rows, n_cols)
+                   : DenseBlock::Phantom(n_rows, n_cols);
+  }
+  switch (id) {
+    case SemiringId::kMinPlus:
+      return minplus_adjacency;  // NRVO-ineligible param: moves, no copy
+    case SemiringId::kBoolean: {
+      DenseBlock out = bitpack ? DenseBlock::PackedBoolean(n_rows, n_cols)
+                               : DenseBlock(n_rows, n_cols, 0.0);
+      for (std::int64_t i = 0; i < n_rows; ++i) {
+        for (std::int64_t j = 0; j < n_cols; ++j) {
+          if (!std::isinf(minplus_adjacency.At(i, j))) out.Set(i, j, 1.0);
+        }
+      }
+      return out;
+    }
+    case SemiringId::kMaxMin: {
+      DenseBlock out(n_rows, n_cols, MaxMinSemiring::Zero());
+      for (std::int64_t i = 0; i < n_rows; ++i) {
+        for (std::int64_t j = 0; j < n_cols; ++j) {
+          const double w = minplus_adjacency.At(i, j);
+          if (i == j) {
+            out.Set(i, j, MaxMinSemiring::One());
+          } else if (!std::isinf(w)) {
+            out.Set(i, j, w);  // edge weight reinterpreted as capacity
+          }
+        }
+      }
+      return out;
+    }
+    case SemiringId::kMaxTimes: {
+      DenseBlock out(n_rows, n_cols, MaxTimesSemiring::Zero());
+      for (std::int64_t i = 0; i < n_rows; ++i) {
+        for (std::int64_t j = 0; j < n_cols; ++j) {
+          const double w = minplus_adjacency.At(i, j);
+          // 2^-w maps length to reliability exactly (dyadic for integer w)
+          // and monotonically: widest path under the image ranks exactly
+          // like shortest path under w. The 0-weight diagonal maps to One.
+          if (!std::isinf(w)) out.Set(i, j, std::exp2(-w));
+        }
+      }
+      return out;
+    }
+  }
+  throw std::invalid_argument("unknown semiring id");
+}
+
 DenseBlock TransitiveClosure(const DenseBlock& adjacency) {
   DenseBlock reach(adjacency.rows(), adjacency.cols(), 0.0);
   for (std::int64_t i = 0; i < adjacency.rows(); ++i) {

@@ -48,9 +48,14 @@ inline void ExpectBitwiseEqual(const linalg::DenseBlock& actual,
   ASSERT_EQ(actual.cols(), expected.cols()) << label;
   ASSERT_EQ(actual.is_phantom(), expected.is_phantom()) << label;
   if (actual.is_phantom()) return;
-  const std::size_t bytes =
-      static_cast<std::size_t>(actual.size()) * sizeof(double);
-  if (std::memcmp(actual.data(), expected.data(), bytes) == 0) return;
+  // Bit-packed operands (boolean plane) compare element-wise through At(),
+  // which reads packed and dense representations transparently — a packed
+  // block must equal its dense 0/1 image exactly.
+  if (!actual.is_packed() && !expected.is_packed()) {
+    const std::size_t bytes =
+        static_cast<std::size_t>(actual.size()) * sizeof(double);
+    if (std::memcmp(actual.data(), expected.data(), bytes) == 0) return;
+  }
   for (std::int64_t r = 0; r < actual.rows(); ++r) {
     for (std::int64_t c = 0; c < actual.cols(); ++c) {
       const double a = actual.At(r, c);

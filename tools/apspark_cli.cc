@@ -48,6 +48,8 @@ struct Args {
   bool directed = false;
   bool fault_tolerant = false;
   std::string kernel = "tiled";
+  std::string semiring = "minplus";
+  bool no_bitpack = false;
   std::string ksource_variant = "staged";
   bool no_early_exit = false;
   /// Injected executor losses: --fail-node N@S (repeatable).
@@ -77,6 +79,12 @@ int Usage() {
                "        [--no-early-exit]  disable the all-infinite pivot\n"
                "                early-exit sweep (k-source mode)\n"
                "        [--kernel naive|tiled|tiled_parallel]\n"
+               "        [--semiring minplus|boolean|maxmin|maxtimes]\n"
+               "                algebra the solve evaluates: shortest path,\n"
+               "                reachability, bottleneck capacity, or widest\n"
+               "                (most reliable, 2^-w) path\n"
+               "        [--no-bitpack]  keep boolean solves on dense doubles\n"
+               "                instead of the bit-packed (64/word) plane\n"
                "        [--intra-task-cores C]  modelled cores per task\n"
                "        [--fail-node N@S]  inject loss of executor node N at\n"
                "                stage S (repeatable; pure solvers recover by\n"
@@ -95,6 +103,7 @@ int Usage() {
                "  plan  --n N [--cores C] [--fault-tolerant]\n"
                "  model --n N [--cores C] [--solver ...] [--block B]"
                " [--rounds R] [--sources K] [--ksource-variant V]"
+               " [--semiring S] [--no-bitpack]"
                " [--intra-task-cores C] [--fail-node N@S] [--fail-rack R@S]"
                " [--add-node @S] [--racks R]\n"
                "        --sources K with --ksource-variant auto picks the\n"
@@ -166,6 +175,12 @@ bool ParseArgs(int argc, char** argv, Args& args) {
       const char* v = next();
       if (!v) return false;
       args.kernel = v;
+    } else if (flag == "--semiring") {
+      const char* v = next();
+      if (!v) return false;
+      args.semiring = v;
+    } else if (flag == "--no-bitpack") {
+      args.no_bitpack = true;
     } else if (flag == "--ksource-variant") {
       const char* v = next();
       if (!v) return false;
@@ -432,6 +447,13 @@ int RunSolve(const Args& args) {
     return 1;
   }
   apsp::ApspOptions options;
+  const auto semiring = linalg::ParseSemiring(args.semiring);
+  if (!semiring.has_value()) {
+    std::fprintf(stderr, "unknown semiring '%s'\n", args.semiring.c_str());
+    return 1;
+  }
+  options.semiring = *semiring;
+  options.bitpack_boolean = !args.no_bitpack;
   options.block_size =
       args.block > 0 ? args.block
                      : std::max<std::int64_t>(1, g.num_vertices() / 4);
@@ -462,6 +484,7 @@ int RunSolve(const Args& args) {
     // registry instead of the full APSP matrix.
     apsp::KsourceOptions kopts;
     kopts.block_size = options.block_size;
+    kopts.semiring = options.semiring;
     kopts.partitioner = options.partitioner;
     kopts.directed = args.directed;
     kopts.early_exit_infinite = !args.no_early_exit;
@@ -478,13 +501,14 @@ int RunSolve(const Args& args) {
     kopts.variant = *variant;
     apsp::KsourceBlockedSolver ksolver;
     const auto sources = PickSources(g.num_vertices(), args.sources);
-    std::printf("solving %s k-source (k = %lld) with %s [%s%s] (b = %lld)\n",
-                g.Summary().c_str(), static_cast<long long>(args.sources),
-                ksolver.name().c_str(),
-                apsp::KsourceVariantName(kopts.variant),
-                apsp::KsourceBlockedSolver::Pure(kopts.variant) ? ", pure"
-                                                                : ", impure",
-                static_cast<long long>(kopts.block_size));
+    std::printf(
+        "solving %s k-source (k = %lld) with %s [%s%s] (b = %lld, %s)\n",
+        g.Summary().c_str(), static_cast<long long>(args.sources),
+        ksolver.name().c_str(), apsp::KsourceVariantName(kopts.variant),
+        apsp::KsourceBlockedSolver::Pure(kopts.variant) ? ", pure"
+                                                        : ", impure",
+        static_cast<long long>(kopts.block_size),
+        linalg::SemiringName(kopts.semiring));
     auto kresult = ksolver.SolveGraph(g, sources, kopts, cluster);
     if (!kresult.status.ok()) {
       std::fprintf(stderr, "solve failed: %s\n",
@@ -511,10 +535,15 @@ int RunSolve(const Args& args) {
   options.fail_nodes = args.fail_nodes;
   options.fail_racks = args.fail_racks;
   options.add_nodes = args.add_nodes;
-  std::printf("solving %s with %s (b = %lld%s)\n", g.Summary().c_str(),
+  std::printf("solving %s with %s (b = %lld%s, %s%s)\n", g.Summary().c_str(),
               solver->name().c_str(),
               static_cast<long long>(options.block_size),
-              solver->pure() ? ", pure" : ", impure");
+              solver->pure() ? ", pure" : ", impure",
+              linalg::SemiringName(options.semiring),
+              options.semiring == linalg::SemiringId::kBoolean &&
+                      options.bitpack_boolean
+                  ? " bit-packed"
+                  : "");
   auto result = solver->SolveGraph(g, options, cluster);
   if (!result.status.ok()) {
     std::fprintf(stderr, "solve failed: %s\n",
@@ -554,9 +583,15 @@ int RunPlan(const Args& args) {
 
 int RunModel(const Args& args) {
   if (args.n <= 1) return Usage();
+  const auto semiring = linalg::ParseSemiring(args.semiring);
+  if (!semiring.has_value()) {
+    std::fprintf(stderr, "unknown semiring '%s'\n", args.semiring.c_str());
+    return 1;
+  }
   if (args.sources > 0) {
     apsp::KsourceOptions kopts;
     kopts.block_size = args.block > 0 ? args.block : 1024;
+    kopts.semiring = *semiring;
     kopts.max_rounds = args.rounds > 0 ? args.rounds : 1;
     kopts.directed = args.directed;
     kopts.early_exit_infinite = !args.no_early_exit;
@@ -607,6 +642,8 @@ int RunModel(const Args& args) {
   }
   apsp::ApspOptions options;
   options.block_size = args.block > 0 ? args.block : 1024;
+  options.semiring = *semiring;
+  options.bitpack_boolean = !args.no_bitpack;
   options.max_rounds = args.rounds > 0 ? args.rounds : 1;
   options.checkpoint_every = args.checkpoint_every;
   options.fail_nodes = args.fail_nodes;
@@ -622,9 +659,14 @@ int RunModel(const Args& args) {
   if (!ValidateMembershipPlans(args, cluster)) return 2;
   auto solver = apsp::MakeSolver(*kind);
   auto result = solver->SolveModel(args.n, options, cluster);
-  std::printf("%s, n = %lld, b = %lld on %s\n", solver->name().c_str(),
+  std::printf("%s, n = %lld, b = %lld, %s%s on %s\n", solver->name().c_str(),
               static_cast<long long>(args.n),
               static_cast<long long>(options.block_size),
+              linalg::SemiringName(options.semiring),
+              options.semiring == linalg::SemiringId::kBoolean &&
+                      options.bitpack_boolean
+                  ? " bit-packed"
+                  : "",
               cluster.Summary().c_str());
   std::printf("rounds: %lld of %lld, per-round %s, projected %s%s\n",
               static_cast<long long>(result.rounds_executed),
