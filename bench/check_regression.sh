@@ -31,14 +31,21 @@
 #                tiled solve on the shuffle data plane (peak)
 #   B = multitenant  tracked record: two-tenant fair-share replay from
 #                bench_multitenant / BENCH_multitenant.json (makespan)
+#   B = serve    tracked record: Zipf hot-vertex query workload from
+#                bench_serve / BENCH_serve.json (qps)
+#   M = qps      serving throughput of the Zipf workload — queries per
+#                second through the disk-backed DistanceService; HIGHER is
+#                better. Machine-dependent, so CI runs it with a generous
+#                tolerance; the gate mainly guards against the cache/pin
+#                path growing lock contention or losing its hit fast path.
 #
 # Env: APSPARK_BENCH_TOLERANCE  allowed fractional regression (default 0.10)
 set -euo pipefail
 
 if [[ $# -lt 2 ]]; then
   echo "usage: $0 <measured.json> <baseline.json>" \
-       "[--metric gops|speedup|peak|makespan]" \
-       "[--bench fig2|ksource|multitenant]" >&2
+       "[--metric gops|speedup|peak|makespan|qps]" \
+       "[--bench fig2|ksource|multitenant|serve]" >&2
   exit 2
 fi
 measured="$1"
@@ -58,8 +65,17 @@ case "$metric" in
   speedup) field="speedup_vs_naive" ;;
   peak) field="driver_peak_bytes" ;;
   makespan) field="fair_makespan_seconds" ;;
+  qps) field="qps" ;;
   *) echo "unknown metric '$metric'" >&2; exit 2 ;;
 esac
+if [[ "$metric" == "qps" && "$bench" != "serve" ]]; then
+  echo "--metric qps is only tracked for --bench serve" >&2
+  exit 2
+fi
+if [[ "$bench" == "serve" && "$metric" != "qps" ]]; then
+  echo "--bench serve only tracks --metric qps" >&2
+  exit 2
+fi
 if [[ "$metric" == "peak" && "$bench" != "ksource" ]]; then
   echo "--metric peak is only tracked for --bench ksource" >&2
   exit 2
@@ -81,6 +97,7 @@ case "$bench" in
       what="tiled rect_kernel b=1024 k=64"
     fi ;;
   multitenant) what="two-tenant fair-share makespan" ;;
+  serve) what="serving-layer zipf workload" ;;
   *) echo "unknown bench '$bench'" >&2; exit 2 ;;
 esac
 tolerance="${APSPARK_BENCH_TOLERANCE:-0.10}"
@@ -90,7 +107,12 @@ tolerance="${APSPARK_BENCH_TOLERANCE:-0.10}"
 # tripping set -e inside the command substitution, so the explicit FAIL
 # diagnostic below can fire.
 extract() {
-  if [[ "$bench" == "multitenant" ]]; then
+  if [[ "$bench" == "serve" ]]; then
+    { grep '"section": "serve"' "$1" \
+        | grep '"workload": "zipf"' \
+        | grep -oE "\"$field\": [0-9.eE+-]+" \
+        | head -1 | awk '{print $2}'; } || true
+  elif [[ "$bench" == "multitenant" ]]; then
     { grep '"section": "multitenant"' "$1" \
         | grep -v '"section": "multitenant_tight"' \
         | grep -oE "\"$field\": [0-9.eE+-]+" \

@@ -1,0 +1,25 @@
+#include "apsp/api.h"
+
+namespace apspark::apsp {
+
+SolveReport Solve(const graph::Graph& graph, const SolveRequest& request) {
+  auto solver = MakeSolver(request.solver);
+  SolveReport report;
+  report.solver_name = solver->name();
+  report.pure = solver->pure();
+  report.run = solver->SolveGraph(graph, request.options, request.cluster,
+                                  request.cost_model);
+  return report;
+}
+
+SolveReport SolveModel(std::int64_t n, const SolveRequest& request) {
+  auto solver = MakeSolver(request.solver);
+  SolveReport report;
+  report.solver_name = solver->name();
+  report.pure = solver->pure();
+  report.run = solver->SolveModel(n, request.options, request.cluster,
+                                  request.cost_model);
+  return report;
+}
+
+}  // namespace apspark::apsp

@@ -1,0 +1,68 @@
+// Consolidated public solve surface.
+//
+// The library grew four solver classes, two run modes and a k-source solver,
+// each taking its own options bag plus a cluster and a cost model as loose
+// positional arguments. This header is the redesigned front door:
+//
+//   SolveRequest — everything one APSP solve needs: which solver, the
+//     workload options (ApspOptions, which it wraps), the cluster and the
+//     cost model. The shared durability/fault/membership knobs live in
+//     options' RunPlan base (apsp/run_plan.h) so one plan configures any
+//     workload.
+//   SolveReport — the result plus the identity of the solver that produced
+//     it, wrapping today's ApspRunResult.
+//
+//   Solve(graph, request)   — full-fidelity run on real data.
+//   SolveModel(n, request)  — paper-scale phantom run.
+//
+// Migration note: ApspOptions/ApspRunResult and the ApspSolver member
+// functions remain as the compatibility layer underneath — existing callers
+// compile unchanged — but they are deprecated in documentation; new code
+// should construct a SolveRequest. (No [[deprecated]] attribute: the
+// compatibility surface is still exercised by the repository's own tests
+// under -Werror.)
+#pragma once
+
+#include <string>
+
+#include "apsp/solver.h"
+#include "graph/graph.h"
+#include "linalg/cost_model.h"
+#include "sparklet/config.h"
+
+namespace apspark::apsp {
+
+struct SolveRequest {
+  SolverKind solver = SolverKind::kBlockedCollectBroadcast;
+  /// Workload options. The RunPlan base carries the checkpoint cadence and
+  /// the armed failure/membership schedule; assign a shared plan with
+  /// `static_cast<RunPlan&>(request.options) = plan`.
+  ApspOptions options;
+  sparklet::ClusterConfig cluster = sparklet::ClusterConfig::TinyTest();
+  linalg::CostModel cost_model;
+};
+
+struct SolveReport {
+  /// Name of the solver that ran (e.g. "Blocked Collect/Broadcast").
+  std::string solver_name;
+  /// Whether the solver relies only on fault-tolerant Spark functionality.
+  bool pure = false;
+  /// The full run payload (status, distances, metrics, projections).
+  ApspRunResult run;
+
+  bool ok() const noexcept { return run.status.ok(); }
+  const Status& status() const noexcept { return run.status; }
+  const sparklet::SimMetrics& metrics() const noexcept { return run.metrics; }
+  /// Distance matrix of a completed real-data run (empty for model runs).
+  const std::optional<linalg::DenseBlock>& distances() const noexcept {
+    return run.distances;
+  }
+};
+
+/// Full-fidelity solve of `graph` per `request`.
+SolveReport Solve(const graph::Graph& graph, const SolveRequest& request);
+
+/// Paper-scale model run on phantom blocks (no numeric payload).
+SolveReport SolveModel(std::int64_t n, const SolveRequest& request);
+
+}  // namespace apspark::apsp

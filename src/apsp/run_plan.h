@@ -1,0 +1,40 @@
+// RunPlan: the durability / fault / membership knobs shared by every solve.
+//
+// Historically ApspOptions and KsourceOptions each carried their own copy of
+// the checkpoint cadence, the armed failure plans, the elastic-join schedule
+// and the restart budget. The public-API redesign hoists them into this one
+// reusable struct: both option types now derive from RunPlan, so a caller
+// can configure one plan and assign it into any workload's options
+// (`static_cast<RunPlan&>(opts) = plan`), and the CLI's membership
+// validation operates on the plan alone. Field access through the derived
+// structs (`opts.checkpoint_every`, `opts.fail_nodes`, ...) is unchanged —
+// existing code compiles as before.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sparklet/fault.h"
+
+namespace apspark::apsp {
+
+struct RunPlan {
+  /// Durability extension: checkpoint solver state to shared storage every
+  /// this many rounds/pivots (0 = off); see apsp/checkpoint.h. Honored by
+  /// the impure solvers; pure ones recover through lineage and ignore it.
+  std::int64_t checkpoint_every = 0;
+  /// Fault injection: executor losses to arm before the run (fired by the
+  /// engine at stage boundaries; see sparklet::FaultInjector::FailNode).
+  std::vector<sparklet::NodeFailurePlan> fail_nodes;
+  /// Correlated failures: whole racks lost at a stage boundary (expanded to
+  /// per-node losses by the engine; see sparklet::FaultInjector::FailRack).
+  std::vector<sparklet::RackFailurePlan> fail_racks;
+  /// Elastic membership: replacement nodes joining at these stage
+  /// boundaries (see sparklet::FaultInjector::AddNode).
+  std::vector<std::int64_t> add_nodes;
+  /// How many checkpoint restarts an impure solver may attempt after
+  /// executor losses before giving up and surfacing DATA_LOSS.
+  int max_restarts = 3;
+};
+
+}  // namespace apspark::apsp

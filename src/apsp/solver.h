@@ -24,6 +24,7 @@
 #include "apsp/block_key.h"
 #include "apsp/block_layout.h"
 #include "apsp/partitioners.h"
+#include "apsp/run_plan.h"
 #include "graph/graph.h"
 #include "linalg/cost_model.h"
 #include "linalg/kernel_registry.h"
@@ -31,7 +32,12 @@
 
 namespace apspark::apsp {
 
-struct ApspOptions {
+/// The durability/fault/membership knobs live in the RunPlan base (shared
+/// with KsourceOptions — see apsp/run_plan.h); the fields here are the
+/// APSP-specific decomposition and execution parameters. New callers should
+/// prefer the SolveRequest/SolveReport surface in apsp/api.h; this struct
+/// remains as the compatibility layer it wraps.
+struct ApspOptions : RunPlan {
   /// Decomposition parameter b; q = ceil(n/b).
   std::int64_t block_size = 256;
   /// Semiring the solve evaluates (see linalg/semiring.h). SolveGraph
@@ -50,26 +56,9 @@ struct ApspOptions {
   /// Floyd-Warshall, one diagonal iteration for the blocked methods).
   std::int64_t max_rounds = 0;
   bool directed = false;
-  /// Durability extension: checkpoint A to shared storage every this many
-  /// rounds (0 = off); see apsp/checkpoint.h. Honored by the impure solvers
-  /// (Blocked-CB each round; Repeated Squaring snaps to squaring
-  /// boundaries); the pure solvers recover through lineage and ignore it.
-  std::int64_t checkpoint_every = 0;
   /// Resume support: skip rounds [0, start_round) — the caller provides the
   /// matching checkpointed blocks via Solve().
   std::int64_t start_round = 0;
-  /// Fault injection: executor losses to arm before the run (fired by the
-  /// engine at stage boundaries; see sparklet::FaultInjector::FailNode).
-  std::vector<sparklet::NodeFailurePlan> fail_nodes;
-  /// Correlated failures: whole racks lost at a stage boundary (expanded to
-  /// per-node losses by the engine; see sparklet::FaultInjector::FailRack).
-  std::vector<sparklet::RackFailurePlan> fail_racks;
-  /// Elastic membership: replacement nodes joining at these stage
-  /// boundaries (see sparklet::FaultInjector::AddNode).
-  std::vector<std::int64_t> add_nodes;
-  /// How many checkpoint restarts an impure solver may attempt after
-  /// executor losses before giving up and surfacing DATA_LOSS.
-  int max_restarts = 3;
 };
 
 struct ApspRunResult {

@@ -52,6 +52,7 @@
 #include "apsp/block_key.h"
 #include "apsp/block_layout.h"
 #include "apsp/partitioners.h"
+#include "apsp/run_plan.h"
 #include "graph/graph.h"
 #include "linalg/cost_model.h"
 #include "linalg/kernel_registry.h"
@@ -68,7 +69,9 @@ enum class KsourceVariant {
 const char* KsourceVariantName(KsourceVariant variant) noexcept;
 std::optional<KsourceVariant> ParseKsourceVariant(std::string_view name);
 
-struct KsourceOptions {
+/// The durability/fault/membership knobs live in the RunPlan base (shared
+/// with ApspOptions — see apsp/run_plan.h).
+struct KsourceOptions : RunPlan {
   /// Decomposition parameter b; q = ceil(n/b).
   std::int64_t block_size = 256;
   /// Semiring the sweep evaluates (see linalg/semiring.h). SolveGraph
@@ -93,22 +96,6 @@ struct KsourceOptions {
   /// disconnected real run against its phantom projection
   /// second-for-second.
   bool early_exit_infinite = true;
-  /// Durability extension: checkpoint A and the frontier panels to shared
-  /// storage every this many pivots (0 = off). The staged variant is impure
-  /// — an executor loss sends it through the checkpoint-restart path; the
-  /// pure shuffle variant recovers through lineage and never needs this.
-  std::int64_t checkpoint_every = 0;
-  /// Fault injection: executor losses to arm before the sweep (see
-  /// sparklet::FaultInjector::FailNode).
-  std::vector<sparklet::NodeFailurePlan> fail_nodes;
-  /// Correlated failures: whole racks lost at a stage boundary (see
-  /// sparklet::FaultInjector::FailRack).
-  std::vector<sparklet::RackFailurePlan> fail_racks;
-  /// Elastic membership: replacement nodes joining at these stage
-  /// boundaries (see sparklet::FaultInjector::AddNode).
-  std::vector<std::int64_t> add_nodes;
-  /// Checkpoint restarts allowed after executor losses before giving up.
-  int max_restarts = 3;
 };
 
 struct KsourceResult {

@@ -106,4 +106,31 @@ void Xoshiro256::Jump() noexcept {
   s_[3] = s3;
 }
 
+ZipfSampler::ZipfSampler(std::uint64_t n, double theta) : theta_(theta) {
+  if (n == 0) n = 1;
+  cdf_.resize(n);
+  double total = 0.0;
+  for (std::uint64_t k = 0; k < n; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), theta);
+    cdf_[k] = total;
+  }
+  for (auto& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against rounding leaving the tail short of 1
+}
+
+std::uint64_t ZipfSampler::Sample(Xoshiro256& rng) const noexcept {
+  const double u = rng.NextDouble();
+  // First k with cdf_[k] > u.
+  std::uint64_t lo = 0, hi = cdf_.size() - 1;
+  while (lo < hi) {
+    const std::uint64_t mid = lo + (hi - lo) / 2;
+    if (cdf_[mid] > u) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
 }  // namespace apspark

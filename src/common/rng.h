@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <vector>
 
 namespace apspark {
 
@@ -70,6 +71,25 @@ class Xoshiro256 {
   std::uint64_t s_[4];
   bool has_cached_gaussian_ = false;
   double cached_gaussian_ = 0.0;
+};
+
+/// Zipf-distributed integers in [0, n): P(k) proportional to 1/(k+1)^theta.
+/// Models the hot-vertex skew of real query traffic (a few landmark vertices
+/// absorb most lookups) for serving-layer benchmarks. Sampling inverts the
+/// precomputed CDF by binary search; O(n) setup, O(log n) per draw,
+/// deterministic for a given generator stream.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::uint64_t n, double theta);
+
+  std::uint64_t Sample(Xoshiro256& rng) const noexcept;
+
+  std::uint64_t n() const noexcept { return cdf_.size(); }
+  double theta() const noexcept { return theta_; }
+
+ private:
+  std::vector<double> cdf_;  // cdf_[k] = P(value <= k), cdf_.back() == 1
+  double theta_;
 };
 
 }  // namespace apspark

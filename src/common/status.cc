@@ -24,6 +24,8 @@ const char* StatusCodeName(StatusCode code) noexcept {
       return "ABORTED";
     case StatusCode::kDataLoss:
       return "DATA_LOSS";
+    case StatusCode::kStoreCorrupt:
+      return "STORE_CORRUPT";
   }
   return "UNKNOWN";
 }

@@ -26,6 +26,8 @@ enum class StatusCode {
   kUnimplemented,
   kAborted,   // e.g. injected task failure that exhausted retries
   kDataLoss,  // executor loss destroyed state the lineage cannot replay
+  kStoreCorrupt,  // persisted block store failed validation (bad magic,
+                  // checksum mismatch, truncated file, malformed manifest)
 };
 
 /// Human-readable name of a status code ("RESOURCE_EXHAUSTED", ...).
@@ -82,6 +84,9 @@ inline Status AbortedError(std::string msg) {
 }
 inline Status DataLossError(std::string msg) {
   return {StatusCode::kDataLoss, std::move(msg)};
+}
+inline Status StoreCorruptError(std::string msg) {
+  return {StatusCode::kStoreCorrupt, std::move(msg)};
 }
 
 /// Result<T>: either a value or an error Status (never both).

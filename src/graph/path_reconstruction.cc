@@ -1,6 +1,8 @@
 #include "graph/path_reconstruction.h"
 
 #include <cmath>
+#include <limits>
+#include <utility>
 
 namespace apspark::graph {
 
@@ -40,19 +42,68 @@ ApspWithPaths FloydWarshallWithPaths(const Graph& g) {
 
 Result<std::vector<VertexId>> ExtractPath(const ApspWithPaths& apsp,
                                           VertexId s, VertexId t) {
-  if (s < 0 || t < 0 || s >= apsp.n || t >= apsp.n) {
+  return ExtractPathWithLookup(
+      apsp.n, s, t,
+      [&apsp](VertexId i, VertexId target) { return apsp.Next(i, target); });
+}
+
+linalg::DenseBlock SuccessorsFromDistances(const Graph& g,
+                                           const linalg::DenseBlock& dist) {
+  const std::int64_t n = g.num_vertices();
+  // Per-vertex out-neighbor list from the edge list; parallel edges stay as
+  // written — the argmin naturally selects the cheapest copy.
+  std::vector<std::vector<std::pair<VertexId, double>>> adj(
+      static_cast<std::size_t>(n));
+  for (const Edge& e : g.edges()) {
+    adj[static_cast<std::size_t>(e.u)].emplace_back(e.v, e.weight);
+    if (!g.directed()) {
+      adj[static_cast<std::size_t>(e.v)].emplace_back(e.u, e.weight);
+    }
+  }
+  linalg::DenseBlock next(n, n);
+  for (std::int64_t i = 0; i < n; ++i) {
+    // Sweeping neighbors in the outer loop reads dist(k, .) row-wise.
+    std::vector<double> best(static_cast<std::size_t>(n),
+                             std::numeric_limits<double>::infinity());
+    std::vector<double> hop(static_cast<std::size_t>(n), -1.0);
+    for (const auto& [k, w] : adj[static_cast<std::size_t>(i)]) {
+      for (std::int64_t j = 0; j < n; ++j) {
+        const double via = w + dist.At(k, j);
+        auto& b = best[static_cast<std::size_t>(j)];
+        auto& h = hop[static_cast<std::size_t>(j)];
+        if (via < b || (via == b && h >= 0 && static_cast<double>(k) < h)) {
+          b = via;
+          h = static_cast<double>(k);
+        }
+      }
+    }
+    for (std::int64_t j = 0; j < n; ++j) {
+      next.Set(i, j, hop[static_cast<std::size_t>(j)]);
+    }
+    next.Set(i, i, static_cast<double>(i));
+  }
+  return next;
+}
+
+Result<std::vector<VertexId>> ExtractPathWithLookup(
+    std::int64_t n, VertexId s, VertexId t,
+    const std::function<std::int64_t(VertexId, VertexId)>& next_of) {
+  if (s < 0 || t < 0 || s >= n || t >= n) {
     return InvalidArgumentError("path endpoints out of range");
   }
-  if (apsp.Next(s, t) < 0) {
+  if (next_of(s, t) < 0) {
     return NotFoundError("no path from " + std::to_string(s) + " to " +
                          std::to_string(t));
   }
   std::vector<VertexId> path{s};
   VertexId at = s;
   while (at != t) {
-    at = apsp.Next(at, t);
+    at = next_of(at, t);
+    if (at < 0 || at >= n) {
+      return InternalError("successor walk left the vertex range");
+    }
     path.push_back(at);
-    if (static_cast<std::int64_t>(path.size()) > apsp.n) {
+    if (static_cast<std::int64_t>(path.size()) > n) {
       return InternalError("successor cycle during path extraction");
     }
   }

@@ -8,6 +8,7 @@
 // path.
 #pragma once
 
+#include <functional>
 #include <vector>
 
 #include "common/status.h"
@@ -34,5 +35,26 @@ ApspWithPaths FloydWarshallWithPaths(const Graph& g);
 /// or NOT_FOUND if t is unreachable from s.
 Result<std::vector<VertexId>> ExtractPath(const ApspWithPaths& apsp,
                                           VertexId s, VertexId t);
+
+/// Derives a full successor matrix from an already-solved distance matrix:
+/// next(i, j) = the neighbor k of i minimizing w(i, k) + dist(k, j)
+/// (smallest k on ties), which is the first hop of a shortest i->j path.
+/// With positive weights the chain strictly decreases remaining distance,
+/// so walking it terminates at j. Entries are stored as doubles in an
+/// n x n DenseBlock (-1 where j is unreachable, i on the diagonal) so the
+/// plane persists through the same serialization as distances. O(n * m).
+///
+/// This is how the serving layer gets paths out of the blocked solvers,
+/// which compute lengths only (the paper solves "no paths themselves") —
+/// no O(n^3) re-solve with tracking is needed.
+linalg::DenseBlock SuccessorsFromDistances(const Graph& g,
+                                           const linalg::DenseBlock& dist);
+
+/// Walks a successor lookup from s to t. `next_of(i, t)` returns the first
+/// hop of a shortest i->t path, or -1 when unreachable — backed by anything
+/// from an in-memory ApspWithPaths to block-resident store fetches.
+Result<std::vector<VertexId>> ExtractPathWithLookup(
+    std::int64_t n, VertexId s, VertexId t,
+    const std::function<std::int64_t(VertexId, VertexId)>& next_of);
 
 }  // namespace apspark::graph

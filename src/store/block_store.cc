@@ -1,0 +1,497 @@
+#include "store/block_store.h"
+
+#include <filesystem>
+#include <fstream>
+#include <utility>
+
+#include "common/serial.h"
+
+namespace apspark::store {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr std::uint64_t kBlockMagic = 0x41505350424c4b31ULL;     // "APSPBLK1"
+constexpr std::uint64_t kManifestMagic = 0x415053504d414e31ULL;  // "APSPMAN1"
+constexpr std::uint32_t kManifestVersion = 1;
+constexpr char kManifestFile[] = "MANIFEST.bin";
+
+Result<std::vector<std::uint8_t>> ReadFileBytes(const fs::path& path) {
+  std::error_code ec;
+  if (!fs::exists(path, ec) || ec) {
+    return NotFoundError("no such file: " + path.string());
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return StoreCorruptError("cannot open " + path.string());
+  }
+  in.seekg(0, std::ios::end);
+  const auto size = static_cast<std::size_t>(in.tellg());
+  in.seekg(0, std::ios::beg);
+  std::vector<std::uint8_t> bytes(size);
+  if (size > 0 &&
+      !in.read(reinterpret_cast<char*>(bytes.data()),
+               static_cast<std::streamsize>(size))) {
+    return StoreCorruptError("short read of " + path.string());
+  }
+  return bytes;
+}
+
+Status WriteFileBytes(const fs::path& path,
+                      const std::vector<std::uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return InternalError("cannot create " + path.string());
+  }
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) {
+    return InternalError("short write to " + path.string());
+  }
+  return Status::Ok();
+}
+
+std::string EntryDescription(const StoreManifest::Entry& meta) {
+  return std::string(PlaneName(meta.plane)) + " block (" +
+         std::to_string(meta.I) + "," + std::to_string(meta.J) + ")";
+}
+
+}  // namespace
+
+const char* PlaneName(Plane plane) noexcept {
+  switch (plane) {
+    case Plane::kDistance:
+      return "distance";
+    case Plane::kNext:
+      return "next";
+  }
+  return "unknown";
+}
+
+std::uint64_t Fnv1a(const std::uint8_t* data, std::size_t size) noexcept {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= data[i];
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+BlockStore::BlockStore(std::string dir, StoreManifest manifest,
+                       Options options, bool writable)
+    : dir_(std::move(dir)),
+      manifest_(std::move(manifest)),
+      options_(options),
+      writable_(writable) {
+  for (const auto& meta : manifest_.entries) {
+    CacheEntry entry;
+    entry.meta = meta;
+    entry.lru_pos = lru_.end();
+    cache_.emplace(CacheKey{meta.plane, meta.I, meta.J}, std::move(entry));
+  }
+}
+
+BlockStore::~BlockStore() {
+  // Release every still-resident block from the accountant ledger so a
+  // serving process's live-byte accounting balances at shutdown.
+  std::lock_guard<std::mutex> lock(mu_);
+  if (options_.accountant != nullptr) {
+    for (auto& [key, entry] : cache_) {
+      if (entry.state == EntryState::kResident) {
+        options_.accountant->ReleaseDriver(entry.meta.payload_bytes);
+      }
+    }
+  }
+}
+
+std::string BlockStore::BlockPath(const StoreManifest::Entry& meta) const {
+  const char* prefix = meta.plane == Plane::kDistance ? "d" : "p";
+  return (fs::path(dir_) / (std::string(prefix) + "_" +
+                            std::to_string(meta.I) + "_" +
+                            std::to_string(meta.J) + ".blk"))
+      .string();
+}
+
+// ---------------------------------------------------------------- writer
+
+Result<std::unique_ptr<BlockStore>> BlockStore::Create(
+    const std::string& dir, const StoreManifest& manifest,
+    const Options& options) {
+  if (manifest.n <= 0 || manifest.block_size <= 0) {
+    return InvalidArgumentError("store manifest needs n > 0 and b > 0");
+  }
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return InternalError("cannot create store directory " + dir + ": " +
+                         ec.message());
+  }
+  if (fs::exists(fs::path(dir) / kManifestFile)) {
+    return FailedPreconditionError("store directory " + dir +
+                                   " already holds a sealed store");
+  }
+  StoreManifest fresh = manifest;
+  fresh.entries.clear();
+  return std::unique_ptr<BlockStore>(
+      new BlockStore(dir, std::move(fresh), options, /*writable=*/true));
+}
+
+Status BlockStore::Put(Plane plane, std::int64_t I, std::int64_t J,
+                       const linalg::DenseBlock& block) {
+  if (!writable_ || sealed_) {
+    return FailedPreconditionError("Put on a sealed or read-only store");
+  }
+  if (block.is_phantom()) {
+    return FailedPreconditionError(
+        "phantom blocks carry no payload to persist");
+  }
+  const std::int64_t q = manifest_.q();
+  if (I < 0 || J < 0 || I >= q || J >= q) {
+    return OutOfRangeError("block (" + std::to_string(I) + "," +
+                           std::to_string(J) + ") outside a " +
+                           std::to_string(q) + "x" + std::to_string(q) +
+                           " layout");
+  }
+  if (Contains(plane, I, J)) {
+    return FailedPreconditionError(EntryDescription({plane, I, J, 0, 0}) +
+                                   " already persisted");
+  }
+
+  BinaryWriter payload;
+  block.Serialize(payload);
+
+  StoreManifest::Entry meta;
+  meta.plane = plane;
+  meta.I = I;
+  meta.J = J;
+  meta.payload_bytes = payload.size();
+  meta.checksum = Fnv1a(payload.buffer().data(), payload.size());
+
+  BinaryWriter file;
+  file.Write(kBlockMagic);
+  file.Write(static_cast<std::uint8_t>(plane));
+  file.Write(I);
+  file.Write(J);
+  file.Write(static_cast<std::uint64_t>(payload.size()));
+  file.WriteRaw(payload.buffer().data(), payload.size());
+  file.Write(meta.checksum);
+
+  auto status = WriteFileBytes(BlockPath(meta), file.buffer());
+  if (!status.ok()) return status;
+
+  manifest_.entries.push_back(meta);
+  CacheEntry entry;
+  entry.meta = meta;
+  entry.lru_pos = lru_.end();
+  cache_.emplace(CacheKey{plane, I, J}, std::move(entry));
+  return Status::Ok();
+}
+
+Status BlockStore::Seal() {
+  if (!writable_ || sealed_) {
+    return FailedPreconditionError("Seal on a sealed or read-only store");
+  }
+  BinaryWriter body;
+  body.Write(kManifestMagic);
+  body.Write(kManifestVersion);
+  body.Write(manifest_.n);
+  body.Write(manifest_.block_size);
+  body.Write(static_cast<std::uint8_t>(manifest_.directed ? 1 : 0));
+  body.Write(static_cast<std::uint8_t>(manifest_.semiring));
+  body.Write(static_cast<std::uint8_t>(manifest_.has_paths ? 1 : 0));
+  body.Write(static_cast<std::uint64_t>(manifest_.entries.size()));
+  for (const auto& e : manifest_.entries) {
+    body.Write(static_cast<std::uint8_t>(e.plane));
+    body.Write(e.I);
+    body.Write(e.J);
+    body.Write(e.payload_bytes);
+    body.Write(e.checksum);
+  }
+  const std::uint64_t checksum = Fnv1a(body.buffer().data(), body.size());
+  body.Write(checksum);
+  auto status =
+      WriteFileBytes(fs::path(dir_) / kManifestFile, body.buffer());
+  if (!status.ok()) return status;
+  sealed_ = true;
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------- reader
+
+Result<std::unique_ptr<BlockStore>> BlockStore::Open(const std::string& dir,
+                                                     const Options& options) {
+  auto bytes = ReadFileBytes(fs::path(dir) / kManifestFile);
+  if (!bytes.ok()) return bytes.status();
+  // Trailing checksum covers the whole body: any byte flip or truncation of
+  // the manifest is caught before a single field is trusted.
+  if (bytes->size() < sizeof(std::uint64_t)) {
+    return StoreCorruptError("manifest truncated in " + dir);
+  }
+  const std::size_t body_size = bytes->size() - sizeof(std::uint64_t);
+  std::uint64_t stored_checksum = 0;
+  std::memcpy(&stored_checksum, bytes->data() + body_size,
+              sizeof(std::uint64_t));
+  if (Fnv1a(bytes->data(), body_size) != stored_checksum) {
+    return StoreCorruptError("manifest checksum mismatch in " + dir);
+  }
+
+  BinaryReader reader(bytes->data(), body_size);
+  auto magic = reader.Read<std::uint64_t>();
+  if (!magic.ok() || *magic != kManifestMagic) {
+    return StoreCorruptError("bad manifest magic in " + dir);
+  }
+  auto version = reader.Read<std::uint32_t>();
+  if (!version.ok() || *version != kManifestVersion) {
+    return StoreCorruptError("unsupported manifest version in " + dir);
+  }
+  StoreManifest manifest;
+  auto n = reader.Read<std::int64_t>();
+  auto b = reader.Read<std::int64_t>();
+  auto directed = reader.Read<std::uint8_t>();
+  auto semiring = reader.Read<std::uint8_t>();
+  auto has_paths = reader.Read<std::uint8_t>();
+  auto count = reader.Read<std::uint64_t>();
+  if (!n.ok() || !b.ok() || !directed.ok() || !semiring.ok() ||
+      !has_paths.ok() || !count.ok()) {
+    return StoreCorruptError("manifest header truncated in " + dir);
+  }
+  manifest.n = *n;
+  manifest.block_size = *b;
+  manifest.directed = *directed != 0;
+  manifest.semiring = static_cast<linalg::SemiringId>(*semiring);
+  manifest.has_paths = *has_paths != 0;
+  if (manifest.n <= 0 || manifest.block_size <= 0) {
+    return StoreCorruptError("manifest geometry invalid in " + dir);
+  }
+  manifest.entries.reserve(static_cast<std::size_t>(*count));
+  for (std::uint64_t i = 0; i < *count; ++i) {
+    StoreManifest::Entry e;
+    auto plane = reader.Read<std::uint8_t>();
+    auto bi = reader.Read<std::int64_t>();
+    auto bj = reader.Read<std::int64_t>();
+    auto payload = reader.Read<std::uint64_t>();
+    auto checksum = reader.Read<std::uint64_t>();
+    if (!plane.ok() || !bi.ok() || !bj.ok() || !payload.ok() ||
+        !checksum.ok()) {
+      return StoreCorruptError("manifest index truncated in " + dir);
+    }
+    if (*plane > static_cast<std::uint8_t>(Plane::kNext)) {
+      return StoreCorruptError("manifest entry has unknown plane in " + dir);
+    }
+    e.plane = static_cast<Plane>(*plane);
+    e.I = *bi;
+    e.J = *bj;
+    e.payload_bytes = *payload;
+    e.checksum = *checksum;
+    manifest.entries.push_back(e);
+  }
+  return std::unique_ptr<BlockStore>(new BlockStore(
+      dir, std::move(manifest), options, /*writable=*/false));
+}
+
+Result<linalg::DenseBlock> BlockStore::LoadBlockFile(
+    const StoreManifest::Entry& meta) const {
+  auto bytes = ReadFileBytes(BlockPath(meta));
+  if (!bytes.ok()) return bytes.status();
+
+  // Fixed header + declared payload + trailing checksum must account for
+  // the exact file size — a truncated or padded file never parses.
+  constexpr std::size_t kHeaderBytes =
+      sizeof(std::uint64_t) + sizeof(std::uint8_t) + 2 * sizeof(std::int64_t) +
+      sizeof(std::uint64_t);
+  const std::size_t expected =
+      kHeaderBytes + static_cast<std::size_t>(meta.payload_bytes) +
+      sizeof(std::uint64_t);
+  if (bytes->size() != expected) {
+    return StoreCorruptError(EntryDescription(meta) + ": file is " +
+                             std::to_string(bytes->size()) + " bytes, want " +
+                             std::to_string(expected));
+  }
+
+  BinaryReader reader(*bytes);
+  auto magic = reader.Read<std::uint64_t>();
+  if (!magic.ok() || *magic != kBlockMagic) {
+    return StoreCorruptError(EntryDescription(meta) + ": bad magic");
+  }
+  auto plane = reader.Read<std::uint8_t>();
+  auto bi = reader.Read<std::int64_t>();
+  auto bj = reader.Read<std::int64_t>();
+  auto payload_bytes = reader.Read<std::uint64_t>();
+  if (!plane.ok() || !bi.ok() || !bj.ok() || !payload_bytes.ok()) {
+    return StoreCorruptError(EntryDescription(meta) + ": header truncated");
+  }
+  if (*plane != static_cast<std::uint8_t>(meta.plane) || *bi != meta.I ||
+      *bj != meta.J || *payload_bytes != meta.payload_bytes) {
+    return StoreCorruptError(EntryDescription(meta) +
+                             ": header disagrees with manifest");
+  }
+  const std::uint8_t* payload =
+      bytes->data() + kHeaderBytes;
+  std::uint64_t stored_checksum = 0;
+  std::memcpy(&stored_checksum,
+              payload + static_cast<std::size_t>(meta.payload_bytes),
+              sizeof(std::uint64_t));
+  if (Fnv1a(payload, static_cast<std::size_t>(meta.payload_bytes)) !=
+      stored_checksum) {
+    return StoreCorruptError(EntryDescription(meta) + ": checksum mismatch");
+  }
+
+  BinaryReader payload_reader(payload,
+                              static_cast<std::size_t>(meta.payload_bytes));
+  // Materializing from durable bytes is a sanctioned copy, exactly like the
+  // checkpoint reload path (the zero-copy audit tracks hot-path copies).
+  linalg::CowScope cow;
+  auto block = linalg::DenseBlock::Deserialize(payload_reader);
+  if (!block.ok()) {
+    return StoreCorruptError(EntryDescription(meta) + ": payload malformed (" +
+                             block.status().message() + ")");
+  }
+  if (block->is_phantom()) {
+    return StoreCorruptError(EntryDescription(meta) +
+                             ": persisted block is phantom");
+  }
+  return std::move(*block);
+}
+
+bool BlockStore::Contains(Plane plane, std::int64_t I, std::int64_t J) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_.find(CacheKey{plane, I, J}) != cache_.end();
+}
+
+Result<BlockStore::Pin> BlockStore::Fetch(Plane plane, std::int64_t I,
+                                          std::int64_t J) {
+  if (writable_) {
+    return FailedPreconditionError(
+        "Fetch on a writer store: Seal it and Open for reading");
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = cache_.find(CacheKey{plane, I, J});
+  if (it == cache_.end()) {
+    return NotFoundError(EntryDescription({plane, I, J, 0, 0}) +
+                         " not in store manifest");
+  }
+  CacheEntry& entry = it->second;
+
+  for (;;) {
+    if (entry.state == EntryState::kResident) {
+      ++stats_.hits;
+      if (entry.pins == 0 && entry.lru_pos != lru_.end()) {
+        lru_.erase(entry.lru_pos);
+        entry.lru_pos = lru_.end();
+      }
+      ++entry.pins;
+      return Pin(this, &entry, entry.block);
+    }
+    if (entry.state == EntryState::kLoading) {
+      // Another thread is materializing this block; wait for it rather
+      // than reading the file twice.
+      load_cv_.wait(lock, [&entry] {
+        return entry.state != EntryState::kLoading;
+      });
+      if (!entry.load_error.ok()) {
+        return entry.load_error;
+      }
+      continue;
+    }
+
+    // Cold: this thread drives the load with the lock released.
+    entry.state = EntryState::kLoading;
+    entry.load_error = Status::Ok();
+    ++stats_.misses;
+    lock.unlock();
+    auto loaded = LoadBlockFile(entry.meta);
+    lock.lock();
+    if (!loaded.ok()) {
+      entry.state = EntryState::kCold;
+      entry.load_error = loaded.status();
+      load_cv_.notify_all();
+      return loaded.status();
+    }
+    entry.block = linalg::MakeBlock(std::move(*loaded));
+    entry.state = EntryState::kResident;
+    stats_.bytes_loaded += entry.meta.payload_bytes;
+    stats_.resident_bytes += entry.meta.payload_bytes;
+    if (stats_.resident_bytes > stats_.peak_resident_bytes) {
+      stats_.peak_resident_bytes = stats_.resident_bytes;
+    }
+    if (options_.accountant != nullptr) {
+      options_.accountant->ChargeDriver(entry.meta.payload_bytes);
+    }
+    EvictToFit();
+    load_cv_.notify_all();
+    ++entry.pins;
+    return Pin(this, &entry, entry.block);
+  }
+}
+
+void BlockStore::EvictToFit() {
+  while (stats_.resident_bytes > options_.cache_capacity_bytes &&
+         !lru_.empty()) {
+    const CacheKey victim_key = lru_.front();
+    lru_.pop_front();
+    auto it = cache_.find(victim_key);
+    CacheEntry& victim = it->second;
+    victim.lru_pos = lru_.end();
+    victim.block.reset();
+    victim.state = EntryState::kCold;
+    stats_.resident_bytes -= victim.meta.payload_bytes;
+    ++stats_.evictions;
+    if (options_.accountant != nullptr) {
+      options_.accountant->ReleaseDriver(victim.meta.payload_bytes);
+    }
+  }
+}
+
+void BlockStore::Unpin(void* entry_handle) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& entry = *static_cast<CacheEntry*>(entry_handle);
+  --entry.pins;
+  if (entry.pins == 0 && entry.state == EntryState::kResident) {
+    lru_.push_back(CacheKey{entry.meta.plane, entry.meta.I, entry.meta.J});
+    entry.lru_pos = std::prev(lru_.end());
+    // Pinned bytes may have pushed residency past the cap; trim back now
+    // that this block is evictable again.
+    EvictToFit();
+  }
+}
+
+BlockStore::Pin& BlockStore::Pin::operator=(Pin&& other) noexcept {
+  if (this != &other) {
+    Release();
+    store_ = other.store_;
+    entry_ = other.entry_;
+    block_ = std::move(other.block_);
+    other.store_ = nullptr;
+    other.entry_ = nullptr;
+    other.block_.reset();
+  }
+  return *this;
+}
+
+void BlockStore::Pin::Release() {
+  if (store_ != nullptr && entry_ != nullptr) {
+    store_->Unpin(entry_);
+  }
+  store_ = nullptr;
+  entry_ = nullptr;
+  block_.reset();
+}
+
+BlockStore::Stats BlockStore::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::uint64_t BlockStore::resident_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_.resident_bytes;
+}
+
+std::uint64_t BlockStore::total_payload_bytes() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& e : manifest_.entries) total += e.payload_bytes;
+  return total;
+}
+
+}  // namespace apspark::store

@@ -1,0 +1,92 @@
+// Distance-serving front end over a sealed BlockStore.
+//
+// A solve ends; serving begins: the service answers point-to-point distance
+// queries and reconstructs shortest-path vertex sequences against the
+// block-resident planes, fetching (and pinning) only the blocks a query
+// touches. Batched lookups fan out across a work-stealing thread pool; each
+// chunk keeps a one-entry pin memo, so a skewed (hot-vertex) workload
+// resolves most queries without touching the store mutex at all.
+//
+// Geometry: a distance query (s, t) maps to block (s/b, t/b) and local
+// offsets (s%b, t%b). Undirected stores hold only the canonical upper
+// triangle, so when s/b > t/b the service fetches the mirrored block and
+// reads the transposed element — element-level transposition, never a block
+// copy. The successor plane is always full q^2 (first hops are not
+// symmetric), and a path walk fetches along next(i, t) until it lands on t.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "graph/graph.h"
+#include "store/block_store.h"
+
+namespace apspark::store {
+
+class DistanceService {
+ public:
+  struct Options {
+    /// Lookup worker threads for DistanceBatch (0 = hardware concurrency).
+    std::size_t num_threads = 0;
+    /// Forwarded to BlockStore::Open (cache cap, accountant).
+    BlockStore::Options store_options;
+  };
+
+  /// One point-to-point distance question.
+  struct Query {
+    graph::VertexId s = 0;
+    graph::VertexId t = 0;
+  };
+
+  static Result<std::unique_ptr<DistanceService>> Open(const std::string& dir,
+                                                       const Options& options);
+  static Result<std::unique_ptr<DistanceService>> Open(
+      const std::string& dir) {
+    return Open(dir, Options{});
+  }
+
+  /// dist(s, t); +inf when t is unreachable from s.
+  Result<double> Distance(graph::VertexId s, graph::VertexId t);
+
+  /// Answers every query (answers[i] is queries[i]'s distance), fanning the
+  /// batch out across the service's thread pool. Fails as a whole on the
+  /// first invalid query or store error.
+  Result<std::vector<double>> DistanceBatch(const std::vector<Query>& queries);
+
+  /// The vertex sequence of a shortest s->t path (endpoints inclusive).
+  /// kNotFound when unreachable; kFailedPrecondition when the store was
+  /// persisted without a successor plane.
+  Result<std::vector<graph::VertexId>> Path(graph::VertexId s,
+                                            graph::VertexId t);
+
+  std::int64_t n() const noexcept { return store_->manifest().n; }
+  bool has_paths() const noexcept { return store_->manifest().has_paths; }
+  const BlockStore& store() const noexcept { return *store_; }
+
+ private:
+  DistanceService(std::unique_ptr<BlockStore> store, std::size_t num_threads)
+      : store_(std::move(store)), pool_(num_threads) {}
+
+  /// Cached last fetch so consecutive lookups into one block skip the store.
+  struct PinMemo {
+    Plane plane = Plane::kDistance;
+    std::int64_t I = -1;
+    std::int64_t J = -1;
+    BlockStore::Pin pin;
+  };
+
+  /// Pins (or reuses from `memo`) the block covering (I, J) of `plane`.
+  Result<const linalg::DenseBlock*> FetchVia(PinMemo& memo, Plane plane,
+                                             std::int64_t I, std::int64_t J);
+  Result<double> DistanceVia(PinMemo& memo, graph::VertexId s,
+                             graph::VertexId t);
+
+  std::unique_ptr<BlockStore> store_;
+  ThreadPool pool_;
+};
+
+}  // namespace apspark::store

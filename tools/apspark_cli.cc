@@ -1,38 +1,109 @@
 // apspark — command-line driver for the library.
 //
-//   apspark solve  --er <n> [--seed S] | --input <file>   solve APSP
-//                  [--solver rs|fw2d|im|cb] [--block B] [--partitioner md|ph]
-//                  [--cores C] [--directed] [--output <distances.txt>]
-//                  [--checkpoint-every K]
-//                  [--sources K]  batched k-source mode: sweep a rectangular
-//                                 n x K frontier instead of full APSP
-//                  [--kernel naive|tiled|tiled_parallel]  host kernel engine
-//                  [--intra-task-cores C]  model C cores of one executor
-//                                 cooperating on one task's blocks
-//   apspark plan   --n N [--cores C] [--fault-tolerant]   recommend a config
-//   apspark model  --n N [--cores C] [--solver ...] [--block B] [--rounds R]
-//                  [--sources K] [--intra-task-cores C]
-//                  paper-scale phantom run, projected time + metrics
+// Explicit subcommands, each with its own flag set and --help:
+//
+//   apspark solve   solve APSP (or k-source) on real data; optionally
+//                   persist the result as a disk-backed block store
+//   apspark plan    recommend a solver/block-size configuration
+//   apspark model   paper-scale phantom run, projected time + metrics
+//   apspark serve   answer distance/path queries from a persisted store
+//
+// Flags that do not apply to the chosen subcommand are rejected with a
+// pointer to that subcommand's --help. Errors from the library surface
+// uniformly as "apspark: <STATUS>: <message>".
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <string>
+#include <vector>
 
+#include "apsp/api.h"
+#include "apsp/persist.h"
 #include "apsp/solver.h"
 #include "apsp/solvers/ksource_blocked.h"
 #include "apsp/tuner.h"
+#include "common/rng.h"
 #include "common/time_utils.h"
 #include "graph/generators.h"
 #include "graph/io.h"
 #include "linalg/kernel_registry.h"
+#include "store/distance_service.h"
 
 namespace {
 
 using namespace apspark;
 
+// ------------------------------------------------------------ subcommands
+
+enum Cmd : unsigned {
+  kSolve = 1u << 0,
+  kPlan = 1u << 1,
+  kModel = 1u << 2,
+  kServe = 1u << 3,
+};
+
+struct CmdSpec {
+  const char* name;
+  Cmd bit;
+};
+
+constexpr CmdSpec kCommands[] = {
+    {"solve", kSolve}, {"plan", kPlan}, {"model", kModel}, {"serve", kServe}};
+
+/// Which subcommands accept each flag; parsing rejects a flag whose mask
+/// does not include the chosen subcommand.
+struct FlagSpec {
+  const char* name;
+  bool takes_value;
+  unsigned mask;
+};
+
+constexpr FlagSpec kFlags[] = {
+    {"--er", true, kSolve},
+    {"--n", true, kSolve | kPlan | kModel},
+    {"--seed", true, kSolve | kServe},
+    {"--input", true, kSolve},
+    {"--output", true, kSolve | kServe},
+    {"--solver", true, kSolve | kModel},
+    {"--partitioner", true, kSolve},
+    {"--block", true, kSolve | kModel},
+    {"--cores", true, kSolve | kPlan | kModel},
+    {"--rounds", true, kModel},
+    {"--sources", true, kSolve | kModel},
+    {"--checkpoint-every", true, kSolve | kModel},
+    {"--intra-task-cores", true, kSolve | kModel},
+    {"--kernel", true, kSolve},
+    {"--semiring", true, kSolve | kModel},
+    {"--no-bitpack", false, kSolve | kModel},
+    {"--ksource-variant", true, kSolve | kModel},
+    {"--no-early-exit", false, kSolve | kModel},
+    {"--fail-node", true, kSolve | kModel},
+    {"--fail-rack", true, kSolve | kModel},
+    {"--add-node", true, kSolve | kModel},
+    {"--racks", true, kSolve | kModel},
+    {"--straggler-factor", true, kSolve | kModel},
+    {"--straggler-every", true, kSolve | kModel},
+    {"--speculate", false, kSolve | kModel},
+    {"--directed", false, kSolve | kModel},
+    {"--fault-tolerant", false, kSolve | kPlan | kModel},
+    {"--persist", true, kSolve},
+    {"--no-paths", false, kSolve},
+    {"--store", true, kServe},
+    {"--queries", true, kServe},
+    {"--random", true, kServe},
+    {"--zipf", true, kServe},
+    {"--threads", true, kServe},
+    {"--cache-mb", true, kServe},
+    {"--path", true, kServe},
+    {"--help", false, kSolve | kPlan | kModel | kServe},
+};
+
 struct Args {
-  std::string command;
+  Cmd command = kSolve;
+  std::string command_name;
   std::int64_t n = 0;
   std::uint64_t seed = 1;
   std::string input;
@@ -63,133 +134,204 @@ struct Args {
   double straggler_factor = 1.0;
   int straggler_every = 8;
   bool speculate = false;
+  // solve: persistence
+  std::string persist;
+  bool no_paths = false;
+  // serve
+  std::string store_dir;
+  std::string queries_file;
+  std::int64_t random_queries = 0;
+  double zipf_theta = 0.0;  // 0 = uniform
+  std::size_t threads = 0;
+  std::uint64_t cache_mb = 256;
+  std::vector<std::pair<graph::VertexId, graph::VertexId>> path_queries;
+  bool help = false;
 };
 
-int Usage() {
+void UsageSolve() {
+  std::fprintf(
+      stderr,
+      "usage: apspark solve --er N [--seed S] | --input FILE\n"
+      "  [--solver rs|fw2d|im|cb] [--block B]\n"
+      "  [--partitioner md|ph] [--cores C] [--directed]\n"
+      "  [--output FILE] [--checkpoint-every K]\n"
+      "  [--persist DIR]  write the solved result as a disk-backed block\n"
+      "          store DIR that `apspark serve` answers queries from\n"
+      "  [--no-paths]  persist distances only (skip the successor plane)\n"
+      "  [--sources K]  k-source mode (n x K frontier)\n"
+      "  [--ksource-variant staged|shuffle|auto]  pivot data plane:\n"
+      "          shared-storage staging (impure) or pure\n"
+      "          shuffle-replicated panels\n"
+      "  [--no-early-exit]  disable the all-infinite pivot\n"
+      "          early-exit sweep (k-source mode)\n"
+      "  [--kernel naive|tiled|tiled_parallel]\n"
+      "  [--semiring minplus|boolean|maxmin|maxtimes]\n"
+      "          algebra the solve evaluates: shortest path,\n"
+      "          reachability, bottleneck capacity, or widest path\n"
+      "  [--no-bitpack]  keep boolean solves on dense doubles\n"
+      "  [--intra-task-cores C]  modelled cores per task\n"
+      "  [--fail-node N@S] [--fail-rack R@S] [--add-node @S] [--racks R]\n"
+      "          injected failures / elastic membership (repeatable)\n"
+      "  [--straggler-factor F] [--straggler-every K] [--speculate]\n");
+}
+
+void UsagePlan() {
   std::fprintf(stderr,
-               "usage: apspark solve|plan|model [options]\n"
-               "  solve --er N [--seed S] | --input FILE\n"
-               "        [--solver rs|fw2d|im|cb] [--block B]\n"
-               "        [--partitioner md|ph] [--cores C] [--directed]\n"
-               "        [--output FILE] [--checkpoint-every K]\n"
-               "        [--sources K]  k-source mode (n x K frontier)\n"
-               "        [--ksource-variant staged|shuffle]  pivot data plane:\n"
-               "                shared-storage staging (impure) or pure\n"
-               "                shuffle-replicated panels\n"
-               "        [--no-early-exit]  disable the all-infinite pivot\n"
-               "                early-exit sweep (k-source mode)\n"
-               "        [--kernel naive|tiled|tiled_parallel]\n"
-               "        [--semiring minplus|boolean|maxmin|maxtimes]\n"
-               "                algebra the solve evaluates: shortest path,\n"
-               "                reachability, bottleneck capacity, or widest\n"
-               "                (most reliable, 2^-w) path\n"
-               "        [--no-bitpack]  keep boolean solves on dense doubles\n"
-               "                instead of the bit-packed (64/word) plane\n"
-               "        [--intra-task-cores C]  modelled cores per task\n"
-               "        [--fail-node N@S]  inject loss of executor node N at\n"
-               "                stage S (repeatable; pure solvers recover by\n"
-               "                lineage, impure ones restart from the last\n"
-               "                checkpoint — combine with --checkpoint-every)\n"
-               "        [--racks R]  spread the executors over R failure\n"
-               "                domains (contiguous, balanced)\n"
-               "        [--fail-rack R@S]  correlated failure: every live\n"
-               "                node of rack R dies at stage S (repeatable)\n"
-               "        [--add-node @S]  a replacement node joins at stage S\n"
-               "                and steals partitions from the most-loaded\n"
-               "                survivors (repeatable)\n"
-               "        [--straggler-factor F] [--straggler-every K]\n"
-               "                every K-th task runs F x slower\n"
-               "        [--speculate]  speculative re-execution of stragglers\n"
-               "  plan  --n N [--cores C] [--fault-tolerant]\n"
-               "  model --n N [--cores C] [--solver ...] [--block B]"
-               " [--rounds R] [--sources K] [--ksource-variant V]"
-               " [--semiring S] [--no-bitpack]"
-               " [--intra-task-cores C] [--fail-node N@S] [--fail-rack R@S]"
-               " [--add-node @S] [--racks R]\n"
-               "        --sources K with --ksource-variant auto picks the\n"
-               "        cheaper modelled data plane (staged vs shuffle)\n");
+               "usage: apspark plan --n N [--cores C] [--fault-tolerant]\n");
+}
+
+void UsageModel() {
+  std::fprintf(
+      stderr,
+      "usage: apspark model --n N [--cores C] [--solver rs|fw2d|im|cb]\n"
+      "  [--block B] [--rounds R] [--sources K] [--ksource-variant V]\n"
+      "  [--semiring S] [--no-bitpack] [--intra-task-cores C]\n"
+      "  [--fail-node N@S] [--fail-rack R@S] [--add-node @S] [--racks R]\n"
+      "  [--checkpoint-every K] [--straggler-factor F]\n"
+      "  [--straggler-every K] [--speculate] [--directed]\n"
+      "  --sources K with --ksource-variant auto picks the cheaper\n"
+      "  modelled data plane (staged vs shuffle)\n");
+}
+
+void UsageServe() {
+  std::fprintf(
+      stderr,
+      "usage: apspark serve --store DIR [options]\n"
+      "  --queries FILE   answer one \"s t\" query per line\n"
+      "  --random N       answer N random queries and report QPS\n"
+      "  --zipf THETA     skew the random workload: vertices drawn\n"
+      "                   Zipf(THETA) (hot-vertex traffic; 0 = uniform)\n"
+      "  --path S:T       print a shortest S->T vertex path (repeatable)\n"
+      "  --threads T      lookup worker threads (0 = hardware)\n"
+      "  --cache-mb MB    resident block-cache cap (default 256)\n"
+      "  --seed S         RNG seed for --random\n"
+      "  --output FILE    write per-query answers here instead of stdout\n");
+}
+
+int Usage(const Args& args) {
+  switch (args.command) {
+    case kSolve:
+      UsageSolve();
+      break;
+    case kPlan:
+      UsagePlan();
+      break;
+    case kModel:
+      UsageModel();
+      break;
+    case kServe:
+      UsageServe();
+      break;
+  }
+  return args.help ? 0 : 2;
+}
+
+int UsageTop() {
+  std::fprintf(stderr,
+               "usage: apspark solve|plan|model|serve [options]\n"
+               "  solve   solve APSP / k-source on real data ([--persist DIR]\n"
+               "          writes a serving store)\n"
+               "  plan    recommend a solver configuration\n"
+               "  model   paper-scale phantom run\n"
+               "  serve   answer distance/path queries from a store\n"
+               "run `apspark <command> --help` for that command's flags\n");
   return 2;
+}
+
+/// Uniform error surface: every library Status prints the same way.
+int Fail(const Status& status) {
+  std::fprintf(stderr, "apspark: %s\n", status.ToString().c_str());
+  return status.code() == StatusCode::kInvalidArgument ? 2 : 1;
+}
+
+const FlagSpec* FindFlag(const std::string& flag) {
+  for (const auto& spec : kFlags) {
+    if (flag == spec.name) return &spec;
+  }
+  return nullptr;
 }
 
 bool ParseArgs(int argc, char** argv, Args& args) {
   if (argc < 2) return false;
-  args.command = argv[1];
+  const std::string cmd = argv[1];
+  bool known_command = false;
+  for (const auto& spec : kCommands) {
+    if (cmd == spec.name) {
+      args.command = spec.bit;
+      args.command_name = spec.name;
+      known_command = true;
+      break;
+    }
+  }
+  if (!known_command) {
+    if (cmd != "--help" && cmd != "-h") {
+      std::fprintf(stderr, "apspark: unknown command '%s'\n", cmd.c_str());
+    }
+    return false;
+  }
   for (int i = 2; i < argc; ++i) {
     const std::string flag = argv[i];
-    auto next = [&]() -> const char* {
-      return i + 1 < argc ? argv[++i] : nullptr;
-    };
+    const FlagSpec* spec = FindFlag(flag);
+    if (spec == nullptr) {
+      std::fprintf(stderr, "apspark: unknown flag %s\n", flag.c_str());
+      std::fprintf(stderr, "see `apspark %s --help`\n",
+                   args.command_name.c_str());
+      return false;
+    }
+    if ((spec->mask & args.command) == 0) {
+      std::fprintf(stderr, "apspark: %s does not apply to '%s'\n",
+                   flag.c_str(), args.command_name.c_str());
+      std::fprintf(stderr, "see `apspark %s --help`\n",
+                   args.command_name.c_str());
+      return false;
+    }
+    const char* v = nullptr;
+    if (spec->takes_value) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "apspark: %s expects a value\n", flag.c_str());
+        return false;
+      }
+      v = argv[++i];
+    }
     if (flag == "--er" || flag == "--n") {
-      const char* v = next();
-      if (!v) return false;
       args.n = std::atoll(v);
     } else if (flag == "--seed") {
-      const char* v = next();
-      if (!v) return false;
       args.seed = static_cast<std::uint64_t>(std::atoll(v));
     } else if (flag == "--input") {
-      const char* v = next();
-      if (!v) return false;
       args.input = v;
     } else if (flag == "--output") {
-      const char* v = next();
-      if (!v) return false;
       args.output = v;
     } else if (flag == "--solver") {
-      const char* v = next();
-      if (!v) return false;
       args.solver = v;
     } else if (flag == "--partitioner") {
-      const char* v = next();
-      if (!v) return false;
       args.partitioner = v;
     } else if (flag == "--block") {
-      const char* v = next();
-      if (!v) return false;
       args.block = std::atoll(v);
     } else if (flag == "--cores") {
-      const char* v = next();
-      if (!v) return false;
       args.cores = std::atoi(v);
     } else if (flag == "--rounds") {
-      const char* v = next();
-      if (!v) return false;
       args.rounds = std::atoll(v);
     } else if (flag == "--sources") {
-      const char* v = next();
-      if (!v) return false;
       args.sources = std::atoll(v);
     } else if (flag == "--checkpoint-every") {
-      const char* v = next();
-      if (!v) return false;
       args.checkpoint_every = std::atoll(v);
     } else if (flag == "--intra-task-cores") {
-      const char* v = next();
-      if (!v) return false;
       args.intra_task_cores = std::atoi(v);
       if (args.intra_task_cores < 1) {
         std::fprintf(stderr, "--intra-task-cores must be >= 1\n");
         return false;
       }
     } else if (flag == "--kernel") {
-      const char* v = next();
-      if (!v) return false;
       args.kernel = v;
     } else if (flag == "--semiring") {
-      const char* v = next();
-      if (!v) return false;
       args.semiring = v;
     } else if (flag == "--no-bitpack") {
       args.no_bitpack = true;
     } else if (flag == "--ksource-variant") {
-      const char* v = next();
-      if (!v) return false;
       args.ksource_variant = v;
     } else if (flag == "--no-early-exit") {
       args.no_early_exit = true;
     } else if (flag == "--fail-node") {
-      const char* v = next();
-      if (!v) return false;
       const char* at = std::strchr(v, '@');
       if (at == nullptr) {
         std::fprintf(stderr, "--fail-node expects NODE@STAGE, got '%s'\n", v);
@@ -210,8 +352,6 @@ bool ParseArgs(int argc, char** argv, Args& args) {
       }
       args.fail_nodes.push_back(plan);
     } else if (flag == "--fail-rack") {
-      const char* v = next();
-      if (!v) return false;
       const char* at = std::strchr(v, '@');
       if (at == nullptr) {
         std::fprintf(stderr, "--fail-rack expects RACK@STAGE, got '%s'\n", v);
@@ -232,8 +372,6 @@ bool ParseArgs(int argc, char** argv, Args& args) {
       }
       args.fail_racks.push_back(plan);
     } else if (flag == "--add-node") {
-      const char* v = next();
-      if (!v) return false;
       if (v[0] != '@') {
         std::fprintf(stderr, "--add-node expects @STAGE, got '%s'\n", v);
         return false;
@@ -246,24 +384,18 @@ bool ParseArgs(int argc, char** argv, Args& args) {
       }
       args.add_nodes.push_back(at_stage);
     } else if (flag == "--racks") {
-      const char* v = next();
-      if (!v) return false;
       args.racks = std::atoi(v);
       if (args.racks < 1) {
         std::fprintf(stderr, "--racks must be >= 1\n");
         return false;
       }
     } else if (flag == "--straggler-factor") {
-      const char* v = next();
-      if (!v) return false;
       args.straggler_factor = std::atof(v);
       if (args.straggler_factor < 1.0) {
         std::fprintf(stderr, "--straggler-factor must be >= 1\n");
         return false;
       }
     } else if (flag == "--straggler-every") {
-      const char* v = next();
-      if (!v) return false;
       args.straggler_every = std::atoi(v);
       if (args.straggler_every < 1) {
         std::fprintf(stderr, "--straggler-every must be >= 1\n");
@@ -275,9 +407,36 @@ bool ParseArgs(int argc, char** argv, Args& args) {
       args.directed = true;
     } else if (flag == "--fault-tolerant") {
       args.fault_tolerant = true;
-    } else {
-      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
-      return false;
+    } else if (flag == "--persist") {
+      args.persist = v;
+    } else if (flag == "--no-paths") {
+      args.no_paths = true;
+    } else if (flag == "--store") {
+      args.store_dir = v;
+    } else if (flag == "--queries") {
+      args.queries_file = v;
+    } else if (flag == "--random") {
+      args.random_queries = std::atoll(v);
+    } else if (flag == "--zipf") {
+      args.zipf_theta = std::atof(v);
+    } else if (flag == "--threads") {
+      args.threads = static_cast<std::size_t>(std::atoll(v));
+    } else if (flag == "--cache-mb") {
+      args.cache_mb = static_cast<std::uint64_t>(std::atoll(v));
+      if (args.cache_mb == 0) {
+        std::fprintf(stderr, "--cache-mb must be >= 1\n");
+        return false;
+      }
+    } else if (flag == "--path") {
+      const char* colon = std::strchr(v, ':');
+      if (colon == nullptr) {
+        std::fprintf(stderr, "--path expects S:T, got '%s'\n", v);
+        return false;
+      }
+      args.path_queries.emplace_back(std::atoll(v), std::atoll(colon + 1));
+    } else if (flag == "--help") {
+      args.help = true;
+      return false;  // routes to the subcommand usage, exit 0
     }
   }
   return true;
@@ -315,6 +474,17 @@ Result<apsp::SolverKind> ParseSolver(const std::string& name) {
   if (name == "im") return apsp::SolverKind::kBlockedInMemory;
   if (name == "cb") return apsp::SolverKind::kBlockedCollectBroadcast;
   return InvalidArgumentError("unknown solver '" + name + "'");
+}
+
+/// The durability/fault/membership schedule all workloads share — assigned
+/// into both ApspOptions and KsourceOptions through their RunPlan base.
+apsp::RunPlan BuildRunPlan(const Args& args) {
+  apsp::RunPlan plan;
+  plan.checkpoint_every = args.checkpoint_every;
+  plan.fail_nodes = args.fail_nodes;
+  plan.fail_racks = args.fail_racks;
+  plan.add_nodes = args.add_nodes;
+  return plan;
 }
 
 /// Membership plans that parse fine can still be nonsense for the actual
@@ -430,28 +600,25 @@ int RunSolve(const Args& args) {
   graph::Graph g(0);
   if (!args.input.empty()) {
     auto loaded = graph::ReadEdgeListTextFile(args.input);
-    if (!loaded.ok()) {
-      std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
-      return 1;
-    }
+    if (!loaded.ok()) return Fail(loaded.status());
     g = *loaded;
   } else if (args.n > 0) {
     g = graph::ErdosRenyi(args.n, graph::PaperEdgeProbability(args.n),
                           {1.0, 10.0}, args.seed, args.directed);
   } else {
-    return Usage();
+    return Usage(args);
   }
   auto kind = ParseSolver(args.solver);
-  if (!kind.ok()) {
-    std::fprintf(stderr, "%s\n", kind.status().ToString().c_str());
-    return 1;
-  }
-  apsp::ApspOptions options;
+  if (!kind.ok()) return Fail(kind.status());
   const auto semiring = linalg::ParseSemiring(args.semiring);
   if (!semiring.has_value()) {
-    std::fprintf(stderr, "unknown semiring '%s'\n", args.semiring.c_str());
-    return 1;
+    return Fail(InvalidArgumentError("unknown semiring '" + args.semiring +
+                                     "'"));
   }
+
+  apsp::SolveRequest request;
+  request.solver = *kind;
+  auto& options = request.options;
   options.semiring = *semiring;
   options.bitpack_boolean = !args.no_bitpack;
   options.block_size =
@@ -461,15 +628,15 @@ int RunSolve(const Args& args) {
                             ? apsp::PartitionerKind::kPortableHash
                             : apsp::PartitionerKind::kMultiDiagonal;
   options.directed = args.directed;
-  options.checkpoint_every = args.checkpoint_every;
-  auto cluster = sparklet::ClusterConfig::TinyTest();
+  static_cast<apsp::RunPlan&>(options) = BuildRunPlan(args);
+  auto& cluster = request.cluster;
   cluster.nodes = std::max(1, args.cores / 2);
   cluster.cores_per_node = 2;
   cluster.local_storage_bytes = 64ULL * kGiB;
   const auto kernel = linalg::ParseKernelVariant(args.kernel);
   if (!kernel.has_value()) {
-    std::fprintf(stderr, "unknown kernel variant '%s'\n", args.kernel.c_str());
-    return 1;
+    return Fail(InvalidArgumentError("unknown kernel variant '" + args.kernel +
+                                     "'"));
   }
   cluster.kernel_variant = *kernel;
   cluster.intra_task_cores = args.intra_task_cores;
@@ -483,21 +650,15 @@ int RunSolve(const Args& args) {
     // Batched k-source mode: rectangular n x K frontier on the kernel
     // registry instead of the full APSP matrix.
     apsp::KsourceOptions kopts;
+    static_cast<apsp::RunPlan&>(kopts) = BuildRunPlan(args);
     kopts.block_size = options.block_size;
     kopts.semiring = options.semiring;
     kopts.partitioner = options.partitioner;
     kopts.directed = args.directed;
     kopts.early_exit_infinite = !args.no_early_exit;
-    kopts.checkpoint_every = args.checkpoint_every;
-    kopts.fail_nodes = args.fail_nodes;
-    kopts.fail_racks = args.fail_racks;
-    kopts.add_nodes = args.add_nodes;
     const auto variant = ResolveKsourceVariant(
         args, g.num_vertices(), kopts.block_size, cluster);
-    if (!variant.ok()) {
-      std::fprintf(stderr, "%s\n", variant.status().ToString().c_str());
-      return 1;
-    }
+    if (!variant.ok()) return Fail(variant.status());
     kopts.variant = *variant;
     apsp::KsourceBlockedSolver ksolver;
     const auto sources = PickSources(g.num_vertices(), args.sources);
@@ -510,11 +671,7 @@ int RunSolve(const Args& args) {
         static_cast<long long>(kopts.block_size),
         linalg::SemiringName(kopts.semiring));
     auto kresult = ksolver.SolveGraph(g, sources, kopts, cluster);
-    if (!kresult.status.ok()) {
-      std::fprintf(stderr, "solve failed: %s\n",
-                   kresult.status.ToString().c_str());
-      return 1;
-    }
+    if (!kresult.status.ok()) return Fail(kresult.status);
     std::printf("done: %lld pivots, simulated cluster time %s\n",
                 static_cast<long long>(kresult.rounds_executed),
                 FormatDuration(kresult.sim_seconds).c_str());
@@ -531,48 +688,53 @@ int RunSolve(const Args& args) {
     return 0;
   }
 
-  auto solver = apsp::MakeSolver(*kind);
-  options.fail_nodes = args.fail_nodes;
-  options.fail_racks = args.fail_racks;
-  options.add_nodes = args.add_nodes;
+  auto report = apsp::Solve(g, request);
   std::printf("solving %s with %s (b = %lld%s, %s%s)\n", g.Summary().c_str(),
-              solver->name().c_str(),
+              report.solver_name.c_str(),
               static_cast<long long>(options.block_size),
-              solver->pure() ? ", pure" : ", impure",
+              report.pure ? ", pure" : ", impure",
               linalg::SemiringName(options.semiring),
               options.semiring == linalg::SemiringId::kBoolean &&
                       options.bitpack_boolean
                   ? " bit-packed"
                   : "");
-  auto result = solver->SolveGraph(g, options, cluster);
-  if (!result.status.ok()) {
-    std::fprintf(stderr, "solve failed: %s\n",
-                 result.status.ToString().c_str());
-    return 1;
-  }
+  if (!report.ok()) return Fail(report.status());
   std::printf("done: %lld rounds, simulated cluster time %s\n",
-              static_cast<long long>(result.rounds_executed),
-              FormatDuration(result.sim_seconds).c_str());
-  std::printf("engine: %s\n", result.metrics.Summary().c_str());
-  PrintRecovery(result.metrics);
+              static_cast<long long>(report.run.rounds_executed),
+              FormatDuration(report.run.sim_seconds).c_str());
+  std::printf("engine: %s\n", report.metrics().Summary().c_str());
+  PrintRecovery(report.metrics());
   if (!args.output.empty()) {
-    if (!WriteDenseBlock(args.output, *result.distances)) return 1;
+    if (!WriteDenseBlock(args.output, *report.distances())) return 1;
     std::printf("distances written to %s\n", args.output.c_str());
+  }
+  if (!args.persist.empty()) {
+    apsp::PersistOptions popts;
+    popts.block_size = options.block_size;
+    popts.with_paths = !args.no_paths;
+    auto status = apsp::PersistSolve(args.persist, *report.distances(), &g,
+                                     args.directed, options.semiring, popts);
+    if (!status.ok()) return Fail(status);
+    auto opened = store::BlockStore::Open(args.persist);
+    if (!opened.ok()) return Fail(opened.status());
+    std::printf("persisted %zu blocks (%s) to %s%s\n",
+                (*opened)->manifest().entries.size(),
+                FormatBytes((*opened)->total_payload_bytes()).c_str(),
+                args.persist.c_str(),
+                (*opened)->manifest().has_paths ? " with successor plane"
+                                                : "");
   }
   return 0;
 }
 
 int RunPlan(const Args& args) {
-  if (args.n <= 1) return Usage();
+  if (args.n <= 1) return Usage(args);
   apsp::TuneRequest request;
   request.n = args.n;
   request.cluster = sparklet::ClusterConfig::PaperWithCores(args.cores);
   request.require_fault_tolerance = args.fault_tolerant;
   auto choice = apsp::TuneConfiguration(request);
-  if (!choice.ok()) {
-    std::fprintf(stderr, "%s\n", choice.status().ToString().c_str());
-    return 1;
-  }
+  if (!choice.ok()) return Fail(choice.status());
   std::printf("recommended: %s, b = %lld, %s partitioner -> ~%s\n",
               apsp::SolverKindName(choice->solver),
               static_cast<long long>(choice->block_size),
@@ -582,23 +744,20 @@ int RunPlan(const Args& args) {
 }
 
 int RunModel(const Args& args) {
-  if (args.n <= 1) return Usage();
+  if (args.n <= 1) return Usage(args);
   const auto semiring = linalg::ParseSemiring(args.semiring);
   if (!semiring.has_value()) {
-    std::fprintf(stderr, "unknown semiring '%s'\n", args.semiring.c_str());
-    return 1;
+    return Fail(InvalidArgumentError("unknown semiring '" + args.semiring +
+                                     "'"));
   }
   if (args.sources > 0) {
     apsp::KsourceOptions kopts;
+    static_cast<apsp::RunPlan&>(kopts) = BuildRunPlan(args);
     kopts.block_size = args.block > 0 ? args.block : 1024;
     kopts.semiring = *semiring;
     kopts.max_rounds = args.rounds > 0 ? args.rounds : 1;
     kopts.directed = args.directed;
     kopts.early_exit_infinite = !args.no_early_exit;
-    kopts.checkpoint_every = args.checkpoint_every;
-    kopts.fail_nodes = args.fail_nodes;
-    kopts.fail_racks = args.fail_racks;
-    kopts.add_nodes = args.add_nodes;
     auto cluster = sparklet::ClusterConfig::PaperWithCores(
         args.cores > 4 ? args.cores : 1024);
     cluster.intra_task_cores = args.intra_task_cores;
@@ -609,10 +768,7 @@ int RunModel(const Args& args) {
     if (!ValidateMembershipPlans(args, cluster)) return 2;
     const auto variant =
         ResolveKsourceVariant(args, args.n, kopts.block_size, cluster);
-    if (!variant.ok()) {
-      std::fprintf(stderr, "%s\n", variant.status().ToString().c_str());
-      return 1;
-    }
+    if (!variant.ok()) return Fail(variant.status());
     kopts.variant = *variant;
     apsp::KsourceBlockedSolver solver;
     auto result =
@@ -636,31 +792,29 @@ int RunModel(const Args& args) {
     return result.status.ok() ? 0 : 1;
   }
   auto kind = ParseSolver(args.solver);
-  if (!kind.ok()) {
-    std::fprintf(stderr, "%s\n", kind.status().ToString().c_str());
-    return 1;
-  }
-  apsp::ApspOptions options;
+  if (!kind.ok()) return Fail(kind.status());
+
+  apsp::SolveRequest request;
+  request.solver = *kind;
+  auto& options = request.options;
+  static_cast<apsp::RunPlan&>(options) = BuildRunPlan(args);
   options.block_size = args.block > 0 ? args.block : 1024;
   options.semiring = *semiring;
   options.bitpack_boolean = !args.no_bitpack;
   options.max_rounds = args.rounds > 0 ? args.rounds : 1;
-  options.checkpoint_every = args.checkpoint_every;
-  options.fail_nodes = args.fail_nodes;
-  options.fail_racks = args.fail_racks;
-  options.add_nodes = args.add_nodes;
-  auto cluster = sparklet::ClusterConfig::PaperWithCores(
+  request.cluster = sparklet::ClusterConfig::PaperWithCores(
       args.cores > 4 ? args.cores : 1024);
+  auto& cluster = request.cluster;
   cluster.intra_task_cores = args.intra_task_cores;
   cluster.straggler_factor = args.straggler_factor;
   cluster.straggler_every = args.straggler_every;
   cluster.speculation = args.speculate;
   cluster.racks = args.racks;
   if (!ValidateMembershipPlans(args, cluster)) return 2;
-  auto solver = apsp::MakeSolver(*kind);
-  auto result = solver->SolveModel(args.n, options, cluster);
-  std::printf("%s, n = %lld, b = %lld, %s%s on %s\n", solver->name().c_str(),
-              static_cast<long long>(args.n),
+  auto report = apsp::SolveModel(args.n, request);
+  const auto& result = report.run;
+  std::printf("%s, n = %lld, b = %lld, %s%s on %s\n",
+              report.solver_name.c_str(), static_cast<long long>(args.n),
               static_cast<long long>(options.block_size),
               linalg::SemiringName(options.semiring),
               options.semiring == linalg::SemiringId::kBoolean &&
@@ -675,8 +829,131 @@ int RunModel(const Args& args) {
               FormatDuration(result.projected_seconds).c_str(),
               result.projected_storage_exceeded ? "  [would exhaust storage]"
                                                 : "");
-  std::printf("engine: %s\n", result.metrics.Summary().c_str());
-  PrintRecovery(result.metrics);
+  std::printf("engine: %s\n", report.metrics().Summary().c_str());
+  PrintRecovery(report.metrics());
+  return 0;
+}
+
+int RunServe(const Args& args) {
+  if (args.store_dir.empty()) return Usage(args);
+
+  store::DistanceService::Options options;
+  options.num_threads = args.threads;
+  options.store_options.cache_capacity_bytes = args.cache_mb << 20;
+  auto service = store::DistanceService::Open(args.store_dir, options);
+  if (!service.ok()) return Fail(service.status());
+  store::DistanceService& svc = **service;
+  const auto& manifest = svc.store().manifest();
+  std::printf("serving %s: n = %lld, b = %lld, %s, %zu blocks (%s)%s\n",
+              args.store_dir.c_str(), static_cast<long long>(manifest.n),
+              static_cast<long long>(manifest.block_size),
+              manifest.directed ? "directed" : "undirected",
+              manifest.entries.size(),
+              FormatBytes(svc.store().total_payload_bytes()).c_str(),
+              manifest.has_paths ? ", with paths" : "");
+
+  std::ofstream out_file;
+  std::FILE* out = stdout;
+  if (!args.output.empty()) {
+    out_file.open(args.output);
+    if (!out_file) {
+      return Fail(InternalError("cannot write " + args.output));
+    }
+  }
+  auto emit = [&](const std::string& line) {
+    if (out_file.is_open()) {
+      out_file << line << '\n';
+    } else {
+      std::fprintf(out, "%s\n", line.c_str());
+    }
+  };
+
+  if (!args.queries_file.empty()) {
+    std::ifstream in(args.queries_file);
+    if (!in) {
+      return Fail(NotFoundError("cannot read " + args.queries_file));
+    }
+    std::vector<store::DistanceService::Query> queries;
+    graph::VertexId s = 0, t = 0;
+    while (in >> s >> t) queries.push_back({s, t});
+    auto answers = svc.DistanceBatch(queries);
+    if (!answers.ok()) return Fail(answers.status());
+    char line[96];
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      std::snprintf(line, sizeof line, "%lld %lld %.17g",
+                    static_cast<long long>(queries[i].s),
+                    static_cast<long long>(queries[i].t), (*answers)[i]);
+      emit(line);
+    }
+  }
+
+  if (args.random_queries > 0) {
+    Xoshiro256 rng(args.seed);
+    const auto nn = static_cast<std::uint64_t>(svc.n());
+    std::vector<store::DistanceService::Query> queries;
+    queries.reserve(static_cast<std::size_t>(args.random_queries));
+    if (args.zipf_theta > 0) {
+      ZipfSampler zipf(nn, args.zipf_theta);
+      for (std::int64_t i = 0; i < args.random_queries; ++i) {
+        queries.push_back(
+            {static_cast<graph::VertexId>(zipf.Sample(rng)),
+             static_cast<graph::VertexId>(zipf.Sample(rng))});
+      }
+    } else {
+      for (std::int64_t i = 0; i < args.random_queries; ++i) {
+        queries.push_back({static_cast<graph::VertexId>(rng.NextBounded(nn)),
+                           static_cast<graph::VertexId>(rng.NextBounded(nn))});
+      }
+    }
+    const auto start = std::chrono::steady_clock::now();
+    auto answers = svc.DistanceBatch(queries);
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    if (!answers.ok()) return Fail(answers.status());
+    double sum = 0;
+    std::int64_t reachable = 0;
+    for (double d : *answers) {
+      if (d < std::numeric_limits<double>::infinity()) {
+        sum += d;
+        ++reachable;
+      }
+    }
+    const auto stats = svc.store().stats();
+    std::printf(
+        "%lld queries (%s) in %s: %.0f qps; %lld reachable, checksum "
+        "%.17g\n",
+        static_cast<long long>(args.random_queries),
+        args.zipf_theta > 0 ? "zipf" : "uniform",
+        FormatDuration(elapsed).c_str(),
+        static_cast<double>(args.random_queries) / elapsed,
+        static_cast<long long>(reachable), sum);
+    std::printf(
+        "cache: %llu hits, %llu misses, %llu evictions, resident %s "
+        "(peak %s, cap %s)\n",
+        static_cast<unsigned long long>(stats.hits),
+        static_cast<unsigned long long>(stats.misses),
+        static_cast<unsigned long long>(stats.evictions),
+        FormatBytes(stats.resident_bytes).c_str(),
+        FormatBytes(stats.peak_resident_bytes).c_str(),
+        FormatBytes(options.store_options.cache_capacity_bytes).c_str());
+  }
+
+  for (const auto& [s, t] : args.path_queries) {
+    auto path = svc.Path(s, t);
+    if (!path.ok()) return Fail(path.status());
+    std::string line = "path " + std::to_string(s) + "->" + std::to_string(t) +
+                       ":";
+    for (auto v : *path) line += " " + std::to_string(v);
+    emit(line);
+  }
+
+  if (args.queries_file.empty() && args.random_queries == 0 &&
+      args.path_queries.empty()) {
+    std::fprintf(stderr,
+                 "nothing to do: give --queries, --random, or --path\n");
+    return 2;
+  }
   return 0;
 }
 
@@ -684,9 +961,19 @@ int RunModel(const Args& args) {
 
 int main(int argc, char** argv) {
   Args args;
-  if (!ParseArgs(argc, argv, args)) return Usage();
-  if (args.command == "solve") return RunSolve(args);
-  if (args.command == "plan") return RunPlan(args);
-  if (args.command == "model") return RunModel(args);
-  return Usage();
+  if (!ParseArgs(argc, argv, args)) {
+    if (args.command_name.empty()) return UsageTop();
+    return Usage(args);
+  }
+  switch (args.command) {
+    case kSolve:
+      return RunSolve(args);
+    case kPlan:
+      return RunPlan(args);
+    case kModel:
+      return RunModel(args);
+    case kServe:
+      return RunServe(args);
+  }
+  return UsageTop();
 }
