@@ -1,14 +1,25 @@
-// Micro-benchmarks (google-benchmark): kernels, partitioners, generators,
-// serialization, and small end-to-end solves. These are ablation probes for
-// the design choices DESIGN.md calls out rather than paper figures.
-#include <benchmark/benchmark.h>
+// Micro-benchmarks: kernels, partitioners, generators, serialization, and a
+// small end-to-end solve. These are ablation probes for the design choices
+// DESIGN.md calls out rather than paper figures — quick relative numbers,
+// not gated records (the gated records live in bench_fig2_kernels).
+//
+// Self-contained timing (best-of-N wall time via WallTimer); no external
+// benchmark framework so the target always builds and run_benches.sh can
+// include it unconditionally.
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
 
+#include "apsp/api.h"
 #include "apsp/partitioners.h"
-#include "apsp/solver.h"
+#include "bench_util.h"
 #include "common/rng.h"
 #include "common/serial.h"
+#include "common/time_utils.h"
 #include "graph/generators.h"
 #include "graph/shortest_paths.h"
+#include "linalg/kernel_registry.h"
 #include "linalg/kernels.h"
 #include "sparklet/virtual_cluster.h"
 
@@ -25,160 +36,148 @@ linalg::DenseBlock RandomBlock(std::int64_t b, std::uint64_t seed) {
   return block;
 }
 
-linalg::ScopedKernelVariant ScopedVariant(std::int64_t v) {
-  return linalg::ScopedKernelVariant(static_cast<linalg::KernelVariant>(v));
+template <typename Fn>
+double BestOf(int reps, Fn&& fn) {
+  double best = 0;
+  for (int r = 0; r < reps; ++r) {
+    WallTimer t;
+    fn();
+    const double s = t.ElapsedSeconds();
+    if (r == 0 || s < best) best = s;
+  }
+  return best;
 }
 
-void SetVariantLabel(benchmark::State& state) {
-  state.SetLabel(linalg::KernelVariantName(
-      static_cast<linalg::KernelVariant>(state.range(1))));
+void PrintRow(const std::string& name, const std::string& config,
+              double seconds, double items_per_sec, const char* unit) {
+  std::printf("%-28s %-18s %10.3f ms %12.2f %s\n", name.c_str(),
+              config.c_str(), seconds * 1e3, items_per_sec, unit);
 }
 
-void BM_MinPlusProduct(benchmark::State& state) {
-  const std::int64_t b = state.range(0);
-  const auto variant = ScopedVariant(state.range(1));
-  SetVariantLabel(state);
+/// Fused min-plus update across registry variants, then across SIMD ISAs at
+/// the tiled variant — the micro view of the fig2 races.
+void KernelProbes() {
+  bench::PrintHeader("micro: kernels (b = 256, best of 5)");
+  const std::int64_t b = 256;
   const auto lhs = RandomBlock(b, 1);
   const auto rhs = RandomBlock(b, 2);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(linalg::MinPlusProduct(lhs, rhs));
+  const double ops = static_cast<double>(b) * b * b;
+  for (linalg::KernelVariant variant :
+       {linalg::KernelVariant::kNaive, linalg::KernelVariant::kTiled,
+        linalg::KernelVariant::kTiledParallel}) {
+    linalg::ScopedKernelVariant scope(variant);
+    linalg::ScopedSimdIsa isa(linalg::SimdIsa::kScalar);
+    const double s = BestOf(5, [&] {
+      linalg::DenseBlock c = lhs;
+      linalg::MinPlusUpdate(lhs, rhs, c);
+    });
+    PrintRow("minplus_update",
+             std::string("variant=") + linalg::KernelVariantName(variant), s,
+             ops / s / 1e9, "Gops");
   }
-  state.SetItemsProcessed(state.iterations() * b * b * b);
-}
-BENCHMARK(BM_MinPlusProduct)
-    ->ArgsProduct({{64, 128, 256}, {0, 1, 2}});
-
-void BM_MinPlusFusedUpdate(benchmark::State& state) {
-  const std::int64_t b = state.range(0);
-  const auto variant = ScopedVariant(state.range(1));
-  SetVariantLabel(state);
-  const auto lhs = RandomBlock(b, 1);
-  const auto rhs = RandomBlock(b, 2);
-  for (auto _ : state) {
-    linalg::DenseBlock c = lhs;
-    linalg::MinPlusUpdate(lhs, rhs, c);
-    benchmark::DoNotOptimize(c);
+  for (linalg::SimdIsa isa :
+       {linalg::SimdIsa::kScalar, linalg::SimdIsa::kAvx2,
+        linalg::SimdIsa::kAvx512}) {
+    if (!linalg::SimdIsaAvailable(isa)) continue;
+    linalg::ScopedKernelVariant scope(linalg::KernelVariant::kTiled);
+    linalg::ScopedSimdIsa isa_scope(isa);
+    const double s = BestOf(5, [&] {
+      linalg::DenseBlock c = lhs;
+      linalg::MinPlusUpdate(lhs, rhs, c);
+    });
+    PrintRow("minplus_update",
+             std::string("isa=") + linalg::SimdIsaName(isa), s, ops / s / 1e9,
+             "Gops");
   }
-  state.SetItemsProcessed(state.iterations() * b * b * b);
-}
-BENCHMARK(BM_MinPlusFusedUpdate)
-    ->ArgsProduct({{128, 256, 512}, {0, 1, 2}});
-
-void BM_FloydWarshallKernel(benchmark::State& state) {
-  const std::int64_t b = state.range(0);
-  const auto variant = ScopedVariant(state.range(1));
-  SetVariantLabel(state);
-  const auto block = RandomBlock(b, 3);
-  for (auto _ : state) {
-    linalg::DenseBlock copy = block;
-    linalg::FloydWarshallInPlace(copy);
-    benchmark::DoNotOptimize(copy);
+  {
+    linalg::ScopedKernelVariant scope(linalg::KernelVariant::kTiled);
+    const auto block = RandomBlock(b, 3);
+    const double s = BestOf(5, [&] {
+      linalg::DenseBlock copy = block;
+      linalg::BlockedFloydWarshall(copy,
+                                   linalg::GetKernelTuning().fw_block);
+    });
+    PrintRow("blocked_floyd_warshall", "variant=tiled", s, ops / s / 1e9,
+             "Gops");
   }
-  state.SetItemsProcessed(state.iterations() * b * b * b);
-}
-BENCHMARK(BM_FloydWarshallKernel)
-    ->ArgsProduct({{64, 128, 256}, {0, 1, 2}});
-
-void BM_BlockedFloydWarshall(benchmark::State& state) {
-  const std::int64_t n = state.range(0);
-  const auto variant = ScopedVariant(state.range(1));
-  SetVariantLabel(state);
-  const auto block = RandomBlock(n, 4);
-  for (auto _ : state) {
-    linalg::DenseBlock copy = block;
-    linalg::BlockedFloydWarshall(copy, 64);
-    benchmark::DoNotOptimize(copy);
-  }
-  state.SetItemsProcessed(state.iterations() * n * n * n);
-}
-BENCHMARK(BM_BlockedFloydWarshall)
-    ->ArgsProduct({{128, 256}, {0, 1, 2}});
-
-void BM_Transpose(benchmark::State& state) {
-  const auto block = RandomBlock(state.range(0), 5);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(block.Transposed());
+  {
+    const auto block = RandomBlock(1024, 5);
+    const double s = BestOf(5, [&] { (void)block.Transposed(); });
+    PrintRow("transpose", "b=1024", s,
+             1024.0 * 1024.0 * 8 / s / 1e9, "GB/s");
   }
 }
-BENCHMARK(BM_Transpose)->Arg(256)->Arg(1024);
 
-void BM_PortableHashPartitioner(benchmark::State& state) {
+void PartitionerProbes() {
+  bench::PrintHeader("micro: partitioners (n = 65536, b = 512, 2048 parts)");
   const apsp::BlockLayout layout(65536, 512);
-  auto part = apsp::MakeBlockPartitioner(apsp::PartitionerKind::kPortableHash,
-                                         layout, 2048);
   const auto keys = layout.StoredKeys();
-  std::size_t i = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(part->PartitionOf(keys[i++ % keys.size()]));
+  for (apsp::PartitionerKind kind : {apsp::PartitionerKind::kPortableHash,
+                                     apsp::PartitionerKind::kMultiDiagonal}) {
+    auto part = apsp::MakeBlockPartitioner(kind, layout, 2048);
+    volatile int sink = 0;
+    const double s = BestOf(5, [&] {
+      int acc = 0;
+      for (const auto& key : keys) acc += part->PartitionOf(key);
+      sink = acc;
+    });
+    (void)sink;
+    PrintRow("partition_of", bench::PartitionerLabel(kind), s,
+             static_cast<double>(keys.size()) / s / 1e6, "Mkeys/s");
   }
 }
-BENCHMARK(BM_PortableHashPartitioner);
 
-void BM_MultiDiagonalPartitioner(benchmark::State& state) {
-  const apsp::BlockLayout layout(65536, 512);
-  auto part = apsp::MakeBlockPartitioner(
-      apsp::PartitionerKind::kMultiDiagonal, layout, 2048);
-  const auto keys = layout.StoredKeys();
-  std::size_t i = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(part->PartitionOf(keys[i++ % keys.size()]));
+void SerializationProbes() {
+  bench::PrintHeader("micro: serialization and generation");
+  {
+    const auto block = RandomBlock(512, 6);
+    const double s = BestOf(5, [&] {
+      BinaryWriter writer;
+      block.Serialize(writer);
+      BinaryReader reader(writer.buffer());
+      (void)linalg::DenseBlock::Deserialize(reader);
+    });
+    PrintRow("block_serialize_roundtrip", "b=512", s,
+             static_cast<double>(block.size()) * 8 / s / 1e9, "GB/s");
+  }
+  {
+    std::uint64_t seed = 0;
+    const double s = BestOf(3, [&] { (void)graph::PaperErdosRenyi(8192, ++seed); });
+    PrintRow("erdos_renyi_generate", "n=8192", s, 8192.0 / s / 1e6,
+             "Mverts/s");
+  }
+  {
+    Xoshiro256 rng(7);
+    std::vector<double> tasks(16384);
+    for (auto& t : tasks) t = rng.NextDouble(0.1, 2.0);
+    const double s = BestOf(5, [&] {
+      auto copy = tasks;
+      (void)sparklet::ListScheduleMakespan(copy, 1024);
+    });
+    PrintRow("list_schedule_makespan", "16384 tasks", s,
+             static_cast<double>(tasks.size()) / s / 1e6, "Mtasks/s");
   }
 }
-BENCHMARK(BM_MultiDiagonalPartitioner);
 
-void BM_ErdosRenyiGeneration(benchmark::State& state) {
-  const std::int64_t n = state.range(0);
-  std::uint64_t seed = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(graph::PaperErdosRenyi(n, ++seed));
-  }
-}
-BENCHMARK(BM_ErdosRenyiGeneration)->Arg(1024)->Arg(8192);
-
-void BM_BlockSerializeRoundtrip(benchmark::State& state) {
-  const auto block = RandomBlock(state.range(0), 6);
-  for (auto _ : state) {
-    BinaryWriter writer;
-    block.Serialize(writer);
-    BinaryReader reader(writer.buffer());
-    auto copy = linalg::DenseBlock::Deserialize(reader);
-    benchmark::DoNotOptimize(copy);
-  }
-}
-BENCHMARK(BM_BlockSerializeRoundtrip)->Arg(256)->Arg(512);
-
-void BM_ListScheduleMakespan(benchmark::State& state) {
-  Xoshiro256 rng(7);
-  std::vector<double> tasks(static_cast<std::size_t>(state.range(0)));
-  for (auto& t : tasks) t = rng.NextDouble(0.1, 2.0);
-  for (auto _ : state) {
-    auto copy = tasks;
-    benchmark::DoNotOptimize(sparklet::ListScheduleMakespan(copy, 1024));
-  }
-}
-BENCHMARK(BM_ListScheduleMakespan)->Arg(2048)->Arg(16384);
-
-void BM_EndToEndBlockedCB(benchmark::State& state) {
+void EndToEndProbe() {
+  bench::PrintHeader("micro: end-to-end blocked CB solve (n = 128, b = 32)");
   const auto g = graph::PaperErdosRenyi(128, 5);
-  for (auto _ : state) {
-    apsp::ApspOptions opts;
-    opts.block_size = 32;
-    auto solver = apsp::MakeSolver(apsp::SolverKind::kBlockedCollectBroadcast);
-    auto result =
-        solver->SolveGraph(g, opts, sparklet::ClusterConfig::TinyTest());
-    benchmark::DoNotOptimize(result);
-  }
+  const double s = BestOf(3, [&] {
+    apsp::SolveRequest request;
+    request.options.block_size = 32;
+    (void)apsp::Solve(g, request);
+  });
+  PrintRow("solve_blocked_cb", "n=128 b=32", s, 1.0 / s, "solves/s");
 }
-BENCHMARK(BM_EndToEndBlockedCB);
-
-void BM_DijkstraAllPairs(benchmark::State& state) {
-  const auto g = graph::PaperErdosRenyi(state.range(0), 6);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(graph::DijkstraAllPairs(g));
-  }
-}
-BENCHMARK(BM_DijkstraAllPairs)->Arg(256);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main() {
+  std::printf("kernels: %s\n",
+              linalg::DescribeKernelTuning(linalg::GetKernelTuning()).c_str());
+  KernelProbes();
+  PartitionerProbes();
+  SerializationProbes();
+  EndToEndProbe();
+  return 0;
+}

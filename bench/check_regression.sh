@@ -5,6 +5,11 @@
 #
 # Usage: check_regression.sh <measured.json> <baseline.json>
 #                            [--metric M] [--bench B]
+#   M = model    projected virtual seconds (model_seconds) of the tracked
+#                Fig. 3 cell — Blocked-CB, multi-diagonal partitioner,
+#                B = 2, b = 1024. Deterministic cost-model output, so any
+#                growth is a real cost/placement regression; LOWER is
+#                better, same rule as peak/makespan.
 #   M = gops     absolute Gops of the tracked record (default; meaningful
 #                when the baseline was produced on comparable hardware)
 #   M = speedup  speedup over naive measured in the same run — the
@@ -24,8 +29,14 @@
 #                bench_fig2_kernels / BENCH_kernels.json (default). With
 #                --metric speedup the bit-packed boolean closure record
 #                (boolean_packed / bitpacked / b = 1024 — the semiring
-#                engine's headline, speedup vs the dense boolean plane) is
-#                gated in the same run.
+#                engine's headline, speedup vs the dense boolean plane) and
+#                the SIMD micro-kernel record (minplus_simd / avx2 /
+#                b = 1024, speedup vs the forced-scalar tiled path in the
+#                same run) are gated in the same run; the SIMD check is
+#                skipped with a note when the measured host lacks AVX2.
+#   B = fig3     tracked record: the Blocked-CB / MD / B=2 / b=1024 model
+#                cell from bench_fig3_blocksize / BENCH_fig3.json
+#                (--metric model only)
 #   B = ksource  tracked record: tiled rect kernel at b = 1024, k = 64 from
 #                bench_ksource / BENCH_ksource.json (gops/speedup), or the
 #                tiled solve on the shuffle data plane (peak)
@@ -66,6 +77,7 @@ case "$metric" in
   peak) field="driver_peak_bytes" ;;
   makespan) field="fair_makespan_seconds" ;;
   qps) field="qps" ;;
+  model) field="model_seconds" ;;
   *) echo "unknown metric '$metric'" >&2; exit 2 ;;
 esac
 if [[ "$metric" == "qps" && "$bench" != "serve" ]]; then
@@ -88,6 +100,14 @@ if [[ "$bench" == "multitenant" && "$metric" != "makespan" ]]; then
   echo "--bench multitenant only tracks --metric makespan" >&2
   exit 2
 fi
+if [[ "$metric" == "model" && "$bench" != "fig3" ]]; then
+  echo "--metric model is only tracked for --bench fig3" >&2
+  exit 2
+fi
+if [[ "$bench" == "fig3" && "$metric" != "model" ]]; then
+  echo "--bench fig3 only tracks --metric model" >&2
+  exit 2
+fi
 case "$bench" in
   fig2) what="tiled minplus b=1024" ;;
   ksource)
@@ -98,6 +118,7 @@ case "$bench" in
     fi ;;
   multitenant) what="two-tenant fair-share makespan" ;;
   serve) what="serving-layer zipf workload" ;;
+  fig3) what="blocked-CB MD B=2 b=1024 model time" ;;
   *) echo "unknown bench '$bench'" >&2; exit 2 ;;
 esac
 tolerance="${APSPARK_BENCH_TOLERANCE:-0.10}"
@@ -115,6 +136,14 @@ extract() {
   elif [[ "$bench" == "multitenant" ]]; then
     { grep '"section": "multitenant"' "$1" \
         | grep -v '"section": "multitenant_tight"' \
+        | grep -oE "\"$field\": [0-9.eE+-]+" \
+        | head -1 | awk '{print $2}'; } || true
+  elif [[ "$bench" == "fig3" ]]; then
+    { grep '"section": "fig3"' "$1" \
+        | grep '"solver": "cb"' \
+        | grep '"partitioner": "MD"' \
+        | grep '"B": 2' \
+        | grep '"b": 1024' \
         | grep -oE "\"$field\": [0-9.eE+-]+" \
         | head -1 | awk '{print $2}'; } || true
   elif [[ "$bench" == "fig2" ]]; then
@@ -149,10 +178,12 @@ fi
 
 echo "$what $metric: measured $measured_value," \
      "baseline $baseline_value, tolerance $tolerance"
-if [[ "$metric" == "peak" || "$metric" == "makespan" ]]; then
+if [[ "$metric" == "peak" || "$metric" == "makespan" \
+      || "$metric" == "model" ]]; then
   # Lower is better: fail when the measured high water grew beyond the
-  # tolerance (a zero-copy regression re-materializing payloads, or a
-  # fair-scheduler packing regression stretching the makespan).
+  # tolerance (a zero-copy regression re-materializing payloads, a
+  # fair-scheduler packing regression stretching the makespan, or a cost
+  # model / placement regression inflating the projected Fig. 3 time).
   if awk -v m="$measured_value" -v b="$baseline_value" -v t="$tolerance" \
        'BEGIN { exit !(m <= b * (1 + t)) }'; then
     echo "OK: within tolerance"
@@ -198,5 +229,40 @@ if [[ "$bench" == "fig2" && "$metric" == "speedup" ]]; then
     echo "FAIL: bit-packed boolean closure speedup regressed more than" \
          "${tolerance} vs committed baseline" >&2
     exit 1
+  fi
+
+  # The SIMD micro-kernel's tracked record also rides this gate: the AVX2
+  # backend (the lowest common denominator of x86 CI runners) must keep its
+  # speedup over the forced-scalar tiled path measured in the same run. The
+  # AVX2 record is gated rather than the host-best one so the gate compares
+  # like with like across runners; a host without AVX2 (or a non-x86 build)
+  # emits no record, and the check is skipped with a note.
+  extract_simd() {
+    { grep '"kernel": "minplus_simd"' "$1" \
+        | grep '"variant": "avx2"' \
+        | grep '"b": 1024' \
+        | grep -oE "\"$field\": [0-9.eE+-]+" \
+        | head -1 | awk '{print $2}'; } || true
+  }
+  simd_measured="$(extract_simd "$measured")"
+  simd_baseline="$(extract_simd "$baseline")"
+  if [[ -z "$simd_measured" ]]; then
+    echo "note: SIMD minplus_simd/avx2 gate skipped (no AVX2 record in" \
+         "measured run — host lacks AVX2?)"
+  elif [[ -z "$simd_baseline" ]]; then
+    echo "FAIL: SIMD minplus_simd/avx2 b=1024 record missing from" \
+         "baseline" >&2
+    exit 1
+  else
+    echo "SIMD minplus_simd/avx2 b=1024 $metric: measured $simd_measured," \
+         "baseline $simd_baseline, tolerance $tolerance"
+    if awk -v m="$simd_measured" -v b="$simd_baseline" -v t="$tolerance" \
+         'BEGIN { exit !(m >= b * (1 - t)) }'; then
+      echo "OK: within tolerance"
+    else
+      echo "FAIL: SIMD micro-kernel speedup regressed more than" \
+           "${tolerance} vs committed baseline" >&2
+      exit 1
+    fi
   fi
 fi

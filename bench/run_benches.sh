@@ -1,6 +1,7 @@
 #!/usr/bin/env sh
-# Builds (if needed) and runs the kernel benchmark, producing the
-# machine-readable perf-trajectory file BENCH_kernels.json at the repo root.
+# Builds (if needed) and runs the gated benchmarks, producing the
+# machine-readable perf-trajectory files BENCH_kernels.json and
+# BENCH_fig3.json at the repo root, then runs the ungated micro probes.
 #
 # Usage: bench/run_benches.sh [build-dir]   (default: build)
 set -e
@@ -12,8 +13,14 @@ if [ ! -f "$BUILD_DIR/CMakeCache.txt" ]; then
   cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 fi
 cmake --build "$BUILD_DIR" -j "$(nproc 2>/dev/null || echo 2)" \
-  --target bench_fig2_kernels
+  --target bench_fig2_kernels bench_fig3_blocksize bench_micro
 
 APSPARK_BENCH_JSON="$(pwd)/BENCH_kernels.json" \
   "$BUILD_DIR/bench_fig2_kernels"
 echo "wrote $(pwd)/BENCH_kernels.json"
+
+APSPARK_BENCH_JSON="$(pwd)/BENCH_fig3.json" \
+  "$BUILD_DIR/bench_fig3_blocksize"
+echo "wrote $(pwd)/BENCH_fig3.json"
+
+"$BUILD_DIR/bench_micro"

@@ -23,6 +23,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <string_view>
 
 namespace apspark {
@@ -36,6 +37,40 @@ enum class KernelVariant {
   kTiled,
   kTiledParallel,
 };
+
+/// Instruction set the tiled/panel micro-kernels dispatch to at run time.
+///
+/// The SIMD backends (linalg/simd.h) are compiled unconditionally into their
+/// own translation units with per-file ISA flags; which one actually runs is
+/// decided per kernel call from `KernelTuning::isa`, clamped to what the
+/// host CPU supports (ResolveSimdIsa). kScalar is always available and is
+/// bitwise-identical to the SIMD paths by contract — pin it (`--isa scalar`
+/// or APSPARK_FORCE_ISA=scalar) when bisecting a kernel bug.
+enum class SimdIsa {
+  kScalar,  // portable C++ loops (the pre-SIMD tiled kernels)
+  kAvx2,    // 4-lane __m256d micro-tile (requires AVX2)
+  kAvx512,  // 8-lane __m512d micro-tile (requires AVX-512F)
+};
+
+/// Best ISA the host CPU supports among the compiled backends, probed once
+/// via CPUID and memoized. Non-x86 builds always return kScalar.
+SimdIsa DetectSimdIsa() noexcept;
+
+/// True when the host can execute `isa` AND the backend was compiled in.
+bool SimdIsaAvailable(SimdIsa isa) noexcept;
+
+/// Clamps a requested ISA to something executable on this host: a request
+/// the CPU cannot run falls back to the next-widest available backend
+/// (avx512 -> avx2 -> scalar). kScalar always resolves to itself.
+SimdIsa ResolveSimdIsa(SimdIsa requested) noexcept;
+
+/// Process-default ISA: APSPARK_FORCE_ISA (scalar|avx2|avx512) when set and
+/// resolvable, otherwise DetectSimdIsa(). Read once and memoized — this is
+/// what a default-constructed KernelTuning carries.
+SimdIsa DefaultSimdIsa() noexcept;
+
+const char* SimdIsaName(SimdIsa isa) noexcept;
+std::optional<SimdIsa> ParseSimdIsa(std::string_view name);
 
 /// The semiring the engine's kernels evaluate (see linalg/semiring.h for the
 /// algebraic definitions). One tiled/work-stealing/zero-copy engine serves
@@ -57,6 +92,11 @@ struct KernelTuning {
   /// / ScopedSemiring restore it together with the variant: one run's algebra
   /// cannot leak into unrelated work in the same process.
   SemiringId semiring = SemiringId::kMinPlus;
+  /// Micro-kernel instruction set. Defaults to the CPUID-detected best (or
+  /// APSPARK_FORCE_ISA); clamped per call by ResolveSimdIsa, so carrying
+  /// kAvx512 on an AVX2 host silently runs the AVX2 backend. All ISAs are
+  /// bitwise-identical on every semiring — this knob trades speed only.
+  SimdIsa isa = DefaultSimdIsa();
 
   /// Columns of B/C processed per tile: one C-row segment plus one B-row
   /// segment of this width must stay L1-resident (2 x 8 KiB at 1024).
@@ -79,6 +119,25 @@ struct KernelTuning {
   /// kernel time corresponds to a b ≈ 32..48 fused update; real updates at
   /// b >= 64 stay individually stealable. 0 disables merging.
   double task_grain_floor_seconds = 4.0e-5;
+
+  /// True when this tuning came out of AutoTune() rather than the static
+  /// defaults — surfaced by the CLI banner so bench JSONs and CI logs record
+  /// what actually ran.
+  bool auto_tuned = false;
+
+  bool operator==(const KernelTuning&) const = default;
+
+  /// Cache-aware self-tuning (linalg/autotune.cc): probes the host L1/L2/L3
+  /// sizes (sysfs, with a measured pointer-chase fallback), derives
+  /// tile_j/tile_k/fw_block from them, optionally confirms the choice with a
+  /// short seeded race among neighbouring geometries (every candidate is
+  /// verified bitwise against the scalar oracle before it may win), and
+  /// memoizes the result per seed. Deterministic given a seed when the race
+  /// is disabled; with the race, the memo pins the first outcome for the
+  /// rest of the process. variant/semiring/isa of the current tuning are
+  /// preserved. Callers publish it via the existing SetKernelTuning path.
+  static KernelTuning AutoTune(std::uint64_t seed = 42,
+                               bool confirm_race = true);
 };
 
 const KernelTuning& GetKernelTuning() noexcept;
@@ -135,5 +194,30 @@ class ScopedSemiring {
  private:
   KernelTuning saved_;
 };
+
+/// RAII: pins the micro-kernel ISA for a scope, restoring the full previous
+/// tuning on destruction. Benches and the bitwise-equivalence suites use it
+/// to race/compare forced-scalar against forced-SIMD dispatch.
+class ScopedSimdIsa {
+ public:
+  explicit ScopedSimdIsa(SimdIsa isa) : saved_(GetKernelTuning()) {
+    KernelTuning tuning = saved_;
+    tuning.isa = isa;
+    SetKernelTuning(tuning);
+  }
+  ~ScopedSimdIsa() { SetKernelTuning(saved_); }
+  ScopedSimdIsa(const ScopedSimdIsa&) = delete;
+  ScopedSimdIsa& operator=(const ScopedSimdIsa&) = delete;
+
+ private:
+  KernelTuning saved_;
+};
+
+/// One-line human-readable rendering of a tuning, e.g.
+///   "variant=tiled semiring=minplus isa=avx512 (requested avx512, host best
+///    avx512) tiles j=1024 k=128 fw=128 [auto-tuned]"
+/// — what `apspark_cli plan` and the solve banner print so logs record the
+/// geometry and ISA that actually ran.
+std::string DescribeKernelTuning(const KernelTuning& tuning);
 
 }  // namespace apspark::linalg

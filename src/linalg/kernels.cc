@@ -8,6 +8,7 @@
 
 #include "common/thread_pool.h"
 #include "linalg/semiring.h"
+#include "linalg/simd.h"
 
 namespace apspark::linalg {
 namespace {
@@ -103,11 +104,25 @@ void AccumulateRawNaive(std::int64_t m, std::int64_t n, std::int64_t k,
 }
 
 /// Sequential body of the tiled micro-kernel over a row range [i0, i1).
+/// `isa` is the pre-resolved dispatch decision (scalar when an operand
+/// shares elements with the output — see AccumulateRawTiled).
 template <typename S>
 void TiledRows(std::int64_t i0, std::int64_t i1, std::int64_t n,
                std::int64_t k, const double* a, std::int64_t lda,
                const double* b, std::int64_t ldb, double* c, std::int64_t ldc,
-               const KernelTuning& tuning) {
+               const KernelTuning& tuning, SimdIsa isa) {
+  switch (isa) {
+    case SimdIsa::kAvx512:
+      SimdTiledRowsAvx512(S::kId, i0, i1, n, k, a, lda, b, ldb, c, ldc,
+                          tuning.tile_j, tuning.tile_k);
+      return;
+    case SimdIsa::kAvx2:
+      SimdTiledRowsAvx2(S::kId, i0, i1, n, k, a, lda, b, ldb, c, ldc,
+                        tuning.tile_j, tuning.tile_k);
+      return;
+    case SimdIsa::kScalar:
+      break;  // the portable loops below
+  }
   const std::int64_t tj = std::max<std::int64_t>(8, tuning.tile_j);
   const std::int64_t tk = std::max<std::int64_t>(1, tuning.tile_k);
   for (std::int64_t j0 = 0; j0 < n; j0 += tj) {
@@ -182,8 +197,23 @@ constexpr std::int64_t kPanelNarrowWidth = 64;
 template <typename S>
 void PanelRows(std::int64_t i0, std::int64_t i1, std::int64_t n,
                std::int64_t k, const double* a, std::int64_t lda,
-               const double* b, std::int64_t ldb, double* c,
-               std::int64_t ldc) {
+               const double* b, std::int64_t ldb, double* c, std::int64_t ldc,
+               SimdIsa isa) {
+  switch (isa) {
+    case SimdIsa::kAvx512:
+      // tile_j >= n and tile_k >= k degenerate the SIMD micro-tile into
+      // exactly this kernel's shape: the whole reduction folds into the
+      // register accumulator, one C load/store per row strip.
+      SimdTiledRowsAvx512(S::kId, i0, i1, n, k, a, lda, b, ldb, c, ldc,
+                          /*tile_j=*/n, /*tile_k=*/k);
+      return;
+    case SimdIsa::kAvx2:
+      SimdTiledRowsAvx2(S::kId, i0, i1, n, k, a, lda, b, ldb, c, ldc,
+                        /*tile_j=*/n, /*tile_k=*/k);
+      return;
+    case SimdIsa::kScalar:
+      break;  // the portable accumulator loop below
+  }
   double acc[kPanelAccWidth];
   for (std::int64_t j0 = 0; j0 < n; j0 += kPanelAccWidth) {
     const std::int64_t jn = std::min(kPanelAccWidth, n - j0);
@@ -219,6 +249,58 @@ bool OverlapsOutput(const double* p, std::int64_t rows, std::int64_t ld,
   return lo < chi && clo < hi;
 }
 
+/// Element-precise sharing test between operand X (rows_x x cols_x at px,
+/// leading dimension ldx) and the output C — the SIMD routing predicate.
+/// Address-interval overlap (OverlapsOutput) is too coarse for it: two
+/// sub-blocks of one matrix interleave as intervals while touching disjoint
+/// elements (the blocked-FW phase-3 updates), and those calls are safe for
+/// the register-resident micro-tile. Only genuinely shared elements (the
+/// in-place phase-2/Kleene updates) must keep the scalar schedule, whose
+/// store cadence the bitwise contract was defined against. Falls back to
+/// "shared" whenever the layouts are not commensurate (different leading
+/// dimensions, or a column window that wraps a row boundary).
+bool SharesElements(const double* px, std::int64_t rows_x, std::int64_t ldx,
+                    std::int64_t cols_x, const double* c, std::int64_t m,
+                    std::int64_t ldc, std::int64_t n) {
+  if (!OverlapsOutput(px, rows_x, ldx, cols_x, c, m, ldc, n)) return false;
+  if (ldx != ldc || ldc <= 0) return true;
+  // Interval overlap means one allocation in practice, so the pointer
+  // difference decomposes into a (row, column) offset of X's origin within
+  // C's coordinate frame.
+  const std::ptrdiff_t delta = px - c;
+  std::ptrdiff_t row_off = delta / ldc;
+  std::ptrdiff_t col_off = delta % ldc;
+  if (col_off < 0) {
+    col_off += ldc;
+    row_off -= 1;
+  }
+  if (col_off + cols_x > ldc) return true;  // wraps a row: assume shared
+  const bool rows_overlap = row_off < m && row_off + rows_x > 0;
+  const bool cols_overlap = col_off < n;
+  return rows_overlap && cols_overlap;
+}
+
+/// The per-call dispatch decision of the tiled/panel bodies: the resolved
+/// tuning ISA, demoted to scalar when an operand shares elements with the
+/// output. The scalar kernel stores C and re-reads B every quad, while the
+/// SIMD micro-tile holds C in registers across a whole k chunk — on shared
+/// elements the two schedules observe different intermediate values, so
+/// aliased in-place updates stay on the scalar path to keep every result
+/// reproducible under every ISA.
+template <typename S>
+SimdIsa ChooseIsa(const KernelTuning& tuning, const double* a, std::int64_t m,
+                  std::int64_t lda, std::int64_t k, const double* b,
+                  std::int64_t ldb, const double* c, std::int64_t ldc,
+                  std::int64_t n) {
+  const SimdIsa isa = ResolveSimdIsa(tuning.isa);
+  if (isa == SimdIsa::kScalar) return isa;
+  if (SharesElements(a, m, lda, k, c, m, ldc, n) ||
+      SharesElements(b, k, ldb, n, c, m, ldc, n)) {
+    return SimdIsa::kScalar;
+  }
+  return isa;
+}
+
 template <typename S>
 void AccumulateRawTiled(std::int64_t m, std::int64_t n, std::int64_t k,
                         const double* a, std::int64_t lda, const double* b,
@@ -232,9 +314,10 @@ void AccumulateRawTiled(std::int64_t m, std::int64_t n, std::int64_t k,
                    OverlapsOutput(b, k, ldb, n, c, m, ldc, n))) {
     parallel = false;
   }
+  const SimdIsa isa = ChooseIsa<S>(tuning, a, m, lda, k, b, ldb, c, ldc, n);
   const std::int64_t stripes = parallel ? ParallelStripes(m, n, tuning) : 1;
   if (stripes <= 1) {
-    TiledRows<S>(0, m, n, k, a, lda, b, ldb, c, ldc, tuning);
+    TiledRows<S>(0, m, n, k, a, lda, b, ldb, c, ldc, tuning, isa);
     return;
   }
   const std::int64_t rows_per_stripe = (m + stripes - 1) / stripes;
@@ -244,7 +327,7 @@ void AccumulateRawTiled(std::int64_t m, std::int64_t n, std::int64_t k,
             static_cast<std::int64_t>(s) * rows_per_stripe;
         const std::int64_t i1 = std::min(m, i0 + rows_per_stripe);
         if (i0 < i1) {
-          TiledRows<S>(i0, i1, n, k, a, lda, b, ldb, c, ldc, tuning);
+          TiledRows<S>(i0, i1, n, k, a, lda, b, ldb, c, ldc, tuning, isa);
         }
       });
 }
@@ -265,9 +348,10 @@ void PanelRawTiled(std::int64_t m, std::int64_t n, std::int64_t k,
     parallel = false;
   }
   const KernelTuning tuning = GetKernelTuning();
+  const SimdIsa isa = ChooseIsa<S>(tuning, a, m, lda, k, b, ldb, c, ldc, n);
   const std::int64_t stripes = parallel ? ParallelStripes(m, n, tuning) : 1;
   if (stripes <= 1) {
-    PanelRows<S>(0, m, n, k, a, lda, b, ldb, c, ldc);
+    PanelRows<S>(0, m, n, k, a, lda, b, ldb, c, ldc, isa);
     return;
   }
   const std::int64_t rows_per_stripe = (m + stripes - 1) / stripes;
@@ -277,7 +361,7 @@ void PanelRawTiled(std::int64_t m, std::int64_t n, std::int64_t k,
             static_cast<std::int64_t>(s) * rows_per_stripe;
         const std::int64_t i1 = std::min(m, i0 + rows_per_stripe);
         if (i0 < i1) {
-          PanelRows<S>(i0, i1, n, k, a, lda, b, ldb, c, ldc);
+          PanelRows<S>(i0, i1, n, k, a, lda, b, ldb, c, ldc, isa);
         }
       });
 }

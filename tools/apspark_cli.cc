@@ -17,6 +17,7 @@
 #include <cstring>
 #include <fstream>
 #include <limits>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -76,6 +77,8 @@ constexpr FlagSpec kFlags[] = {
     {"--checkpoint-every", true, kSolve | kModel},
     {"--intra-task-cores", true, kSolve | kModel},
     {"--kernel", true, kSolve},
+    {"--isa", true, kSolve | kPlan | kModel},
+    {"--autotune", false, kSolve | kPlan | kModel},
     {"--semiring", true, kSolve | kModel},
     {"--no-bitpack", false, kSolve | kModel},
     {"--ksource-variant", true, kSolve | kModel},
@@ -119,6 +122,11 @@ struct Args {
   bool directed = false;
   bool fault_tolerant = false;
   std::string kernel = "tiled";
+  /// Micro-kernel ISA: scalar|avx2|avx512|auto (auto = CPUID-detected best,
+  /// or APSPARK_FORCE_ISA). Pin `--isa scalar` when bisecting a kernel bug.
+  std::string isa = "auto";
+  /// Probe the host caches and self-tune the kernel tile geometry.
+  bool autotune = false;
   std::string semiring = "minplus";
   bool no_bitpack = false;
   std::string ksource_variant = "staged";
@@ -165,6 +173,10 @@ void UsageSolve() {
       "  [--no-early-exit]  disable the all-infinite pivot\n"
       "          early-exit sweep (k-source mode)\n"
       "  [--kernel naive|tiled|tiled_parallel]\n"
+      "  [--isa scalar|avx2|avx512|auto]  micro-kernel instruction set\n"
+      "          (auto = CPUID-detected best; all choices are bitwise-\n"
+      "          identical — pin scalar when bisecting a kernel bug)\n"
+      "  [--autotune]  probe host caches, self-tune the tile geometry\n"
       "  [--semiring minplus|boolean|maxmin|maxtimes]\n"
       "          algebra the solve evaluates: shortest path,\n"
       "          reachability, bottleneck capacity, or widest path\n"
@@ -177,7 +189,10 @@ void UsageSolve() {
 
 void UsagePlan() {
   std::fprintf(stderr,
-               "usage: apspark plan --n N [--cores C] [--fault-tolerant]\n");
+               "usage: apspark plan --n N [--cores C] [--fault-tolerant]\n"
+               "  [--isa scalar|avx2|avx512|auto] [--autotune]\n"
+               "  also prints the resolved kernel tuning (detected ISA,\n"
+               "  tile geometry, auto-tuned vs default)\n");
 }
 
 void UsageModel() {
@@ -186,6 +201,7 @@ void UsageModel() {
       "usage: apspark model --n N [--cores C] [--solver rs|fw2d|im|cb]\n"
       "  [--block B] [--rounds R] [--sources K] [--ksource-variant V]\n"
       "  [--semiring S] [--no-bitpack] [--intra-task-cores C]\n"
+      "  [--isa scalar|avx2|avx512|auto] [--autotune]\n"
       "  [--fail-node N@S] [--fail-rack R@S] [--add-node @S] [--racks R]\n"
       "  [--checkpoint-every K] [--straggler-factor F]\n"
       "  [--straggler-every K] [--speculate] [--directed]\n"
@@ -236,6 +252,35 @@ int UsageTop() {
                "  serve   answer distance/path queries from a store\n"
                "run `apspark <command> --help` for that command's flags\n");
   return 2;
+}
+
+/// Resolves --isa / --autotune into the process-global kernel tuning before
+/// a run (solvers pick it up through the registry). Returns false, after
+/// printing an error, on an unknown ISA name.
+bool ApplyKernelTuningFlags(const Args& args) {
+  const auto isa = linalg::ParseSimdIsa(args.isa);
+  if (!isa.has_value()) {
+    std::fprintf(stderr,
+                 "apspark: unknown --isa '%s' (want scalar|avx2|avx512|auto)\n",
+                 args.isa.c_str());
+    return false;
+  }
+  linalg::KernelTuning tuning = args.autotune
+                                    ? linalg::KernelTuning::AutoTune()
+                                    : linalg::GetKernelTuning();
+  tuning.isa = *isa;
+  linalg::SetKernelTuning(tuning);
+  return true;
+}
+
+/// The solve-banner / plan line recording what geometry and ISA actually
+/// ran. `variant` overrides the registry variant in the rendering when the
+/// caller selects one per run (--kernel), which solvers apply at solve time.
+void PrintKernelTuning(
+    std::optional<linalg::KernelVariant> variant = std::nullopt) {
+  linalg::KernelTuning tuning = linalg::GetKernelTuning();
+  if (variant.has_value()) tuning.variant = *variant;
+  std::printf("kernels: %s\n", linalg::DescribeKernelTuning(tuning).c_str());
 }
 
 /// Uniform error surface: every library Status prints the same way.
@@ -323,6 +368,10 @@ bool ParseArgs(int argc, char** argv, Args& args) {
       }
     } else if (flag == "--kernel") {
       args.kernel = v;
+    } else if (flag == "--isa") {
+      args.isa = v;
+    } else if (flag == "--autotune") {
+      args.autotune = true;
     } else if (flag == "--semiring") {
       args.semiring = v;
     } else if (flag == "--no-bitpack") {
@@ -670,6 +719,7 @@ int RunSolve(const Args& args) {
                                                         : ", impure",
         static_cast<long long>(kopts.block_size),
         linalg::SemiringName(kopts.semiring));
+    PrintKernelTuning(*kernel);
     auto kresult = ksolver.SolveGraph(g, sources, kopts, cluster);
     if (!kresult.status.ok()) return Fail(kresult.status);
     std::printf("done: %lld pivots, simulated cluster time %s\n",
@@ -698,6 +748,7 @@ int RunSolve(const Args& args) {
                       options.bitpack_boolean
                   ? " bit-packed"
                   : "");
+  PrintKernelTuning(*kernel);
   if (!report.ok()) return Fail(report.status());
   std::printf("done: %lld rounds, simulated cluster time %s\n",
               static_cast<long long>(report.run.rounds_executed),
@@ -735,6 +786,7 @@ int RunPlan(const Args& args) {
   request.require_fault_tolerance = args.fault_tolerant;
   auto choice = apsp::TuneConfiguration(request);
   if (!choice.ok()) return Fail(choice.status());
+  PrintKernelTuning();
   std::printf("recommended: %s, b = %lld, %s partitioner -> ~%s\n",
               apsp::SolverKindName(choice->solver),
               static_cast<long long>(choice->block_size),
@@ -965,6 +1017,7 @@ int main(int argc, char** argv) {
     if (args.command_name.empty()) return UsageTop();
     return Usage(args);
   }
+  if (args.command != kServe && !ApplyKernelTuningFlags(args)) return 2;
   switch (args.command) {
     case kSolve:
       return RunSolve(args);
