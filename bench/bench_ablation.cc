@@ -8,14 +8,15 @@
 //   5. Symmetric (upper-triangular) vs full (directed) block storage.
 #include <cstdio>
 
+#include "apsp/api.h"
 #include "bench_util.h"
 #include "common/time_utils.h"
 
 int main() {
   using namespace apspark;
-  using apsp::ApspOptions;
   using apsp::SolverKind;
 
+  bench::TraceGuard trace;  // APSPARK_TRACE_JSON=FILE captures the run
   const std::int64_t n = 131072;
 
   bench::PrintHeader(
@@ -29,15 +30,15 @@ int main() {
   for (double compression : {0.25, 0.5, 0.75, 1.0}) {
     std::printf("%-14.2f", compression);
     for (std::int64_t b : {512LL, 768LL, 1024LL, 2048LL}) {
-      auto cluster = sparklet::ClusterConfig::Paper();
-      cluster.shuffle_compression = compression;
-      ApspOptions opts;
-      opts.block_size = b;
-      opts.max_rounds = 1;
-      auto result = apsp::MakeSolver(SolverKind::kBlockedInMemory)
-                        ->SolveModel(n, opts, cluster);
-      const bool dead =
-          !result.status.ok() || result.projected_storage_exceeded;
+      apsp::SolveRequest request;
+      request.solver = SolverKind::kBlockedInMemory;
+      request.cluster = sparklet::ClusterConfig::Paper();
+      request.cluster.shuffle_compression = compression;
+      request.options.block_size = b;
+      request.options.max_rounds = 1;
+      const auto report = apsp::SolveModel(n, request);
+      const auto& result = report.run;
+      const bool dead = !report.ok() || result.projected_storage_exceeded;
       std::printf(" %14s",
                   dead ? "FAIL"
                        : FormatBytes(static_cast<std::uint64_t>(
@@ -54,15 +55,16 @@ int main() {
   for (double spread : {0.0, 0.35, 0.7, 1.4}) {
     std::printf("%-14.2f", spread);
     for (int B : {1, 2, 4}) {
-      auto cluster = sparklet::ClusterConfig::Paper();
-      cluster.straggler_spread = spread;
-      ApspOptions opts;
-      opts.block_size = 1536;
-      opts.partitions_per_core = B;
-      opts.max_rounds = 1;
-      auto result = apsp::MakeSolver(SolverKind::kBlockedCollectBroadcast)
-                        ->SolveModel(n, opts, cluster);
-      std::printf(" %14s", FormatDuration(result.projected_seconds).c_str());
+      apsp::SolveRequest request;
+      request.solver = SolverKind::kBlockedCollectBroadcast;
+      request.cluster = sparklet::ClusterConfig::Paper();
+      request.cluster.straggler_spread = spread;
+      request.options.block_size = 1536;
+      request.options.partitions_per_core = B;
+      request.options.max_rounds = 1;
+      const auto report = apsp::SolveModel(n, request);
+      std::printf(" %14s",
+                  FormatDuration(report.run.projected_seconds).c_str());
     }
     std::printf("\n");
   }
@@ -73,48 +75,49 @@ int main() {
   std::printf("%-18s %14s %14s\n", "task overhead", "per-round",
               "projected total");
   for (double overhead : {0.5e-3, 1e-3, 2.5e-3, 5e-3, 10e-3}) {
-    auto cluster = sparklet::ClusterConfig::Paper();
-    cluster.task_overhead_seconds = overhead;
-    ApspOptions opts;
-    opts.block_size = 1024;
-    opts.max_rounds = 2;
-    auto result = apsp::MakeSolver(SolverKind::kFloydWarshall2d)
-                      ->SolveModel(n, opts, cluster);
+    apsp::SolveRequest request;
+    request.solver = SolverKind::kFloydWarshall2d;
+    request.cluster = sparklet::ClusterConfig::Paper();
+    request.cluster.task_overhead_seconds = overhead;
+    request.options.block_size = 1024;
+    request.options.max_rounds = 2;
+    const auto report = apsp::SolveModel(n, request);
     std::printf("%-18s %14s %14s\n",
                 (std::to_string(overhead * 1e3) + "ms").c_str(),
-                FormatDuration(result.SecondsPerRound()).c_str(),
-                FormatDuration(result.projected_seconds).c_str());
+                FormatDuration(report.run.SecondsPerRound()).c_str(),
+                FormatDuration(report.run.projected_seconds).c_str());
   }
 
   bench::PrintHeader(
       "Ablation 4 — shared-FS bandwidth vs Blocked-CB (impure side channel)");
   std::printf("%-18s %14s\n", "GPFS aggregate", "CB projected");
   for (double bw : {2e9, 8e9, 16e9, 64e9}) {
-    auto cluster = sparklet::ClusterConfig::Paper();
-    cluster.shared_fs.aggregate_bandwidth_bytes_per_sec = bw;
-    ApspOptions opts;
-    opts.block_size = 1536;
-    opts.max_rounds = 1;
-    auto result = apsp::MakeSolver(SolverKind::kBlockedCollectBroadcast)
-                      ->SolveModel(n, opts, cluster);
+    apsp::SolveRequest request;
+    request.solver = SolverKind::kBlockedCollectBroadcast;
+    request.cluster = sparklet::ClusterConfig::Paper();
+    request.cluster.shared_fs.aggregate_bandwidth_bytes_per_sec = bw;
+    request.options.block_size = 1536;
+    request.options.max_rounds = 1;
+    const auto report = apsp::SolveModel(n, request);
     std::printf("%-18s %14s\n", FormatRate(bw).c_str(),
-                FormatDuration(result.projected_seconds).c_str());
+                FormatDuration(report.run.projected_seconds).c_str());
   }
 
   bench::PrintHeader(
       "Ablation 5 — symmetric (upper-triangular) vs full block storage\n"
       "Blocked-CB, n = 65536, b = 1024: shuffle volume and time");
   for (bool directed : {false, true}) {
-    ApspOptions opts;
-    opts.block_size = 1024;
-    opts.directed = directed;
-    opts.max_rounds = 1;
-    auto result = apsp::MakeSolver(SolverKind::kBlockedCollectBroadcast)
-                      ->SolveModel(65536, opts, sparklet::ClusterConfig::Paper());
+    apsp::SolveRequest request;
+    request.solver = SolverKind::kBlockedCollectBroadcast;
+    request.cluster = sparklet::ClusterConfig::Paper();
+    request.options.block_size = 1024;
+    request.options.directed = directed;
+    request.options.max_rounds = 1;
+    const auto report = apsp::SolveModel(65536, request);
     std::printf("%-22s shuffle=%s per-round=%s\n",
                 directed ? "full (directed)" : "upper-triangular",
-                FormatBytes(result.metrics.shuffle_bytes).c_str(),
-                FormatDuration(result.SecondsPerRound()).c_str());
+                FormatBytes(report.metrics().shuffle_bytes).c_str(),
+                FormatDuration(report.run.SecondsPerRound()).c_str());
   }
   std::printf(
       "\nThe paper's symmetric storage halves the shuffled volume at the "

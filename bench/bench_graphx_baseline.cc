@@ -14,7 +14,7 @@
 #include <cmath>
 #include <cstdio>
 
-#include "apsp/solver.h"
+#include "apsp/api.h"
 #include "bench_util.h"
 #include "common/time_utils.h"
 #include "graph/generators.h"
@@ -23,6 +23,7 @@
 
 int main() {
   using namespace apspark;
+  bench::TraceGuard trace;  // APSPARK_TRACE_JSON=FILE captures the run
   auto cluster = sparklet::ClusterConfig::Paper();
   const linalg::CostModel model;
 
@@ -38,17 +39,17 @@ int main() {
     auto tiny = sparklet::ClusterConfig::TinyTest();
     tiny.local_storage_bytes = 64ULL * kGiB;
     auto pregel_run = pregel::AllPairs(g, {}, tiny);
-    apsp::ApspOptions options;
-    options.block_size = n / 4;
-    auto cb = apsp::MakeSolver(apsp::SolverKind::kBlockedCollectBroadcast)
-                  ->SolveGraph(g, options, tiny);
+    apsp::SolveRequest request;
+    request.solver = apsp::SolverKind::kBlockedCollectBroadcast;
+    request.options.block_size = n / 4;
+    request.cluster = tiny;
+    const auto cb = apsp::Solve(g, request);
     std::printf("%8lld %22s %22s\n", static_cast<long long>(n),
                 pregel_run.status.ok()
                     ? FormatBytes(pregel_run.metrics.shuffle_bytes).c_str()
                     : "failed",
-                cb.status.ok()
-                    ? FormatBytes(cb.metrics.shuffle_bytes).c_str()
-                    : "failed");
+                cb.ok() ? FormatBytes(cb.metrics().shuffle_bytes).c_str()
+                        : "failed");
   }
 
   // Paper-scale model: per-superstep / per-iteration cost.
@@ -61,14 +62,15 @@ int main() {
         1.1 * std::log(static_cast<double>(n));
     const double pregel_step =
         pregel::ModelSuperstepSeconds(n, avg_degree, cluster, model);
-    apsp::ApspOptions options;
-    options.block_size = std::min<std::int64_t>(2048, n / 8);
-    options.max_rounds = 1;
-    auto cb = apsp::MakeSolver(apsp::SolverKind::kBlockedCollectBroadcast)
-                  ->SolveModel(n, options, cluster);
+    apsp::SolveRequest request;
+    request.solver = apsp::SolverKind::kBlockedCollectBroadcast;
+    request.options.block_size = std::min<std::int64_t>(2048, n / 8);
+    request.options.max_rounds = 1;
+    request.cluster = cluster;
+    const auto cb = apsp::SolveModel(n, request);
     std::printf("%10lld %20s %24s\n", static_cast<long long>(n),
                 FormatDuration(pregel_step).c_str(),
-                FormatDuration(cb.SecondsPerRound()).c_str());
+                FormatDuration(cb.run.SecondsPerRound()).c_str());
   }
   std::printf(
       "\nPregel needs ~diameter supersteps of Theta(m*n) messages; the "

@@ -12,17 +12,18 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "apsp/api.h"
 #include "bench_util.h"
 #include "common/time_utils.h"
 
 int main() {
   using namespace apspark;
-  using apsp::ApspOptions;
   using apsp::PartitionerKind;
   using apsp::SolverKind;
 
+  bench::TraceGuard trace;  // APSPARK_TRACE_JSON=FILE captures the run
   const std::int64_t n = 262144;
-  auto cluster = sparklet::ClusterConfig::Paper();  // 1024 cores
+  const auto cluster = sparklet::ClusterConfig::Paper();  // 1024 cores
 
   bench::PrintHeader(
       "Table 2 — effect of block size on execution time\n"
@@ -48,19 +49,21 @@ int main() {
     for (PartitionerKind part : {PartitionerKind::kMultiDiagonal,
                                  PartitionerKind::kPortableHash}) {
       for (std::int64_t b : {256LL, 512LL, 1024LL, 2048LL, 4096LL}) {
-        ApspOptions opts;
-        opts.block_size = b;
-        opts.partitioner = part;
-        opts.partitions_per_core = 2;
-        opts.max_rounds = rounds_for(kind, b);
-        auto solver = apsp::MakeSolver(kind);
-        auto result = solver->SolveModel(n, opts, cluster);
+        apsp::SolveRequest request;
+        request.solver = kind;
+        request.cluster = cluster;
+        request.options.block_size = b;
+        request.options.partitioner = part;
+        request.options.partitions_per_core = 2;
+        request.options.max_rounds = rounds_for(kind, b);
+        const auto report = apsp::SolveModel(n, request);
+        const auto& result = report.run;
         std::string projected = FormatDuration(result.projected_seconds);
-        if (!result.status.ok() || result.projected_storage_exceeded) {
+        if (!report.ok() || result.projected_storage_exceeded) {
           projected += " (storage!)";
         }
         std::printf("%-18s %-4s %6lld %12lld %12s %14s %10s\n",
-                    solver->name().c_str(), bench::PartitionerLabel(part),
+                    report.solver_name.c_str(), bench::PartitionerLabel(part),
                     static_cast<long long>(b),
                     static_cast<long long>(result.rounds_total),
                     FormatDuration(result.SecondsPerRound()).c_str(),

@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <map>
 
+#include "apsp/api.h"
 #include "bench_util.h"
 #include "common/time_utils.h"
 #include "linalg/cost_model.h"
@@ -16,9 +17,10 @@
 
 int main() {
   using namespace apspark;
-  using apsp::ApspOptions;
   using apsp::PartitionerKind;
   using apsp::SolverKind;
+
+  bench::TraceGuard trace;  // APSPARK_TRACE_JSON=FILE captures the run
 
   const linalg::CostModel model;
   const double t1 = model.FloydWarshallSeconds(256);
@@ -39,20 +41,21 @@ int main() {
   // --- Spark-style blocked solvers ---------------------------------------
   for (SolverKind kind : {SolverKind::kBlockedInMemory,
                           SolverKind::kBlockedCollectBroadcast}) {
-    auto solver = apsp::MakeSolver(kind);
-    std::printf("%-14s", solver->name().c_str());
+    std::printf("%-14s", apsp::SolverKindName(kind));
     std::string gops_row;
     for (int p : {64, 128, 256, 512, 1024}) {
       const std::int64_t n = 256LL * p;
-      ApspOptions opts;
-      opts.block_size = (kind == SolverKind::kBlockedInMemory ? im_b : cb_b)
-                            .at(p);
-      opts.partitioner = PartitionerKind::kMultiDiagonal;
-      opts.partitions_per_core = 2;
-      opts.max_rounds = 1;
-      auto cluster = sparklet::ClusterConfig::PaperWithCores(p);
-      auto result = solver->SolveModel(n, opts, cluster);
-      if (!result.status.ok() || result.projected_storage_exceeded) {
+      apsp::SolveRequest request;
+      request.solver = kind;
+      request.options.block_size =
+          (kind == SolverKind::kBlockedInMemory ? im_b : cb_b).at(p);
+      request.options.partitioner = PartitionerKind::kMultiDiagonal;
+      request.options.partitions_per_core = 2;
+      request.options.max_rounds = 1;
+      request.cluster = sparklet::ClusterConfig::PaperWithCores(p);
+      const auto report = apsp::SolveModel(n, request);
+      const auto& result = report.run;
+      if (!report.ok() || result.projected_storage_exceeded) {
         std::printf(" %15s", "- (storage)");
         gops_row += "              -";
       } else {

@@ -37,6 +37,13 @@
 #   B = fig3     tracked record: the Blocked-CB / MD / B=2 / b=1024 model
 #                cell from bench_fig3_blocksize / BENCH_fig3.json
 #                (--metric model only)
+#   B = obs      tracked record: traced-solve wall-time ratio from
+#                bench_obs_overhead / BENCH_obs.json (--metric overhead
+#                only). Gated against the fixed 5% ceiling rather than
+#                baseline*(1+tol): the metric is a noisy ratio near zero,
+#                where a multiplicative band is meaninglessly tight. The
+#                record's bitwise_equal flag must also be true — tracing
+#                must never change a solve.
 #   B = ksource  tracked record: tiled rect kernel at b = 1024, k = 64 from
 #                bench_ksource / BENCH_ksource.json (gops/speedup), or the
 #                tiled solve on the shuffle data plane (peak)
@@ -78,6 +85,7 @@ case "$metric" in
   makespan) field="fair_makespan_seconds" ;;
   qps) field="qps" ;;
   model) field="model_seconds" ;;
+  overhead) field="overhead" ;;
   *) echo "unknown metric '$metric'" >&2; exit 2 ;;
 esac
 if [[ "$metric" == "qps" && "$bench" != "serve" ]]; then
@@ -108,6 +116,14 @@ if [[ "$bench" == "fig3" && "$metric" != "model" ]]; then
   echo "--bench fig3 only tracks --metric model" >&2
   exit 2
 fi
+if [[ "$metric" == "overhead" && "$bench" != "obs" ]]; then
+  echo "--metric overhead is only tracked for --bench obs" >&2
+  exit 2
+fi
+if [[ "$bench" == "obs" && "$metric" != "overhead" ]]; then
+  echo "--bench obs only tracks --metric overhead" >&2
+  exit 2
+fi
 case "$bench" in
   fig2) what="tiled minplus b=1024" ;;
   ksource)
@@ -119,6 +135,7 @@ case "$bench" in
   multitenant) what="two-tenant fair-share makespan" ;;
   serve) what="serving-layer zipf workload" ;;
   fig3) what="blocked-CB MD B=2 b=1024 model time" ;;
+  obs) what="traced-solve observability overhead" ;;
   *) echo "unknown bench '$bench'" >&2; exit 2 ;;
 esac
 tolerance="${APSPARK_BENCH_TOLERANCE:-0.10}"
@@ -128,7 +145,11 @@ tolerance="${APSPARK_BENCH_TOLERANCE:-0.10}"
 # tripping set -e inside the command substitution, so the explicit FAIL
 # diagnostic below can fire.
 extract() {
-  if [[ "$bench" == "serve" ]]; then
+  if [[ "$bench" == "obs" ]]; then
+    { grep '"section": "obs"' "$1" \
+        | grep -oE "\"$field\": [0-9.eE+-]+" \
+        | head -1 | awk '{print $2}'; } || true
+  elif [[ "$bench" == "serve" ]]; then
     { grep '"section": "serve"' "$1" \
         | grep '"workload": "zipf"' \
         | grep -oE "\"$field\": [0-9.eE+-]+" \
@@ -178,6 +199,26 @@ fi
 
 echo "$what $metric: measured $measured_value," \
      "baseline $baseline_value, tolerance $tolerance"
+if [[ "$metric" == "overhead" ]]; then
+  # Fixed ceiling, not baseline-relative (see the obs note above): enabled
+  # tracing must stay under 5% end-to-end, and the measured run must report
+  # bitwise-identical solves.
+  ceiling="${APSPARK_OBS_OVERHEAD_CEILING:-0.05}"
+  if ! awk -v m="$measured_value" -v c="$ceiling" \
+       'BEGIN { exit !(m <= c) }'; then
+    echo "FAIL: enabled tracing overhead $measured_value exceeds the" \
+         "$ceiling ceiling" >&2
+    exit 1
+  fi
+  if ! grep '"section": "obs"' "$measured" \
+      | grep -q '"bitwise_equal": true'; then
+    echo "FAIL: traced solve is not bitwise-identical to the untraced" \
+         "run" >&2
+    exit 1
+  fi
+  echo "OK: overhead under the $ceiling ceiling, solves bitwise-identical"
+  exit 0
+fi
 if [[ "$metric" == "peak" || "$metric" == "makespan" \
       || "$metric" == "model" ]]; then
   # Lower is better: fail when the measured high water grew beyond the

@@ -28,9 +28,38 @@
 #include "graph/graph.h"
 #include "linalg/cost_model.h"
 #include "linalg/kernel_registry.h"
+#include "obs/trace.h"
 #include "sparklet/rdd.h"
 
 namespace apspark::apsp {
+
+/// RAII sim-clock span around one solver round: records a "round" span on
+/// the virtual driver lane covering every stage and transfer the round's
+/// body charges to the cluster. A no-op (two relaxed loads) without an
+/// active trace capture; purely observational either way.
+class RoundSpanScope {
+ public:
+  RoundSpanScope(sparklet::VirtualCluster& cluster, std::int64_t round)
+      : cluster_(cluster),
+        round_(round),
+        start_(cluster.now_seconds()),
+        active_(obs::TraceEnabled()) {}
+  ~RoundSpanScope() {
+    if (active_ && obs::TraceEnabled()) {
+      obs::Tracer::Get().VirtualSpan("round", obs::kDriverLane, start_,
+                                     cluster_.now_seconds(),
+                                     "\"round\":" + std::to_string(round_));
+    }
+  }
+  RoundSpanScope(const RoundSpanScope&) = delete;
+  RoundSpanScope& operator=(const RoundSpanScope&) = delete;
+
+ private:
+  sparklet::VirtualCluster& cluster_;
+  std::int64_t round_;
+  double start_;
+  bool active_;
+};
 
 /// The durability/fault/membership knobs live in the RunPlan base (shared
 /// with KsourceOptions — see apsp/run_plan.h); the fields here are the

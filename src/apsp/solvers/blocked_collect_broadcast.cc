@@ -24,6 +24,7 @@ RddPtr<BlockRecord> BlockedCollectBroadcastSolver::RunRounds(
   const StagingKeys keys("cb");
 
   for (std::int64_t i = first; i < first + rounds_to_run; ++i) {
+    RoundSpanScope round_span(ctx.cluster(), i);
     // --- Phase 1 (Alg. 4 lines 2-3): close the diagonal block, bring it to
     // the driver, and redistribute via shared persistent storage.
     auto diag = current

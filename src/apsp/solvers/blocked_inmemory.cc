@@ -16,6 +16,7 @@ RddPtr<BlockRecord> BlockedInMemorySolver::RunRounds(
   const std::int64_t first = opts.start_round;
 
   for (std::int64_t i = first; i < first + rounds_to_run; ++i) {
+    RoundSpanScope round_span(ctx.cluster(), i);
     // --- Phase 1 (Alg. 3 lines 2-4): close the diagonal block and scatter
     // copies of it to the column/row cross via a custom-partitioned shuffle.
     auto diag = current

@@ -20,6 +20,7 @@ RddPtr<BlockRecord> FloydWarshall2dSolver::RunRounds(
   const std::int64_t first = opts.start_round;
 
   for (std::int64_t k = first; k < first + rounds_to_run; ++k) {
+    RoundSpanScope round_span(ctx.cluster(), k);
     const std::int64_t big_k = k / layout.block_size();
 
     // Lines 5-6: identify the blocks holding column k, extract the column

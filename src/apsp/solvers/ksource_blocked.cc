@@ -6,6 +6,7 @@
 #include "apsp/building_blocks.h"
 #include "apsp/checkpoint.h"
 #include "apsp/combine_steps.h"
+#include "apsp/solver.h"
 #include "apsp/solvers/staging.h"
 #include "linalg/kernel_registry.h"
 #include "linalg/semiring.h"
@@ -595,6 +596,7 @@ KsourceResult KsourceBlockedSolver::Solve(
   for (;;) {
     try {
       for (std::int64_t t = first; t < rounds_to_run; ++t) {
+        RoundSpanScope round_span(ctx.cluster(), t);
         const bool skip = opts.early_exit_infinite &&
                           PivotCrossAllZero(a, layout, t, opts.semiring);
         if (opts.variant == KsourceVariant::kShuffleReplicated) {

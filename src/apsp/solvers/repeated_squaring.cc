@@ -70,6 +70,8 @@ RddPtr<BlockRecord> RepeatedSquaringSolver::RunRounds(
         break;
       }
       ++executed;
+      RoundSpanScope round_span(ctx.cluster(),
+                                static_cast<std::int64_t>(squaring) * q + j);
 
       // Alg. 1 line 3: gather column block J on the driver...
       auto column =

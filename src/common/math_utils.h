@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <utility>
 #include <vector>
 
 namespace apspark {
@@ -57,6 +58,51 @@ inline double LptMakespan(std::vector<double> piece_seconds, int machines) {
     makespan = std::max(makespan, end);
   }
   return makespan;
+}
+
+/// Where one piece landed in an LPT schedule: which machine ran it and its
+/// [start, end) window in schedule-relative seconds.
+struct LptPlacement {
+  int machine = 0;
+  double start = 0;
+  double end = 0;
+};
+
+/// The full per-piece assignment behind LptMakespan: same descending-order
+/// list scheduling, same tie-breaking (equal finish times pick the
+/// lowest-numbered machine), so max(end) over the result equals
+/// LptMakespan(piece_seconds, machines) exactly. The observability layer
+/// uses this to draw task spans on node/slot lanes; the clock-advancing path
+/// keeps calling LptMakespan, so tracing cannot perturb the simulation.
+inline std::vector<LptPlacement> LptSchedule(
+    const std::vector<double>& piece_seconds, int machines) {
+  std::vector<LptPlacement> placed(piece_seconds.size());
+  if (piece_seconds.empty()) return placed;
+  if (machines <= 1) {
+    double at = 0;
+    for (std::size_t i = 0; i < piece_seconds.size(); ++i) {
+      placed[i] = {0, at, at + piece_seconds[i]};
+      at += piece_seconds[i];
+    }
+    return placed;
+  }
+  std::vector<std::size_t> order(piece_seconds.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return piece_seconds[a] > piece_seconds[b];
+                   });
+  using Slot = std::pair<double, int>;  // (finish time, machine id)
+  std::priority_queue<Slot, std::vector<Slot>, std::greater<>> finish;
+  for (int m = 0; m < machines; ++m) finish.emplace(0.0, m);
+  for (const std::size_t i : order) {
+    const auto [start, machine] = finish.top();
+    finish.pop();
+    const double end = start + piece_seconds[i];
+    placed[i] = {machine, start, end};
+    finish.emplace(end, machine);
+  }
+  return placed;
 }
 
 }  // namespace apspark

@@ -3,6 +3,8 @@
 #include <chrono>
 #include <exception>
 
+#include "obs/trace.h"
+
 namespace apspark {
 namespace {
 
@@ -152,6 +154,12 @@ void ThreadPool::ParallelFor(std::size_t count,
 void ThreadPool::ParallelForTasks(std::size_t count,
                                   const std::function<void(std::size_t)>& fn) {
   if (count == 0) return;
+  // One wall-clock span per batch (not per task — per-task events would
+  // dominate small tasks and blow the enabled-path overhead budget).
+  obs::RealSpanScope obs_span(
+      "parallel_for", obs::TraceEnabled()
+                          ? "\"tasks\":" + std::to_string(count)
+                          : std::string());
   if (count == 1 || workers_.size() == 1) {
     // Degenerate case: a single worker would only duplicate this thread, so
     // there is nothing to steal — run inline (the single-core host path).

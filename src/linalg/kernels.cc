@@ -4,14 +4,52 @@
 #include <bit>
 #include <cmath>
 #include <stdexcept>
+#include <unordered_map>
 #include <vector>
 
 #include "common/thread_pool.h"
 #include "linalg/semiring.h"
 #include "linalg/simd.h"
+#include "obs/metrics_registry.h"
 
 namespace apspark::linalg {
 namespace {
+
+// Always-on kernel-invocation accounting: one sharded-counter increment per
+// block-level kernel call, labelled with the resolved ISA, active semiring,
+// and tile geometry that actually ran. The registry lookup is memoized in a
+// thread-local map, so the steady-state cost is a hash probe plus a relaxed
+// atomic add — noise next to any block's O(b^3) work.
+enum KernelKind {
+  kKernelAccumulate = 0,  // square-tiled accumulate (C ⊕= A ⊗ B)
+  kKernelPanel = 1,       // narrow-panel rect micro-kernel
+  kKernelClosure = 2,     // in-place Floyd-Warshall / Kleene closure
+};
+
+constexpr const char* kKernelKindNames[] = {"accumulate", "panel", "closure"};
+
+obs::Counter& KernelCounter(KernelKind kind, SimdIsa isa,
+                            const KernelTuning& tuning) {
+  const std::uint64_t key =
+      static_cast<std::uint64_t>(kind) |
+      (static_cast<std::uint64_t>(isa) << 4) |
+      (static_cast<std::uint64_t>(tuning.semiring) << 8) |
+      (static_cast<std::uint64_t>(tuning.tile_j) << 16) |
+      (static_cast<std::uint64_t>(tuning.tile_k) << 40);
+  thread_local std::unordered_map<std::uint64_t, obs::Counter*> memo;
+  auto it = memo.find(key);
+  if (it == memo.end()) {
+    const std::string labels =
+        std::string("kernel=\"") + kKernelKindNames[kind] + "\",isa=\"" +
+        SimdIsaName(isa) + "\",semiring=\"" + SemiringName(tuning.semiring) +
+        "\",tile_j=\"" + std::to_string(tuning.tile_j) + "\",tile_k=\"" +
+        std::to_string(tuning.tile_k) + "\"";
+    it = memo.emplace(key, &obs::Registry::Global().GetCounter(
+                               "kernel_invocations_total", labels))
+             .first;
+  }
+  return *it->second;
+}
 
 void CheckProductShapes(const DenseBlock& a, const DenseBlock& b) {
   if (a.cols() != b.rows()) {
@@ -315,6 +353,7 @@ void AccumulateRawTiled(std::int64_t m, std::int64_t n, std::int64_t k,
     parallel = false;
   }
   const SimdIsa isa = ChooseIsa<S>(tuning, a, m, lda, k, b, ldb, c, ldc, n);
+  KernelCounter(kKernelAccumulate, isa, tuning).Add();
   const std::int64_t stripes = parallel ? ParallelStripes(m, n, tuning) : 1;
   if (stripes <= 1) {
     TiledRows<S>(0, m, n, k, a, lda, b, ldb, c, ldc, tuning, isa);
@@ -349,6 +388,7 @@ void PanelRawTiled(std::int64_t m, std::int64_t n, std::int64_t k,
   }
   const KernelTuning tuning = GetKernelTuning();
   const SimdIsa isa = ChooseIsa<S>(tuning, a, m, lda, k, b, ldb, c, ldc, n);
+  KernelCounter(kKernelPanel, isa, tuning).Add();
   const std::int64_t stripes = parallel ? ParallelStripes(m, n, tuning) : 1;
   if (stripes <= 1) {
     PanelRows<S>(0, m, n, k, a, lda, b, ldb, c, ldc, isa);
@@ -680,6 +720,7 @@ void ElementMinInPlace(DenseBlock& a, const DenseBlock& b) {
 
 void FloydWarshallRaw(std::int64_t n, double* a, std::int64_t lda) {
   const KernelTuning tuning = GetKernelTuning();
+  KernelCounter(kKernelClosure, ResolveSimdIsa(tuning.isa), tuning).Add();
   WithSemiring(tuning.semiring, [&](auto s) {
     using S = decltype(s);
     switch (tuning.variant) {

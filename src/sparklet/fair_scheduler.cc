@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/trace.h"
+
 namespace apspark::sparklet {
 
 namespace {
@@ -86,6 +88,20 @@ TenantReport FairScheduler::Run(const std::vector<TenantJob>& jobs,
       running[j] = true;
       demand[j] = need;
       end[j] = now + StageDuration(stage, share) + spill_seconds;
+      if (obs::TraceEnabled()) {
+        auto& tracer = obs::Tracer::Get();
+        const std::int64_t lane =
+            obs::kTenantLaneBase + static_cast<std::int64_t>(j);
+        tracer.SetLaneName(
+            lane, jobs[j].name.empty() ? "tenant " + std::to_string(j)
+                                       : "tenant " + jobs[j].name);
+        tracer.VirtualSpan(
+            stage.name.empty() ? "stage" : stage.name.c_str(), lane, now,
+            end[j],
+            "\"tenant\":" + std::to_string(j) +
+                ",\"share\":" + std::to_string(share) +
+                ",\"stage\":" + std::to_string(next[j]));
+      }
       report.job_min_slots[j] = report.job_min_slots[j] == 0
                                     ? share
                                     : std::min(report.job_min_slots[j], share);
@@ -100,6 +116,12 @@ TenantReport FairScheduler::Run(const std::vector<TenantJob>& jobs,
     for (std::size_t j = 0; j < n; ++j) {
       if (!running[j] && next[j] < jobs[j].stages.size()) {
         report.job_admission_wait_seconds[j] += horizon - now;
+        if (obs::TraceEnabled() && horizon > now) {
+          obs::Tracer::Get().VirtualSpan(
+              "admission-wait",
+              obs::kTenantLaneBase + static_cast<std::int64_t>(j), now,
+              horizon, "\"tenant\":" + std::to_string(j));
+        }
       }
     }
     now = horizon;

@@ -51,7 +51,11 @@ std::string SimMetrics::Summary() const {
       << " sharedfs=" << FormatDuration(shared_fs_seconds)
       << " sched=" << FormatDuration(scheduling_seconds) << "]"
       << " stages=" << stages << " tasks=" << tasks
-      << " shuffle=" << FormatBytes(shuffle_bytes)
+      << " volumes[shuffle=" << FormatBytes(shuffle_bytes)
+      << " collect=" << FormatBytes(collect_bytes)
+      << " bcast=" << FormatBytes(broadcast_bytes)
+      << " sharedfs-w=" << FormatBytes(shared_fs_written_bytes)
+      << " sharedfs-r=" << FormatBytes(shared_fs_read_bytes) << "]"
       << " spill-peak/node=" << FormatBytes(local_storage_peak_bytes)
       << " mem-peak[driver=" << FormatBytes(driver_peak_bytes)
       << " node=" << FormatBytes(node_peak_bytes) << "]";
@@ -69,10 +73,10 @@ std::string SimMetrics::Summary() const {
         << " joins=" << node_joins
         << " time=" << FormatDuration(rebalance_seconds) << "]";
   }
-  if (admission_wait_seconds > 0 || spilled_bytes > 0) {
-    out << " tenancy[admission-wait=" << FormatDuration(admission_wait_seconds)
-        << " spilled=" << FormatBytes(spilled_bytes) << "]";
-  }
+  // Admission waits and spill are part of the paper's cost accounting even
+  // when zero — always printed so log scrapers see a stable schema.
+  out << " tenancy[admission-wait=" << FormatDuration(admission_wait_seconds)
+      << " spilled=" << FormatBytes(spilled_bytes) << "]";
   return out.str();
 }
 

@@ -7,8 +7,23 @@
 #include "common/bytes.h"
 #include "common/math_utils.h"
 #include "common/rng.h"
+#include "obs/trace.h"
 
 namespace apspark::sparklet {
+
+namespace {
+
+/// Emits a [before, after] span on the virtual driver lane for an
+/// interstage clock advance (shuffle, collect, broadcast, shared FS,
+/// rebalance). Call with the clock captured before and after the charge.
+void TraceInterstage(const char* name, double before, double after,
+                     std::uint64_t bytes) {
+  if (!obs::TraceEnabled()) return;
+  obs::Tracer::Get().VirtualSpan(name, obs::kDriverLane, before, after,
+                                 "\"bytes\":" + std::to_string(bytes));
+}
+
+}  // namespace
 
 double ListScheduleMakespan(std::vector<double> task_seconds, int machines) {
   return LptMakespan(std::move(task_seconds), machines);
@@ -143,6 +158,13 @@ void VirtualCluster::RunStage(const std::vector<double>& task_seconds,
     record.node_peak_bytes = accountant_.window_node_peak_bytes();
     stage_trace_.push_back(std::move(record));
   }
+  // Span tracing observes the schedule without perturbing it: LptSchedule
+  // reproduces the exact LPT assignment for lane drawing, while the
+  // makespan that advances the clock still comes from the untouched
+  // ListScheduleMakespan call — bitwise-identical with tracing on or off.
+  const bool span_tracing = obs::TraceEnabled();
+  std::vector<LptPlacement> task_spans;
+  if (span_tracing) task_spans = LptSchedule(jittered, live_task_slots());
   const double makespan =
       ListScheduleMakespan(std::move(jittered), live_task_slots());
   // Task launch overhead is driver-side but overlaps executor compute
@@ -150,6 +172,7 @@ void VirtualCluster::RunStage(const std::vector<double>& task_seconds,
   // costs whichever dominates: the dispatch loop or the parallel compute.
   const double exposed_overhead =
       config_.stage_overhead_seconds + std::max(0.0, launch - makespan);
+  const double stage_start = clock_seconds_;
   clock_seconds_ += exposed_overhead + makespan;
   metrics_.scheduling_seconds += exposed_overhead;
   metrics_.compute_seconds += makespan;
@@ -161,6 +184,8 @@ void VirtualCluster::RunStage(const std::vector<double>& task_seconds,
   accountant_.EndStage(stage_name);
   trace_last_clock_ = clock_seconds_;
 
+  if (span_tracing) EmitStageSpans(stage_name, kind, stage_start, task_spans);
+
   // Stage boundary: armed membership plans fire now — rack losses, node
   // losses, elastic joins. A lost node's local spill vanishes (a
   // replacement executor starts with empty disks — the §5.2
@@ -170,6 +195,49 @@ void VirtualCluster::RunStage(const std::vector<double>& task_seconds,
   // the loss handler.
   if (fault_injector_ != nullptr) {
     FireMembershipEvents(static_cast<std::int64_t>(metrics_.stages) - 1);
+  }
+}
+
+void VirtualCluster::EmitStageSpans(
+    const std::string& stage_name, StageKind kind, double stage_start,
+    const std::vector<LptPlacement>& placements) {
+  auto& tracer = obs::Tracer::Get();
+  const auto stage_index = static_cast<std::int64_t>(metrics_.stages) - 1;
+  const bool recovery = kind == StageKind::kRecovery;
+  tracer.VirtualSpan(
+      stage_name.empty() ? "stage" : stage_name.c_str(), obs::kDriverLane,
+      stage_start, clock_seconds_,
+      "\"stage\":" + std::to_string(stage_index) +
+          ",\"tasks\":" + std::to_string(placements.size()) +
+          ",\"kind\":\"" + (recovery ? "recovery" : "normal") + "\"");
+  if (placements.empty()) return;
+  double makespan = 0;
+  for (const auto& p : placements) makespan = std::max(makespan, p.end);
+  // Compute occupies the stage tail; the exposed scheduling overhead is the
+  // driver-lane lead-in before it.
+  const double compute_start = clock_seconds_ - makespan;
+  const int per_task =
+      config_.intra_task_cores < 1 ? 1 : config_.intra_task_cores;
+  const int slots_per_node =
+      std::max(1, config_.cores_per_node / per_task);
+  std::vector<int> live;
+  live.reserve(static_cast<std::size_t>(placement_.live_nodes()));
+  for (int n = 0; n < placement_.num_nodes(); ++n) {
+    if (placement_.alive(n)) live.push_back(n);
+  }
+  const char* task_name = recovery ? "recovery-task" : "task";
+  for (std::size_t i = 0; i < placements.size(); ++i) {
+    const LptPlacement& p = placements[i];
+    if (p.end <= p.start) continue;  // zero-cost placeholders add only noise
+    const std::int64_t lane = 1 + p.machine;
+    const auto node_ix = static_cast<std::size_t>(p.machine / slots_per_node);
+    const int node = node_ix < live.size() ? live[node_ix] : -1;
+    tracer.SetLaneName(lane, "node " + std::to_string(node) + " / slot " +
+                                 std::to_string(p.machine % slots_per_node));
+    tracer.VirtualSpan(task_name, lane, compute_start + p.start,
+                       compute_start + p.end,
+                       "\"task\":" + std::to_string(i) +
+                           ",\"stage\":" + std::to_string(stage_index));
   }
 }
 
@@ -195,6 +263,11 @@ void VirtualCluster::FireMembershipEvents(std::int64_t completed_stage) {
     // transfers head to one fresh node — its single NIC is the bottleneck).
     const std::uint64_t bytes =
         migrate_handler_ ? migrate_handler_(join.moves) : 0;
+    if (obs::TraceEnabled()) {
+      obs::Tracer::Get().VirtualInstant(
+          "node-join", obs::kDriverLane, clock_seconds_,
+          "\"moves\":" + std::to_string(join.moves.size()));
+    }
     if (bytes > 0 || !join.moves.empty()) {
       const double time =
           static_cast<double>(bytes) / config_.network.bandwidth_bytes_per_sec +
@@ -203,6 +276,8 @@ void VirtualCluster::FireMembershipEvents(std::int64_t completed_stage) {
       clock_seconds_ += time;
       metrics_.rebalance_seconds += time;
       metrics_.migration_bytes += bytes;
+      TraceInterstage("rebalance", clock_seconds_ - time, clock_seconds_,
+                      bytes);
     }
   }
 }
@@ -213,6 +288,11 @@ void VirtualCluster::LoseNode(int node) {
   // killed — the engine models an elastic cluster, not a dead one.
   if (!placement_.alive(node) || placement_.live_nodes() <= 1) return;
   metrics_.executor_failures += 1;
+  if (obs::TraceEnabled()) {
+    obs::Tracer::Get().VirtualInstant("node-loss", obs::kDriverLane,
+                                      clock_seconds_,
+                                      "\"node\":" + std::to_string(node));
+  }
   if (static_cast<std::size_t>(node) < node_storage_used_.size()) {
     node_storage_used_[static_cast<std::size_t>(node)] = 0;
   }
@@ -254,6 +334,7 @@ Status VirtualCluster::ChargeShuffle(
           static_cast<double>(bytes_per_partition.size());
   clock_seconds_ += time;
   metrics_.shuffle_seconds += time;
+  TraceInterstage("shuffle", clock_seconds_ - time, clock_seconds_, total);
 
   const int known_nodes = static_cast<int>(node_storage_used_.size());
   for (int node = 0; node < known_nodes; ++node) {
@@ -282,6 +363,7 @@ void VirtualCluster::ChargeCollect(std::uint64_t bytes,
   clock_seconds_ += time;
   metrics_.collect_seconds += time;
   metrics_.collect_bytes += bytes;
+  TraceInterstage("collect", clock_seconds_ - time, clock_seconds_, bytes);
 }
 
 void VirtualCluster::ChargeBroadcast(std::uint64_t bytes) {
@@ -295,6 +377,7 @@ void VirtualCluster::ChargeBroadcast(std::uint64_t bytes) {
   clock_seconds_ += time;
   metrics_.broadcast_seconds += time;
   metrics_.broadcast_bytes += bytes;
+  TraceInterstage("broadcast", clock_seconds_ - time, clock_seconds_, bytes);
 }
 
 void VirtualCluster::ChargeSharedFsWrite(std::uint64_t bytes,
@@ -306,6 +389,8 @@ void VirtualCluster::ChargeSharedFsWrite(std::uint64_t bytes,
   clock_seconds_ += time;
   metrics_.shared_fs_seconds += time;
   metrics_.shared_fs_written_bytes += bytes;
+  TraceInterstage("sharedfs-write", clock_seconds_ - time, clock_seconds_,
+                  bytes);
 }
 
 void VirtualCluster::ChargeSharedFsRead(std::uint64_t bytes,
@@ -319,6 +404,8 @@ void VirtualCluster::ChargeSharedFsRead(std::uint64_t bytes,
   clock_seconds_ += time;
   metrics_.shared_fs_seconds += time;
   metrics_.shared_fs_read_bytes += bytes;
+  TraceInterstage("sharedfs-read", clock_seconds_ - time, clock_seconds_,
+                  bytes);
 }
 
 std::uint64_t VirtualCluster::LocalStorageUsed(int node) const {

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "common/math_utils.h"
 #include "common/status.h"
 #include "sparklet/block_manager.h"
 #include "sparklet/config.h"
@@ -176,6 +177,14 @@ class VirtualCluster {
   /// already-dead one), joins issue a node and migrate stolen slots.
   void FireMembershipEvents(std::int64_t completed_stage);
   void LoseNode(int node);
+
+  /// Emits the just-completed stage onto the virtual trace: one stage-level
+  /// span on the driver lane plus one span per task on its node/slot lane,
+  /// reconstructed from the LPT placement. Called only while a trace
+  /// capture is active; purely observational.
+  void EmitStageSpans(const std::string& stage_name, StageKind kind,
+                      double stage_start,
+                      const std::vector<LptPlacement>& placements);
 
   ClusterConfig config_;
   double clock_seconds_ = 0;

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/serial.h"
+#include "obs/trace.h"
 
 namespace apspark::store {
 
@@ -400,7 +401,18 @@ Result<BlockStore::Pin> BlockStore::Fetch(Plane plane, std::int64_t I,
     entry.load_error = Status::Ok();
     ++stats_.misses;
     lock.unlock();
-    auto loaded = LoadBlockFile(entry.meta);
+    Result<linalg::DenseBlock> loaded = [&] {
+      obs::RealSpanScope span(
+          "store-load",
+          obs::TraceEnabled()
+              ? "\"plane\":" +
+                    std::to_string(static_cast<int>(entry.meta.plane)) +
+                    ",\"I\":" + std::to_string(entry.meta.I) +
+                    ",\"J\":" + std::to_string(entry.meta.J) +
+                    ",\"bytes\":" + std::to_string(entry.meta.payload_bytes)
+              : std::string());
+      return LoadBlockFile(entry.meta);
+    }();
     lock.lock();
     if (!loaded.ok()) {
       entry.state = EntryState::kCold;

@@ -1,12 +1,25 @@
 #include "store/distance_service.h"
 
 #include <algorithm>
+#include <chrono>
 #include <mutex>
 #include <utility>
 
 #include "graph/path_reconstruction.h"
 
 namespace apspark::store {
+
+namespace {
+
+/// Monotonic nanoseconds for the serve-path latency histograms.
+std::uint64_t NowNs() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
 
 Result<std::unique_ptr<DistanceService>> DistanceService::Open(
     const std::string& dir, const Options& options) {
@@ -56,14 +69,18 @@ Result<double> DistanceService::DistanceVia(PinMemo& memo, graph::VertexId s,
 
 Result<double> DistanceService::Distance(graph::VertexId s,
                                          graph::VertexId t) {
+  const std::uint64_t t0 = NowNs();
   PinMemo memo;
-  return DistanceVia(memo, s, t);
+  auto d = DistanceVia(memo, s, t);
+  point_latency_->Record(NowNs() - t0);
+  return d;
 }
 
 Result<std::vector<double>> DistanceService::DistanceBatch(
     const std::vector<Query>& queries) {
   std::vector<double> answers(queries.size());
   if (queries.empty()) return answers;
+  const std::uint64_t batch_t0 = NowNs();
 
   // Contiguous chunks, a few per worker so stealing can level the load; each
   // chunk carries its own pin memo, so a hot block is fetched once per chunk.
@@ -79,7 +96,9 @@ Result<std::vector<double>> DistanceService::DistanceBatch(
     const std::size_t begin = c * chunk;
     const std::size_t end = std::min(queries.size(), begin + chunk);
     for (std::size_t i = begin; i < end; ++i) {
+      const std::uint64_t t0 = NowNs();
       auto d = DistanceVia(memo, queries[i].s, queries[i].t);
+      point_latency_->Record(NowNs() - t0);
       if (!d.ok()) {
         std::lock_guard<std::mutex> lock(err_mu);
         if (first_error.ok()) first_error = d.status();
@@ -88,6 +107,7 @@ Result<std::vector<double>> DistanceService::DistanceBatch(
       answers[i] = *d;
     }
   });
+  batch_latency_->Record(NowNs() - batch_t0);
   if (!first_error.ok()) return first_error;
   return answers;
 }
@@ -111,7 +131,9 @@ Result<std::vector<graph::VertexId>> DistanceService::Path(
     }
     return static_cast<std::int64_t>((*block)->At(i % b, target % b));
   };
+  const std::uint64_t t0 = NowNs();
   auto path = graph::ExtractPathWithLookup(n(), s, t, next_of);
+  path_latency_->Record(NowNs() - t0);
   if (!walk_error.ok()) return walk_error;
   return path;
 }

@@ -23,6 +23,7 @@
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "graph/graph.h"
+#include "obs/metrics_registry.h"
 #include "store/block_store.h"
 
 namespace apspark::store {
@@ -67,9 +68,43 @@ class DistanceService {
   bool has_paths() const noexcept { return store_->manifest().has_paths; }
   const BlockStore& store() const noexcept { return *store_; }
 
+  /// Quantiles of one always-on serve-path latency histogram, in seconds.
+  /// Derived from the service's log-bucketed histograms (<= 12.5% bucket
+  /// error), not from bench-side sampling — what a production scrape reads.
+  struct LatencySnapshot {
+    std::uint64_t count = 0;
+    double p50_seconds = 0;
+    double p95_seconds = 0;
+    double p99_seconds = 0;
+    double p999_seconds = 0;
+  };
+  /// Per-query latency, every query answered (single-shot and batched).
+  LatencySnapshot PointLatency() const { return Snapshot(*point_latency_); }
+  /// Whole-batch latency, one sample per DistanceBatch call.
+  LatencySnapshot BatchLatency() const { return Snapshot(*batch_latency_); }
+  /// Per-call Path() reconstruction latency.
+  LatencySnapshot PathLatency() const { return Snapshot(*path_latency_); }
+
  private:
   DistanceService(std::unique_ptr<BlockStore> store, std::size_t num_threads)
-      : store_(std::move(store)), pool_(num_threads) {}
+      : store_(std::move(store)),
+        pool_(num_threads),
+        point_latency_(
+            &obs::Registry::Global().GetHistogram("serve_point_latency_ns")),
+        batch_latency_(
+            &obs::Registry::Global().GetHistogram("serve_batch_latency_ns")),
+        path_latency_(
+            &obs::Registry::Global().GetHistogram("serve_path_latency_ns")) {}
+
+  static LatencySnapshot Snapshot(const obs::Histogram& h) {
+    LatencySnapshot s;
+    s.count = h.count();
+    s.p50_seconds = h.QuantileSeconds(0.50);
+    s.p95_seconds = h.QuantileSeconds(0.95);
+    s.p99_seconds = h.QuantileSeconds(0.99);
+    s.p999_seconds = h.QuantileSeconds(0.999);
+    return s;
+  }
 
   /// Cached last fetch so consecutive lookups into one block skip the store.
   struct PinMemo {
@@ -87,6 +122,11 @@ class DistanceService {
 
   std::unique_ptr<BlockStore> store_;
   ThreadPool pool_;
+  // Always-on serve-path latency histograms, shared with the global
+  // registry (stable pointers; the registry never deletes metrics).
+  obs::Histogram* point_latency_;
+  obs::Histogram* batch_latency_;
+  obs::Histogram* path_latency_;
 };
 
 }  // namespace apspark::store

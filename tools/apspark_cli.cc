@@ -11,6 +11,7 @@
 // Flags that do not apply to the chosen subcommand are rejected with a
 // pointer to that subcommand's --help. Errors from the library surface
 // uniformly as "apspark: <STATUS>: <message>".
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -31,6 +32,9 @@
 #include "graph/generators.h"
 #include "graph/io.h"
 #include "linalg/kernel_registry.h"
+#include "obs/exporters.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
 #include "store/distance_service.h"
 
 namespace {
@@ -101,6 +105,9 @@ constexpr FlagSpec kFlags[] = {
     {"--threads", true, kServe},
     {"--cache-mb", true, kServe},
     {"--path", true, kServe},
+    {"--stats-every", true, kServe},
+    {"--trace", true, kSolve | kPlan | kModel | kServe},
+    {"--metrics-out", true, kSolve | kModel | kServe},
     {"--help", false, kSolve | kPlan | kModel | kServe},
 };
 
@@ -153,6 +160,12 @@ struct Args {
   std::size_t threads = 0;
   std::uint64_t cache_mb = 256;
   std::vector<std::pair<graph::VertexId, graph::VertexId>> path_queries;
+  /// serve --random: print a progress/latency line every N queries (0 = off).
+  std::int64_t stats_every = 0;
+  /// Chrome trace-event JSON capture (all subcommands; empty = off).
+  std::string trace_file;
+  /// Metrics registry dump: JSON, or Prometheus text when FILE ends ".prom".
+  std::string metrics_out;
   bool help = false;
 };
 
@@ -184,13 +197,17 @@ void UsageSolve() {
       "  [--intra-task-cores C]  modelled cores per task\n"
       "  [--fail-node N@S] [--fail-rack R@S] [--add-node @S] [--racks R]\n"
       "          injected failures / elastic membership (repeatable)\n"
-      "  [--straggler-factor F] [--straggler-every K] [--speculate]\n");
+      "  [--straggler-factor F] [--straggler-every K] [--speculate]\n"
+      "  [--trace FILE]  capture a dual-clock Chrome trace-event JSON\n"
+      "          (load in Perfetto / chrome://tracing)\n"
+      "  [--metrics-out FILE]  dump the metrics registry after the run\n"
+      "          (JSON, or Prometheus text when FILE ends in .prom)\n");
 }
 
 void UsagePlan() {
   std::fprintf(stderr,
                "usage: apspark plan --n N [--cores C] [--fault-tolerant]\n"
-               "  [--isa scalar|avx2|avx512|auto] [--autotune]\n"
+               "  [--isa scalar|avx2|avx512|auto] [--autotune] [--trace FILE]\n"
                "  also prints the resolved kernel tuning (detected ISA,\n"
                "  tile geometry, auto-tuned vs default)\n");
 }
@@ -205,6 +222,7 @@ void UsageModel() {
       "  [--fail-node N@S] [--fail-rack R@S] [--add-node @S] [--racks R]\n"
       "  [--checkpoint-every K] [--straggler-factor F]\n"
       "  [--straggler-every K] [--speculate] [--directed]\n"
+      "  [--trace FILE] [--metrics-out FILE]\n"
       "  --sources K with --ksource-variant auto picks the cheaper\n"
       "  modelled data plane (staged vs shuffle)\n");
 }
@@ -221,7 +239,12 @@ void UsageServe() {
       "  --threads T      lookup worker threads (0 = hardware)\n"
       "  --cache-mb MB    resident block-cache cap (default 256)\n"
       "  --seed S         RNG seed for --random\n"
-      "  --output FILE    write per-query answers here instead of stdout\n");
+      "  --output FILE    write per-query answers here instead of stdout\n"
+      "  --stats-every N  print a progress + latency-percentile line every\n"
+      "                   N random queries (0 = only the final report)\n"
+      "  --trace FILE     capture a Chrome trace-event JSON of the serve run\n"
+      "  --metrics-out FILE  dump serve-path latency histograms and cache\n"
+      "                   counters (JSON, or Prometheus when FILE ends .prom)\n");
 }
 
 int Usage(const Args& args) {
@@ -287,6 +310,68 @@ void PrintKernelTuning(
 int Fail(const Status& status) {
   std::fprintf(stderr, "apspark: %s\n", status.ToString().c_str());
   return status.code() == StatusCode::kInvalidArgument ? 2 : 1;
+}
+
+/// --metrics-out: dumps the global registry. The format follows the file
+/// name — Prometheus text exposition for ".prom", JSON otherwise — so the
+/// same flag feeds both jq pipelines and a node-exporter textfile collector.
+bool WriteMetricsFile(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "apspark: cannot write metrics to %s\n", path.c_str());
+    return false;
+  }
+  const bool prometheus =
+      path.size() >= 5 && path.compare(path.size() - 5, 5, ".prom") == 0;
+  out << (prometheus ? obs::Registry::Global().ToPrometheus()
+                     : obs::Registry::Global().ToJson());
+  if (!prometheus) out << '\n';
+  std::printf("metrics written to %s\n", path.c_str());
+  return true;
+}
+
+/// Publishes a finished run's SimMetrics into the registry and honours
+/// --metrics-out. Returns false only on a write failure.
+bool EmitRunMetrics(const Args& args, const sparklet::SimMetrics& metrics) {
+  if (args.metrics_out.empty()) return true;
+  obs::ExportSimMetrics(metrics);
+  return WriteMetricsFile(args.metrics_out);
+}
+
+/// Serve latencies live in the ns..ms range FormatDuration (built for the
+/// paper's minutes-scale tables) floors to "0ms"; render adaptively.
+std::string FormatLatency(double seconds) {
+  char buf[32];
+  if (seconds < 1e-6) {
+    std::snprintf(buf, sizeof buf, "%.0fns", seconds * 1e9);
+  } else if (seconds < 1e-3) {
+    std::snprintf(buf, sizeof buf, "%.1fus", seconds * 1e6);
+  } else if (seconds < 1.0) {
+    std::snprintf(buf, sizeof buf, "%.2fms", seconds * 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2fs", seconds);
+  }
+  return buf;
+}
+
+/// One serve-path latency line per histogram that actually saw traffic:
+/// real measured percentiles from the always-on log-bucketed histograms.
+void PrintServeLatency(const store::DistanceService& svc) {
+  const struct {
+    const char* what;
+    store::DistanceService::LatencySnapshot snap;
+  } rows[] = {{"point", svc.PointLatency()},
+              {"batch", svc.BatchLatency()},
+              {"path", svc.PathLatency()}};
+  for (const auto& row : rows) {
+    if (row.snap.count == 0) continue;
+    std::printf("latency[%s]: p50 %s, p95 %s, p99 %s, p99.9 %s (%llu ops)\n",
+                row.what, FormatLatency(row.snap.p50_seconds).c_str(),
+                FormatLatency(row.snap.p95_seconds).c_str(),
+                FormatLatency(row.snap.p99_seconds).c_str(),
+                FormatLatency(row.snap.p999_seconds).c_str(),
+                static_cast<unsigned long long>(row.snap.count));
+  }
 }
 
 const FlagSpec* FindFlag(const std::string& flag) {
@@ -483,6 +568,16 @@ bool ParseArgs(int argc, char** argv, Args& args) {
         return false;
       }
       args.path_queries.emplace_back(std::atoll(v), std::atoll(colon + 1));
+    } else if (flag == "--stats-every") {
+      args.stats_every = std::atoll(v);
+      if (args.stats_every < 0) {
+        std::fprintf(stderr, "--stats-every must be >= 0\n");
+        return false;
+      }
+    } else if (flag == "--trace") {
+      args.trace_file = v;
+    } else if (flag == "--metrics-out") {
+      args.metrics_out = v;
     } else if (flag == "--help") {
       args.help = true;
       return false;  // routes to the subcommand usage, exit 0
@@ -730,6 +825,7 @@ int RunSolve(const Args& args) {
                 FormatBytes(kresult.metrics.driver_peak_bytes).c_str(),
                 FormatBytes(kresult.metrics.node_peak_bytes).c_str());
     PrintRecovery(kresult.metrics);
+    if (!EmitRunMetrics(args, kresult.metrics)) return 1;
     if (!args.output.empty()) {
       if (!WriteDenseBlock(args.output, *kresult.distances)) return 1;
       std::printf("distance panel (n x k) written to %s\n",
@@ -755,6 +851,7 @@ int RunSolve(const Args& args) {
               FormatDuration(report.run.sim_seconds).c_str());
   std::printf("engine: %s\n", report.metrics().Summary().c_str());
   PrintRecovery(report.metrics());
+  if (!EmitRunMetrics(args, report.metrics())) return 1;
   if (!args.output.empty()) {
     if (!WriteDenseBlock(args.output, *report.distances())) return 1;
     std::printf("distances written to %s\n", args.output.c_str());
@@ -841,6 +938,7 @@ int RunModel(const Args& args) {
                 FormatBytes(result.metrics.driver_peak_bytes).c_str(),
                 FormatBytes(result.metrics.node_peak_bytes).c_str());
     PrintRecovery(result.metrics);
+    if (!EmitRunMetrics(args, result.metrics)) return 1;
     return result.status.ok() ? 0 : 1;
   }
   auto kind = ParseSolver(args.solver);
@@ -883,6 +981,7 @@ int RunModel(const Args& args) {
                                                 : "");
   std::printf("engine: %s\n", report.metrics().Summary().c_str());
   PrintRecovery(report.metrics());
+  if (!EmitRunMetrics(args, report.metrics())) return 1;
   return 0;
 }
 
@@ -957,20 +1056,47 @@ int RunServe(const Args& args) {
                            static_cast<graph::VertexId>(rng.NextBounded(nn))});
       }
     }
+    // --stats-every N slices the workload so a progress + live-percentile
+    // line appears mid-run; N = 0 keeps the original single batch (and the
+    // exact same answers/checksum either way — slicing only changes when
+    // the batch-level histogram samples land).
+    const std::int64_t chunk =
+        args.stats_every > 0 ? args.stats_every : args.random_queries;
+    double sum = 0;
+    std::int64_t reachable = 0;
+    std::int64_t done = 0;
     const auto start = std::chrono::steady_clock::now();
-    auto answers = svc.DistanceBatch(queries);
+    while (done < args.random_queries) {
+      const std::int64_t take =
+          std::min(chunk, args.random_queries - done);
+      const std::vector<store::DistanceService::Query> slice(
+          queries.begin() + done, queries.begin() + done + take);
+      auto answers = svc.DistanceBatch(slice);
+      if (!answers.ok()) return Fail(answers.status());
+      for (double d : *answers) {
+        if (d < std::numeric_limits<double>::infinity()) {
+          sum += d;
+          ++reachable;
+        }
+      }
+      done += take;
+      if (args.stats_every > 0 && done < args.random_queries) {
+        const double so_far = std::chrono::duration<double>(
+                                  std::chrono::steady_clock::now() - start)
+                                  .count();
+        const auto p = svc.PointLatency();
+        std::printf("progress: %lld/%lld queries, %.0f qps, point p50 %s "
+                    "p99 %s\n",
+                    static_cast<long long>(done),
+                    static_cast<long long>(args.random_queries),
+                    static_cast<double>(done) / so_far,
+                    FormatLatency(p.p50_seconds).c_str(),
+                    FormatLatency(p.p99_seconds).c_str());
+      }
+    }
     const double elapsed =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
             .count();
-    if (!answers.ok()) return Fail(answers.status());
-    double sum = 0;
-    std::int64_t reachable = 0;
-    for (double d : *answers) {
-      if (d < std::numeric_limits<double>::infinity()) {
-        sum += d;
-        ++reachable;
-      }
-    }
     const auto stats = svc.store().stats();
     std::printf(
         "%lld queries (%s) in %s: %.0f qps; %lld reachable, checksum "
@@ -1006,6 +1132,11 @@ int RunServe(const Args& args) {
                  "nothing to do: give --queries, --random, or --path\n");
     return 2;
   }
+  PrintServeLatency(svc);
+  if (!args.metrics_out.empty()) {
+    obs::ExportStoreStats(svc.store().stats());
+    if (!WriteMetricsFile(args.metrics_out)) return 1;
+  }
   return 0;
 }
 
@@ -1018,15 +1149,33 @@ int main(int argc, char** argv) {
     return Usage(args);
   }
   if (args.command != kServe && !ApplyKernelTuningFlags(args)) return 2;
+  if (!args.trace_file.empty()) obs::Tracer::Get().Start();
+  int rc = 2;
   switch (args.command) {
     case kSolve:
-      return RunSolve(args);
+      rc = RunSolve(args);
+      break;
     case kPlan:
-      return RunPlan(args);
+      rc = RunPlan(args);
+      break;
     case kModel:
-      return RunModel(args);
+      rc = RunModel(args);
+      break;
     case kServe:
-      return RunServe(args);
+      rc = RunServe(args);
+      break;
   }
-  return UsageTop();
+  if (!args.trace_file.empty()) {
+    auto& tracer = obs::Tracer::Get();
+    tracer.Stop();
+    if (!tracer.WriteChromeJson(args.trace_file)) {
+      std::fprintf(stderr, "apspark: cannot write trace to %s\n",
+                   args.trace_file.c_str());
+      if (rc == 0) rc = 1;
+    } else {
+      std::printf("trace: %zu events written to %s\n", tracer.EventCount(),
+                  args.trace_file.c_str());
+    }
+  }
+  return rc;
 }
